@@ -1,0 +1,51 @@
+# extremenc — build/test/reproduce targets. Everything is stdlib Go.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
+
+# Regenerate every paper table and figure as aligned text tables.
+figures:
+	$(GO) run ./cmd/ncbench -fig all
+
+# Regenerate the figures as CSV (for plotting).
+figures-csv:
+	$(GO) run ./cmd/ncbench -fig all -format csv
+
+# Full benchmark suite: one testing.B benchmark per paper table/figure plus
+# the host-codec microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gpusim
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/p2p
+	$(GO) run ./examples/multisegment
+	$(GO) run ./examples/filetransfer
+
+# The captured artifacts referenced by EXPERIMENTS.md.
+test_output.txt:
+	$(GO) test -count=1 ./... 2>&1 | tee $@
+
+bench_output.txt:
+	$(GO) test -bench=. -benchmem -count=1 ./... 2>&1 | tee $@
+
+clean:
+	rm -f test_output.txt bench_output.txt

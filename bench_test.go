@@ -1,0 +1,150 @@
+package extremenc_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its figure with the
+// experiment harness, prints the series once (the same rows the paper
+// plots), and reports the headline value as a custom metric in the paper's
+// units (simulated MB/s on the reconstructed testbeds — see EXPERIMENTS.md
+// for paper-vs-measured). Host-codec microbenchmarks (real wall-clock on
+// this machine) live beside their packages: internal/gf256, internal/rlnc,
+// internal/matrix.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"extremenc/internal/experiments"
+)
+
+// renderOnce prints each figure a single time regardless of b.N reruns.
+var renderOnce sync.Map
+
+func runFigure(b *testing.B, run experiments.Runner, headlineSeries, headlineKey string) {
+	b.Helper()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	if _, done := renderOnce.LoadOrStore(fig.ID, true); !done {
+		if err := fig.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if headlineSeries != "" && headlineKey != "" {
+		v, err := fig.MustValue(headlineSeries, headlineKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unit := fmt.Sprintf("%s@%s,%s", fig.Unit, headlineSeries, headlineKey)
+		b.ReportMetric(v, strings.ReplaceAll(unit, " ", "_"))
+	}
+}
+
+// BenchmarkFig4aEncodeLoopGPU regenerates Fig. 4(a): loop-based encoding on
+// GTX 280 vs 8800 GT. Paper headline: 133 MB/s at n=128.
+func BenchmarkFig4aEncodeLoopGPU(b *testing.B) {
+	runFigure(b, experiments.Fig4aEncodeLoopBased, "GTX280 n=128", "4096")
+}
+
+// BenchmarkFig4bDecodeSingleSegment regenerates Fig. 4(b): single-segment
+// decoding, GPU vs CPU, with the ≈8 KB crossover.
+func BenchmarkFig4bDecodeSingleSegment(b *testing.B) {
+	runFigure(b, experiments.Fig4bDecodeSingleSegment, "GTX280 n=128", "32768")
+}
+
+// BenchmarkFig6TableVsLoop regenerates Fig. 6: TB-1 vs loop-based (≥ +30%).
+func BenchmarkFig6TableVsLoop(b *testing.B) {
+	runFigure(b, experiments.Fig6TableVsLoop, "TB n=128", "4096")
+}
+
+// BenchmarkFig7Ladder regenerates Fig. 7: the scheme ladder at n=128.
+// Paper headline: TB-5 at 294 MB/s, 2.2× loop-based.
+func BenchmarkFig7Ladder(b *testing.B) {
+	runFigure(b, experiments.Fig7OptimizationLadder, "GTX280 n=128", "table-based-5")
+}
+
+// BenchmarkFig8BestEncode regenerates Fig. 8: TB-5 across n up to 1024.
+func BenchmarkFig8BestEncode(b *testing.B) {
+	runFigure(b, experiments.Fig8BestEncode, "n=1024", "4096")
+}
+
+// BenchmarkFig9MultiSegment regenerates Fig. 9: multi-segment decoding.
+// Paper headline: 254 MB/s at n=128, 2.7–27.6× over single-segment.
+func BenchmarkFig9MultiSegment(b *testing.B) {
+	runFigure(b, experiments.Fig9MultiSegmentDecode, "GTX280-30seg n=128", "32768")
+}
+
+// BenchmarkFig10CPUFullBlock regenerates Fig. 10: full-block vs
+// partitioned-block CPU encoding.
+func BenchmarkFig10CPUFullBlock(b *testing.B) {
+	runFigure(b, experiments.Fig10CPUFullBlock, "FB n=128", "128")
+}
+
+// BenchmarkCPUTableBased regenerates the Sec. 5.1.3 CPU table-based
+// regression (up to −43%).
+func BenchmarkCPUTableBased(b *testing.B) {
+	runFigure(b, experiments.MiscCPUTableBased, "table-based", "32768")
+}
+
+// BenchmarkVoDMultiSegmentEncode regenerates the Sec. 5.1.3 VoD experiment
+// (−0.6% across 30 source segments).
+func BenchmarkVoDMultiSegmentEncode(b *testing.B) {
+	runFigure(b, experiments.MiscVoDMultiSegmentEncode, "GTX280", "vod-30-segments")
+}
+
+// BenchmarkDecodeAtomicMin regenerates Sec. 5.4.2 (≈0.6% decode gain).
+func BenchmarkDecodeAtomicMin(b *testing.B) {
+	runFigure(b, experiments.MiscAtomicMin, "gain", "4096")
+}
+
+// BenchmarkDecodeCoeffCache regenerates Sec. 5.4.3 (0.5–3.4% decode gain).
+func BenchmarkDecodeCoeffCache(b *testing.B) {
+	runFigure(b, experiments.MiscCoefficientCache, "gain", "128")
+}
+
+// BenchmarkCombinedEngine regenerates Sec. 5.4.1: GPU+CPU ≈ sum of rates,
+// GPU ≈ 4.3× CPU.
+func BenchmarkCombinedEngine(b *testing.B) {
+	runFigure(b, experiments.MiscCombinedEngine, "rate", "combined")
+}
+
+// BenchmarkEncodeDummyInput regenerates the dummy-input memory-hiding check
+// (≈0.5%).
+func BenchmarkEncodeDummyInput(b *testing.B) {
+	runFigure(b, experiments.MiscDummyInput, "gain", "4096")
+}
+
+// BenchmarkStreamServer regenerates the Sec. 5.1 streaming capacity table
+// (1385 / 1844 / >3000 peers).
+func BenchmarkStreamServer(b *testing.B) {
+	runFigure(b, experiments.MiscStreamingCapacity, "peers-by-compute", "table-based-5")
+}
+
+// BenchmarkP2PDistribution runs the Avalanche-style comparison on the
+// discrete-event network.
+func BenchmarkP2PDistribution(b *testing.B) {
+	runFigure(b, experiments.MiscP2PDistribution, "overhead-x", "rlnc")
+}
+
+// BenchmarkSparseDensity runs the sparsity ablation (Sec. 4.3: dense
+// matrices are the worst case).
+func BenchmarkSparseDensity(b *testing.B) {
+	runFigure(b, experiments.MiscSparseDensity, "TB-5", "5")
+}
+
+// BenchmarkPlayback models the viewer experience (startup delay, stalls) as
+// peers scale against the Sec. 5.1.2 buffering analysis.
+func BenchmarkPlayback(b *testing.B) {
+	runFigure(b, experiments.MiscPlayback, "startup-s", "")
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "combined", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "no-such"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

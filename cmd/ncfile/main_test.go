@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeCorruptDecodeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	container := filepath.Join(dir, "c.xnc")
+	damaged := filepath.Join(dir, "d.xnc")
+	out := filepath.Join(dir, "out.bin")
+
+	payload := make([]byte, 100000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"encode", "-in", in, "-out", container, "-n", "16", "-k", "1024", "-redundancy", "1.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"corrupt", "-in", container, "-out", damaged, "-drop", "0.1", "-flip", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"decode", "-in", damaged, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("roundtrip differs")
+	}
+}
+
+func TestSeededEncode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	container := filepath.Join(dir, "c.xnc")
+	out := filepath.Join(dir, "out.bin")
+	payload := make([]byte, 5000)
+	rand.New(rand.NewSource(2)).Read(payload)
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"encode", "-in", in, "-out", container, "-seeded", "-n", "8", "-k", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"decode", "-in", container, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("seeded roundtrip differs")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"encode"}); err == nil {
+		t.Fatal("encode without files accepted")
+	}
+	if err := run([]string{"decode"}); err == nil {
+		t.Fatal("decode without files accepted")
+	}
+	if err := run([]string{"corrupt"}); err == nil {
+		t.Fatal("corrupt without files accepted")
+	}
+	if err := run([]string{"decode", "-in", "/nonexistent", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunAllModes(t *testing.T) {
+	if err := run([]string{"-peers", "6", "-blocks", "8", "-blocksize", "128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleMode(t *testing.T) {
+	if err := run([]string{"-mode", "rlnc", "-peers", "4", "-blocks", "4", "-blocksize", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-peers", "0"}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+}

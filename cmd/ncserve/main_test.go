@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"extremenc/internal/netio"
+	"extremenc/internal/rlnc"
+)
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"serve"}); err == nil {
+		t.Fatal("serve without -in accepted")
+	}
+	if err := run([]string{"fetch"}); err == nil {
+		t.Fatal("fetch without -out accepted")
+	}
+	if err := run([]string{"serve", "-in", "/nonexistent"}); err == nil {
+		t.Fatal("missing media accepted")
+	}
+}
+
+// TestFetchAgainstInProcessServer runs the fetch subcommand against a
+// server started via the library (the serve subcommand blocks forever, so
+// it is covered by its flag-validation paths above).
+func TestFetchAgainstInProcessServer(t *testing.T) {
+	media := make([]byte, 50000)
+	rand.New(rand.NewSource(3)).Read(media)
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: 8, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		srv.Shutdown()
+		l.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "out.bin")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"fetch", "-addr", l.Addr().String(), "-out", out})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fetch did not complete")
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, media) {
+		t.Fatal("fetched media differs")
+	}
+}

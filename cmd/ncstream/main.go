@@ -1,0 +1,120 @@
+// Command ncstream simulates a network-coded media streaming server
+// (paper Sec. 5.1): it loads synthetic media, picks a coding engine, serves
+// a peer population live (or VoD), and reports throughput, real-time
+// headroom, peers sustained, and NIC load.
+//
+// Usage:
+//
+//	ncstream -engine gpu-tb5 -peers 1000 -segments 4
+//	ncstream -engine cpu -peers 200 -vod
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"extremenc/internal/core"
+	"extremenc/internal/cpusim"
+	"extremenc/internal/gpu"
+	"extremenc/internal/rlnc"
+	"extremenc/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ncstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncstream", flag.ContinueOnError)
+	engineName := fs.String("engine", "gpu-tb5", "coding engine: gpu-tb5, gpu-loop, cpu, combined, host")
+	peers := fs.Int("peers", 1000, "downstream peer count")
+	segments := fs.Int("segments", 2, "media segments to serve")
+	vod := fs.Bool("vod", false, "VoD mode: each client requests a different segment")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scenario := core.DefaultStreamScenario()
+	enc, err := makeEngine(*engineName)
+	if err != nil {
+		return err
+	}
+
+	media := make([]byte, *segments*scenario.Params.SegmentSize())
+	rand.New(rand.NewSource(*seed)).Read(media)
+
+	srv, err := stream.NewServer(scenario, enc, media)
+	if err != nil {
+		return err
+	}
+
+	var m *stream.Metrics
+	if *vod {
+		m, err = srv.ServeVoD(*peers, *seed)
+	} else {
+		m, err = srv.ServeLive(*peers, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario:            %v\n", scenario)
+	fmt.Printf("engine:              %s\n", m.Engine)
+	fmt.Printf("segments served:     %d (%d blocks each, %d total)\n",
+		m.SegmentsServed, m.BlocksPerSegment, m.BlocksTotal)
+	fmt.Printf("encode rate:         %.1f MB/s\n", m.EncodeMBps)
+	fmt.Printf("encoder utilization: %.1f%% of real time (real-time: %v)\n",
+		m.EncoderUtilization*100, m.RealTime)
+	fmt.Printf("peers by compute:    %d\n", m.PeersByCompute)
+	fmt.Printf("peers by network:    %d\n", m.PeersByNetwork)
+	fmt.Printf("peers served:        %d (requested %d)\n", m.PeersServed, m.PeersRequested)
+	fmt.Printf("NIC utilization:     %.1f%% at requested peers\n", m.NICUtilization*100)
+	fmt.Printf("NICs saturated:      %.2f GigE\n", scenario.NICsSaturated(m.EncodeMBps))
+	fmt.Printf("sample client:       verified=%v\n", m.SampleVerified)
+
+	// Viewer experience at the requested population (Sec. 5.1.2 buffering).
+	pb, err := stream.SimulatePlayback(stream.PlaybackConfig{
+		Scenario:     scenario,
+		EncodeMBps:   m.EncodeMBps,
+		Peers:        *peers,
+		SegmentCount: 20,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("viewer startup:      %.1f s; stalls over 20 segments: %d (%.1f s)\n",
+		pb.StartupDelay, pb.Rebuffers, pb.StallSeconds)
+	fmt.Printf("smooth-play limit:   %d peers\n", stream.MaxSmoothPeers(scenario, m.EncodeMBps))
+	return nil
+}
+
+func makeEngine(name string) (core.Encoder, error) {
+	switch name {
+	case "gpu-tb5":
+		return core.NewGPUEncoder(gpu.GTX280(), gpu.TableBased5)
+	case "gpu-loop":
+		return core.NewGPUEncoder(gpu.GTX280(), gpu.LoopBased)
+	case "cpu":
+		return core.NewCPUEncoder(cpusim.MacPro(), rlnc.FullBlock, cpusim.LoopSIMD)
+	case "combined":
+		g, err := core.NewGPUEncoder(gpu.GTX280(), gpu.TableBased5)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.NewCPUEncoder(cpusim.MacPro(), rlnc.FullBlock, cpusim.LoopSIMD)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCombinedEncoder(g, c), nil
+	case "host":
+		return core.NewHostEncoder(0, rlnc.FullBlock)
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunEngines(t *testing.T) {
+	for _, engine := range []string{"gpu-tb5", "gpu-loop", "cpu", "combined"} {
+		if err := run([]string{"-engine", engine, "-peers", "10", "-segments", "1"}); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunVoD(t *testing.T) {
+	if err := run([]string{"-engine", "gpu-tb5", "-peers", "3", "-segments", "2", "-vod"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-engine", "quantum"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"-peers", "0"}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+}

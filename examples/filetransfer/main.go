@@ -1,0 +1,75 @@
+// filetransfer: store a payload as a network-coded container, damage it —
+// drop 10% of the records and corrupt a few more — and recover the payload
+// bit-exactly from what survives. No record is special: the container
+// tolerates the loss of ANY records up to its redundancy margin, unlike
+// replication or RAID-style parity with fixed roles.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extremenc"
+	"extremenc/internal/ncfile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := extremenc.Params{BlockCount: 32, BlockSize: 2048}
+	payload := make([]byte, 300000)
+	rand.New(rand.NewSource(7)).Read(payload)
+
+	// Encode with a 40% redundancy margin (each segment must keep n of its
+	// records through the channel's binomial losses).
+	var container bytes.Buffer
+	esum, err := extremenc.EncodeFile(&container, bytes.NewReader(payload), params,
+		extremenc.FileEncodeOptions{Redundancy: 1.4, Seed: 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encoded:  %d bytes → %d records (%d segments, %.0f%% container overhead)\n",
+		esum.PayloadBytes, esum.Records, esum.Header.Segments,
+		(float64(esum.RecordBytes)/float64(esum.PayloadBytes)-1)*100)
+
+	// Simulate a hostile channel.
+	var damaged bytes.Buffer
+	csum, err := ncfile.Corrupt(&damaged, bytes.NewReader(container.Bytes()),
+		ncfile.CorruptOptions{DropRate: 0.10, FlipRate: 0.04, Seed: 9})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("damaged:  %d of %d records dropped, %d corrupted in flight\n",
+		csum.Dropped, csum.Records, csum.Flipped)
+
+	// Recover from the survivors.
+	var out bytes.Buffer
+	dsum, err := extremenc.DecodeFile(&out, bytes.NewReader(damaged.Bytes()))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		return fmt.Errorf("recovered payload differs")
+	}
+	fmt.Printf("decoded:  %d records read, %d corrupt skipped, %d dependent discarded\n",
+		dsum.Records, dsum.CorruptRecords, dsum.Dependent)
+	fmt.Println("payload recovered bit-exactly ✓")
+
+	// The seeded variant shrinks per-record headers from n bytes to 8.
+	var seeded bytes.Buffer
+	ssum, err := extremenc.EncodeFile(&seeded, bytes.NewReader(payload), params,
+		extremenc.FileEncodeOptions{Redundancy: 1.4, Seeded: true, Seed: 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nseeded containers carry 8-byte coefficient seeds: %d B vs %d B (%.1f%% smaller)\n",
+		ssum.RecordBytes, esum.RecordBytes,
+		(1-float64(ssum.RecordBytes)/float64(esum.RecordBytes))*100)
+	return nil
+}

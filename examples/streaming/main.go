@@ -1,0 +1,70 @@
+// streaming: a network-coded media streaming server (paper Sec. 5.1). The
+// server splits media into 512 KB segments, keeps them resident on the
+// coding engine, and serves 768 Kbps streams to a large peer population.
+// The example contrasts the simulated GTX 280 (table-based-5 kernels), the
+// simulated 8-core Mac Pro, and a GPU+CPU combined engine, and plays one
+// downstream client to verify the served data decodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extremenc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scenario := extremenc.DefaultStreamScenario()
+
+	// Two segments (~10.9 s) of synthetic media.
+	media := make([]byte, 2*scenario.Params.SegmentSize())
+	rand.New(rand.NewSource(99)).Read(media)
+
+	gpuEnc, err := extremenc.NewGPUEncoder(extremenc.GTX280(), extremenc.TableBased5)
+	if err != nil {
+		return err
+	}
+	cpuEnc, err := extremenc.NewCPUEncoder(extremenc.MacPro(), extremenc.FullBlock, extremenc.CPULoopSIMD)
+	if err != nil {
+		return err
+	}
+	engines := []extremenc.EncodeEngine{
+		gpuEnc,
+		cpuEnc,
+		extremenc.NewCombinedEncoder(gpuEnc, cpuEnc),
+	}
+
+	const peers = 1500
+	fmt.Printf("scenario: %v (segment = %.2f s of media)\n\n",
+		scenario, scenario.SegmentDuration())
+
+	for _, eng := range engines {
+		srv, err := extremenc.NewStreamServer(scenario, eng, media)
+		if err != nil {
+			return err
+		}
+		m, err := srv.ServeLive(peers, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine: %s\n", m.Engine)
+		fmt.Printf("  encode rate        %.1f MB/s (%.2f GigE NICs)\n",
+			m.EncodeMBps, scenario.NICsSaturated(m.EncodeMBps))
+		fmt.Printf("  real-time load     %.1f%% per segment (keeps up: %v)\n",
+			m.EncoderUtilization*100, m.RealTime)
+		fmt.Printf("  peers sustained    %d by compute, %d by network → %d served\n",
+			m.PeersByCompute, m.PeersByNetwork, m.PeersServed)
+		fmt.Printf("  sample client      decode verified: %v\n\n", m.SampleVerified)
+	}
+
+	fmt.Println("paper anchors: 1385 peers at 133 MB/s (loop-based), >3000 at 294 MB/s (TB-5),")
+	fmt.Println("with the GTX 280 alone sufficient to saturate two Gigabit Ethernet interfaces.")
+	return nil
+}

@@ -1,0 +1,385 @@
+// Package extremenc is a high-performance random linear network coding
+// (RLNC) library — a Go reproduction of "Pushing the Envelope: Extreme
+// Network Coding on the GPU" (Shojania & Li, IEEE ICDCS 2009).
+//
+// The package has three layers:
+//
+//   - A production host codec: GF(2^8) random linear codes with segments,
+//     coded blocks (with a checksummed wire format), progressive
+//     Gauss–Jordan decoding, batch invert-then-multiply decoding, recoding
+//     at intermediate nodes, and goroutine-parallel encode/decode workers.
+//
+//   - Simulated testbeds reproducing the paper's evaluation hardware: the
+//     NVIDIA GTX 280 / 8800 GT (a functional CUDA-like simulator with a
+//     calibrated cycle-cost model: warp occupancy, shared-memory bank
+//     conflicts, texture caching, kernel launches) and the 8-core Xeon
+//     "Mac Pro" baseline. Every kernel computes real, verified coded data.
+//
+//   - Deployment components: a network-coded streaming server (live and
+//     VoD), and an Avalanche-style P2P distribution simulation with
+//     recoding versus forwarding baselines.
+//
+// Quick start:
+//
+//	params := extremenc.Params{BlockCount: 128, BlockSize: 4096}
+//	seg, _ := extremenc.SegmentFromData(0, params, payload)
+//	enc := extremenc.NewEncoder(seg, rng)
+//	dec, _ := extremenc.NewDecoder(params)
+//	for !dec.Ready() {
+//		dec.AddBlock(enc.NextBlock())
+//	}
+//	recovered, _ := dec.Segment()
+//
+// The experiment harness behind every figure of the paper is exposed via
+// Experiments and the ncbench command; see EXPERIMENTS.md for the
+// paper-versus-measured record.
+package extremenc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+
+	"extremenc/internal/core"
+	"extremenc/internal/cpusim"
+	"extremenc/internal/experiments"
+	"extremenc/internal/gpu"
+	"extremenc/internal/ncfile"
+	"extremenc/internal/netio"
+	"extremenc/internal/p2p"
+	"extremenc/internal/rlnc"
+	"extremenc/internal/stream"
+)
+
+// Core codec types (see internal/rlnc for full documentation).
+type (
+	// Params is a coding configuration: n blocks of k bytes per segment.
+	Params = rlnc.Params
+	// Segment is one generation of source data.
+	Segment = rlnc.Segment
+	// CodedBlock is a coefficient vector plus coded payload, with a
+	// checksummed binary wire format.
+	CodedBlock = rlnc.CodedBlock
+	// Encoder emits random linear combinations of a segment's blocks.
+	Encoder = rlnc.Encoder
+	// Decoder recovers a segment by progressive Gauss–Jordan elimination.
+	Decoder = rlnc.Decoder
+	// BatchDecoder recovers a segment by matrix inversion plus multiply.
+	BatchDecoder = rlnc.BatchDecoder
+	// Recoder emits fresh combinations of received blocks without decoding.
+	Recoder = rlnc.Recoder
+	// Object is a payload split into consecutive segments.
+	Object = rlnc.Object
+	// EncodeMode selects full-block or partitioned-block parallelism.
+	EncodeMode = rlnc.EncodeMode
+)
+
+// Encode partitioning modes (paper Sec. 5.3).
+const (
+	PartitionedBlock = rlnc.PartitionedBlock
+	FullBlock        = rlnc.FullBlock
+)
+
+// NewSegment returns a zero-filled segment.
+func NewSegment(id uint32, p Params) (*Segment, error) { return rlnc.NewSegment(id, p) }
+
+// SegmentFromData builds a zero-padded segment from data.
+func SegmentFromData(id uint32, p Params, data []byte) (*Segment, error) {
+	return rlnc.SegmentFromData(id, p, data)
+}
+
+// NewEncoder returns a random linear encoder over seg.
+func NewEncoder(seg *Segment, rng *rand.Rand, opts ...rlnc.EncoderOption) *Encoder {
+	return rlnc.NewEncoder(seg, rng, opts...)
+}
+
+// WithDensity makes the encoder draw sparse coefficient vectors.
+func WithDensity(d float64) rlnc.EncoderOption { return rlnc.WithDensity(d) }
+
+// NewDecoder returns a progressive Gauss–Jordan decoder.
+func NewDecoder(p Params) (*Decoder, error) { return rlnc.NewDecoder(p) }
+
+// NewBatchDecoder returns an invert-then-multiply decoder.
+func NewBatchDecoder(p Params) (*BatchDecoder, error) { return rlnc.NewBatchDecoder(p) }
+
+// NewRecoder returns a recoder for intermediate nodes.
+func NewRecoder(p Params) (*Recoder, error) { return rlnc.NewRecoder(p) }
+
+// Split divides data into coding segments.
+func Split(data []byte, p Params) (*Object, error) { return rlnc.Split(data, p) }
+
+// ReassembleSegments rebuilds a payload from decoded segments.
+func ReassembleSegments(segs []*Segment, length int, p Params) ([]byte, error) {
+	return rlnc.ReassembleSegments(segs, length, p)
+}
+
+// NewParallelEncoder returns a goroutine-parallel host encoder.
+func NewParallelEncoder(workers int, mode EncodeMode) (*rlnc.ParallelEncoder, error) {
+	return rlnc.NewParallelEncoder(workers, mode)
+}
+
+// DecodeSegmentsParallel batch-decodes independent segments with worker
+// goroutines.
+func DecodeSegmentsParallel(p Params, sets [][]*CodedBlock, workers int) ([]*Segment, error) {
+	return rlnc.DecodeSegmentsParallel(p, sets, workers)
+}
+
+// Simulated hardware (see internal/gpu and internal/cpusim).
+type (
+	// GPUDevice is a simulated CUDA-class GPU with a calibrated cost model.
+	GPUDevice = gpu.Device
+	// GPUSpec describes a simulated GPU.
+	GPUSpec = gpu.DeviceSpec
+	// GPUScheme identifies a GPU multiplication kernel (LoopBased,
+	// TableBased0…TableBased5).
+	GPUScheme = gpu.Scheme
+	// CPUMachine is a simulated multicore host.
+	CPUMachine = cpusim.Machine
+	// CPUSpec describes a simulated multicore host.
+	CPUSpec = cpusim.CPUSpec
+	// CPUScheme identifies a CPU multiplication strategy.
+	CPUScheme = cpusim.Scheme
+)
+
+// CPU multiplication strategies (paper Secs. 4.1 and 5.1.3).
+const (
+	CPULoopSIMD   = cpusim.LoopSIMD
+	CPUTableBased = cpusim.TableBased
+)
+
+// GPU kernel schemes in the paper's Fig. 7 ladder.
+const (
+	LoopBased   = gpu.LoopBased
+	TableBased0 = gpu.TableBased0
+	TableBased1 = gpu.TableBased1
+	TableBased2 = gpu.TableBased2
+	TableBased3 = gpu.TableBased3
+	TableBased4 = gpu.TableBased4
+	TableBased5 = gpu.TableBased5
+)
+
+// GTX280 returns the paper's primary GPU testbed spec.
+func GTX280() GPUSpec { return gpu.GTX280() }
+
+// GeForce8800GT returns the prior-generation GPU baseline spec.
+func GeForce8800GT() GPUSpec { return gpu.GeForce8800GT() }
+
+// MacPro returns the paper's 8-core Xeon CPU baseline spec.
+func MacPro() CPUSpec { return cpusim.MacPro() }
+
+// NewGPUDevice creates a simulated device.
+func NewGPUDevice(spec GPUSpec) (*GPUDevice, error) { return gpu.NewDevice(spec) }
+
+// NewCPUMachine creates a simulated multicore host.
+func NewCPUMachine(spec CPUSpec) (*CPUMachine, error) { return cpusim.NewMachine(spec) }
+
+// Engines (see internal/core).
+type (
+	// EncodeEngine produces coded blocks at an engine-specific rate.
+	EncodeEngine = core.Encoder
+	// DecodeEngine recovers segments from coded block sets.
+	DecodeEngine = core.Decoder
+	// EngineReport describes one engine run.
+	EngineReport = core.Report
+	// StreamScenario is a streaming-server configuration.
+	StreamScenario = core.StreamScenario
+)
+
+// NewGPUEncoder returns an encode engine on a fresh simulated device.
+func NewGPUEncoder(spec GPUSpec, scheme GPUScheme) (*core.GPUEncoder, error) {
+	return core.NewGPUEncoder(spec, scheme)
+}
+
+// NewCPUEncoder returns a simulated multicore encode engine.
+func NewCPUEncoder(spec CPUSpec, mode EncodeMode, scheme CPUScheme) (*core.CPUEncoder, error) {
+	return core.NewCPUEncoder(spec, mode, scheme)
+}
+
+// NewHostEncoder returns an engine measuring the real local machine.
+func NewHostEncoder(workers int, mode EncodeMode) (*core.HostEncoder, error) {
+	return core.NewHostEncoder(workers, mode)
+}
+
+// NewCombinedEncoder pairs a GPU and a CPU engine (paper Sec. 5.4.1).
+func NewCombinedEncoder(gpuEnc, cpuEnc EncodeEngine) *core.CombinedEncoder {
+	return core.NewCombinedEncoder(gpuEnc, cpuEnc)
+}
+
+// GPUDecodeOptions tunes the single-segment GPU decoder (atomicMin pivot
+// search, coefficient-matrix caching).
+type GPUDecodeOptions = gpu.DecodeOptions
+
+// NewGPUSingleDecoder returns the paper's progressive single-segment GPU
+// decoder (Sec. 4.2.2).
+func NewGPUSingleDecoder(spec GPUSpec, opts GPUDecodeOptions) (*core.GPUSingleDecoder, error) {
+	return core.NewGPUSingleDecoder(spec, opts)
+}
+
+// NewGPUMultiDecoder returns the paper's multi-segment GPU decoder
+// (Sec. 5.2); segmentsPerSM 1 = 30-segment mode, 2 = 60-segment mode.
+func NewGPUMultiDecoder(spec GPUSpec, segmentsPerSM int) (*core.GPUMultiDecoder, error) {
+	return core.NewGPUMultiDecoder(spec, segmentsPerSM)
+}
+
+// NewCPUCooperativeDecoder returns the Fig. 4(b) CPU baseline decoder.
+func NewCPUCooperativeDecoder(spec CPUSpec) (*core.CPUCooperativeDecoder, error) {
+	return core.NewCPUCooperativeDecoder(spec)
+}
+
+// NewCPUMultiDecoder returns the one-thread-per-segment CPU decoder.
+func NewCPUMultiDecoder(spec CPUSpec) (*core.CPUMultiDecoder, error) {
+	return core.NewCPUMultiDecoder(spec)
+}
+
+// NewHostDecoder returns a decode engine measuring the real local machine.
+func NewHostDecoder(workers int) *core.HostDecoder {
+	return core.NewHostDecoder(workers)
+}
+
+// DefaultStreamScenario returns the paper's 768 Kbps / 512 KB-segment
+// streaming configuration (Sec. 5.1.1).
+func DefaultStreamScenario() StreamScenario { return core.DefaultStreamScenario() }
+
+// Streaming server (see internal/stream).
+type (
+	// StreamServer serves coded blocks to downstream peers.
+	StreamServer = stream.Server
+	// StreamMetrics reports one serving run.
+	StreamMetrics = stream.Metrics
+)
+
+// NewStreamServer builds a streaming server over media with the given
+// engine.
+func NewStreamServer(scenario StreamScenario, enc EncodeEngine, media []byte) (*StreamServer, error) {
+	return stream.NewServer(scenario, enc, media)
+}
+
+// P2P distribution (see internal/p2p).
+type (
+	// P2PConfig describes an Avalanche-style distribution session.
+	P2PConfig = p2p.Config
+	// P2PResult summarizes a session.
+	P2PResult = p2p.Result
+	// P2PMode selects the distribution strategy.
+	P2PMode = p2p.Mode
+)
+
+// P2P distribution strategies.
+const (
+	P2PModeRLNC    = p2p.ModeRLNC
+	P2PModeForward = p2p.ModeForward
+	P2PModeUncoded = p2p.ModeUncoded
+)
+
+// RunP2P executes one distribution session.
+func RunP2P(cfg P2PConfig) (*P2PResult, error) { return p2p.Run(cfg) }
+
+// Extended codec types.
+type (
+	// SeededBlock carries an 8-byte coefficient seed instead of an n-byte
+	// vector (compact headers for source-generated blocks).
+	SeededBlock = rlnc.SeededBlock
+	// SystematicEncoder emits source blocks verbatim before coding.
+	SystematicEncoder = rlnc.SystematicEncoder
+	// GaussianDecoder defers back-substitution to a single final pass —
+	// the "traditional Gaussian elimination" alternative of paper Sec. 3.
+	GaussianDecoder = rlnc.GaussianDecoder
+)
+
+// NewSystematicEncoder wraps seg in a systematic encoder.
+func NewSystematicEncoder(seg *Segment, rng *rand.Rand) *SystematicEncoder {
+	return rlnc.NewSystematicEncoder(seg, rng)
+}
+
+// NewGaussianDecoder returns the forward-elimination-only decoder.
+func NewGaussianDecoder(p Params) (*GaussianDecoder, error) {
+	return rlnc.NewGaussianDecoder(p)
+}
+
+// CoeffsFromSeed regenerates a seeded block's coefficient vector.
+func CoeffsFromSeed(seed int64, n int) []byte { return rlnc.CoeffsFromSeed(seed, n) }
+
+// Network transport (see internal/netio).
+type (
+	// NetServer streams coded blocks to TCP (or any net.Conn) clients.
+	NetServer = netio.Server
+	// FetchStats reports a network download.
+	FetchStats = netio.FetchStats
+)
+
+// NewNetServer builds a push-streaming server over media split at p.
+func NewNetServer(media []byte, p Params) (*NetServer, error) {
+	return netio.NewServer(media, p)
+}
+
+// Fetch downloads and decodes a served object from conn.
+func Fetch(conn net.Conn) ([]byte, *FetchStats, error) { return netio.Fetch(conn) }
+
+// Coded file containers (see internal/ncfile).
+type (
+	// FileEncodeOptions tunes EncodeFile.
+	FileEncodeOptions = ncfile.EncodeOptions
+	// FileEncodeSummary reports an EncodeFile run.
+	FileEncodeSummary = ncfile.EncodeSummary
+	// FileDecodeSummary reports a DecodeFile run.
+	FileDecodeSummary = ncfile.DecodeSummary
+)
+
+// EncodeFile writes payload bytes from r as a loss-tolerant coded container
+// on w.
+func EncodeFile(w io.Writer, r io.Reader, p Params, opts FileEncodeOptions) (*FileEncodeSummary, error) {
+	return ncfile.Encode(w, r, p, opts)
+}
+
+// DecodeFile recovers the payload of a coded container, skipping corrupt
+// records.
+func DecodeFile(w io.Writer, r io.Reader) (*FileDecodeSummary, error) {
+	return ncfile.Decode(w, r)
+}
+
+// Experiments returns the IDs of the paper's reproduced tables and figures
+// in evaluation order (see EXPERIMENTS.md).
+func Experiments() []string {
+	reg := experiments.Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunExperiment regenerates one table or figure by ID and renders it as an
+// aligned text table to w.
+func RunExperiment(id string, w io.Writer) error {
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		return fmt.Errorf("extremenc: unknown experiment %q", id)
+	}
+	fig, err := runner()
+	if err != nil {
+		return err
+	}
+	return fig.Render(w)
+}
+
+// Playback modeling (see internal/stream).
+type (
+	// PlaybackConfig describes a live viewing session to simulate.
+	PlaybackConfig = stream.PlaybackConfig
+	// PlaybackMetrics reports the viewer experience.
+	PlaybackMetrics = stream.PlaybackMetrics
+)
+
+// SimulatePlayback models viewer startup delay and stalls for a peer
+// population against a server's coding and NIC capacity (Sec. 5.1.2's
+// buffering analysis).
+func SimulatePlayback(cfg PlaybackConfig) (*PlaybackMetrics, error) {
+	return stream.SimulatePlayback(cfg)
+}
+
+// MaxSmoothPeers returns the largest stall-free viewer count at the given
+// encode rate.
+func MaxSmoothPeers(s StreamScenario, encodeMBps float64) int {
+	return stream.MaxSmoothPeers(s, encodeMBps)
+}

@@ -1,0 +1,277 @@
+package extremenc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+
+	"extremenc"
+)
+
+// TestQuickstart exercises the documented public-API flow end to end.
+func TestQuickstart(t *testing.T) {
+	params := extremenc.Params{BlockCount: 16, BlockSize: 256}
+	payload := make([]byte, params.SegmentSize())
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(payload)
+
+	seg, err := extremenc.SegmentFromData(0, params, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := extremenc.NewEncoder(seg, rng)
+	dec, err := extremenc.NewDecoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Ready() {
+		if _, err := dec.AddBlock(enc.NextBlock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), payload) {
+		t.Fatal("quickstart roundtrip differs")
+	}
+}
+
+// TestRecodePath exercises encode → recode → decode via the facade.
+func TestRecodePath(t *testing.T) {
+	params := extremenc.Params{BlockCount: 8, BlockSize: 64}
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, params.SegmentSize())
+	rng.Read(payload)
+	seg, err := extremenc.SegmentFromData(3, params, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := extremenc.NewEncoder(seg, rng)
+	rec, err := extremenc.NewRecoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < params.BlockCount+1; i++ {
+		if err := rec.Add(enc.NextBlock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := extremenc.NewDecoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Ready() {
+		b, err := rec.NextBlock(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("recode path roundtrip differs")
+	}
+}
+
+// TestSimulatedDevices exercises the GPU and CPU testbed facade.
+func TestSimulatedDevices(t *testing.T) {
+	gpuEnc, err := extremenc.NewGPUEncoder(extremenc.GTX280(), extremenc.TableBased5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := extremenc.Params{BlockCount: 16, BlockSize: 512}
+	seg, err := extremenc.NewSegment(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand.New(rand.NewSource(4)).Read(seg.Data())
+	rep, err := gpuEnc.EncodeBlocks(seg, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BandwidthMBps() <= 0 {
+		t.Fatal("no GPU bandwidth")
+	}
+	dec, err := extremenc.NewGPUMultiDecoder(extremenc.GTX280(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := rep.Blocks
+	if len(set) < params.BlockCount {
+		// Engines materialize a sample; collect a decodable set directly.
+		gpuEnc.SetMaterialize(params.BlockCount + 1)
+		rep, err = gpuEnc.EncodeBlocks(seg, params.BlockCount+1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set = rep.Blocks
+	}
+	drep, err := dec.DecodeSegments([][]*extremenc.CodedBlock{set}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drep.Segments[0].Equal(seg) {
+		t.Fatal("GPU multi decode differs")
+	}
+}
+
+// TestStreamAndP2PFacade smoke-tests the deployment components.
+func TestStreamAndP2PFacade(t *testing.T) {
+	scenario := extremenc.DefaultStreamScenario()
+	scenario.Params = extremenc.Params{BlockCount: 8, BlockSize: 512}
+	enc, err := extremenc.NewGPUEncoder(extremenc.GTX280(), extremenc.TableBased5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	media := make([]byte, scenario.Params.SegmentSize())
+	rand.New(rand.NewSource(7)).Read(media)
+	srv, err := extremenc.NewStreamServer(scenario, enc, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := srv.ServeLive(50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SampleVerified {
+		t.Fatal("stream sample not verified")
+	}
+
+	res, err := extremenc.RunP2P(extremenc.P2PConfig{
+		Params:           extremenc.Params{BlockCount: 8, BlockSize: 128},
+		Peers:            6,
+		Neighbors:        2,
+		LinkBandwidthBps: 8e6,
+		LinkLatency:      0.001,
+		Mode:             extremenc.P2PModeRLNC,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("p2p completed %d/6", res.Completed)
+	}
+}
+
+// TestExtendedCodecFacade exercises the systematic, seeded and Gaussian
+// paths through the public API.
+func TestExtendedCodecFacade(t *testing.T) {
+	params := extremenc.Params{BlockCount: 8, BlockSize: 64}
+	rng := rand.New(rand.NewSource(20))
+	payload := make([]byte, params.SegmentSize())
+	rng.Read(payload)
+	seg, err := extremenc.SegmentFromData(0, params, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Systematic encoder feeding a Gaussian decoder.
+	se := extremenc.NewSystematicEncoder(seg, rng)
+	ge, err := extremenc.NewGaussianDecoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ge.Ready() {
+		b, err := se.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ge.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ge.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("systematic + Gaussian roundtrip differs")
+	}
+
+	// Seeded coefficients regenerate deterministically.
+	enc := extremenc.NewEncoder(seg, rng)
+	sb, err := enc.NextSeededBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(extremenc.CoeffsFromSeed(sb.Seed, params.BlockCount), sb.Expand().Coeffs) {
+		t.Fatal("CoeffsFromSeed mismatch")
+	}
+}
+
+// TestFileAndNetFacade round-trips the container and socket paths.
+func TestFileAndNetFacade(t *testing.T) {
+	params := extremenc.Params{BlockCount: 8, BlockSize: 128}
+	payload := make([]byte, 2*params.SegmentSize()-9)
+	rand.New(rand.NewSource(21)).Read(payload)
+
+	var container bytes.Buffer
+	if _, err := extremenc.EncodeFile(&container, bytes.NewReader(payload), params,
+		extremenc.FileEncodeOptions{Seed: 22}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := extremenc.DecodeFile(&out, bytes.NewReader(container.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("file container roundtrip differs")
+	}
+
+	srv, err := extremenc.NewNetServer(payload, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	got, stats, err := extremenc.Fetch(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || stats.Records == 0 {
+		t.Fatal("network fetch differs")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	ids := extremenc.Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments listed", len(ids))
+	}
+	var sb strings.Builder
+	if err := extremenc.RunExperiment("combined", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "combined") {
+		t.Fatal("experiment output missing")
+	}
+	if err := extremenc.RunExperiment("no-such", &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPlaybackFacade(t *testing.T) {
+	s := extremenc.DefaultStreamScenario()
+	m, err := extremenc.SimulatePlayback(extremenc.PlaybackConfig{
+		Scenario: s, EncodeMBps: 294, Peers: 100, SegmentCount: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sustainable || m.Rebuffers != 0 {
+		t.Fatalf("light load should be smooth: %+v", m)
+	}
+	if extremenc.MaxSmoothPeers(s, 294) <= 0 {
+		t.Fatal("smooth-peer limit not positive")
+	}
+}

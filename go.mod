@@ -1,0 +1,3 @@
+module extremenc
+
+go 1.23

@@ -1,0 +1,140 @@
+// Package core implements the paper's contribution layer: high-performance
+// network-coding engines that bind the GF(2^8) kernels to parallel hardware
+// (simulated GTX 280 / 8800 GT GPUs, the simulated 8-core Mac Pro, and the
+// real host machine), plus the combined GPU+CPU encoder of Sec. 5.4.1 and
+// the streaming-server capacity arithmetic of Sec. 5.1.1.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extremenc/internal/matrix"
+	"extremenc/internal/rlnc"
+)
+
+// Report describes one engine run: how many coded bytes were produced or
+// consumed and how long the engine took (simulated time for device engines,
+// wall time for the host engine).
+type Report struct {
+	Engine  string
+	Bytes   int64
+	Seconds float64
+	Blocks  []*rlnc.CodedBlock // blocks materialized (may be fewer than accounted)
+}
+
+// BandwidthMBps returns bytes per second / 1e6, the paper's unit.
+func (r *Report) BandwidthMBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Seconds / 1e6
+}
+
+// Encoder produces coded blocks from a segment at an engine-specific rate.
+type Encoder interface {
+	// Name identifies the engine in reports and figure legends.
+	Name() string
+	// EncodeBlocks generates count coded blocks from seg with coefficients
+	// drawn from seed. Implementations may materialize only a sample of the
+	// blocks (reported in Report.Blocks); time covers all count blocks.
+	EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error)
+}
+
+// DecodeReport describes a decode run.
+type DecodeReport struct {
+	Engine   string
+	Segments []*rlnc.Segment // materialized decodes
+	Bytes    int64           // decoded source bytes accounted
+	Seconds  float64
+	// Stage1Share is the fraction of time in coefficient-matrix inversion
+	// for two-stage decoders (zero otherwise).
+	Stage1Share float64
+}
+
+// BandwidthMBps returns decoded bytes per second / 1e6.
+func (r *DecodeReport) BandwidthMBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Seconds / 1e6
+}
+
+// Decoder recovers segments from sets of coded blocks.
+type Decoder interface {
+	Name() string
+	// DecodeSegments decodes each block set; sets must each span their
+	// segment. Implementations may materialize only a sample.
+	DecodeSegments(sets [][]*rlnc.CodedBlock, p rlnc.Params) (*DecodeReport, error)
+}
+
+// DenseCoeffs draws a rows×cols coefficient matrix with entries uniform on
+// [1, 255] — the paper's fully dense benchmark matrices ("non-zero
+// coefficients", Sec. 4.3).
+func DenseCoeffs(rows, cols int, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for i := range row {
+			row[i] = byte(1 + rng.Intn(255))
+		}
+	}
+	return m
+}
+
+// CodedSet generates count coded blocks for seg — a convenience for tests,
+// experiments and examples.
+func CodedSet(seg *rlnc.Segment, count int, seed int64) []*rlnc.CodedBlock {
+	rng := rand.New(rand.NewSource(seed))
+	enc := rlnc.NewEncoder(seg, rng)
+	blocks := make([]*rlnc.CodedBlock, count)
+	for i := range blocks {
+		blocks[i] = enc.NextBlock()
+	}
+	return blocks
+}
+
+// RandomSegment builds a segment of uniformly random payload.
+func RandomSegment(id uint32, p rlnc.Params, seed int64) (*rlnc.Segment, error) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	return rlnc.SegmentFromData(id, p, data)
+}
+
+// validateEncodeArgs is shared by the engine implementations.
+func validateEncodeArgs(seg *rlnc.Segment, count int) error {
+	if seg == nil {
+		return fmt.Errorf("core: nil segment")
+	}
+	if count <= 0 {
+		return fmt.Errorf("core: block count %d must be positive", count)
+	}
+	return nil
+}
+
+// SparseCoeffs draws a rows×cols coefficient matrix where each entry is
+// non-zero (uniform on [1, 255]) with probability density — the sparse
+// coding matrices of the paper's "performance will be even higher with
+// sparser matrices" remark (Sec. 4.3). Every row is guaranteed at least one
+// non-zero entry so blocks are never vacuous.
+func SparseCoeffs(rows, cols int, density float64, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		nonZero := false
+		for !nonZero {
+			for i := range row {
+				if rng.Float64() < density {
+					row[i] = byte(1 + rng.Intn(255))
+					nonZero = true
+				} else {
+					row[i] = 0
+				}
+			}
+		}
+	}
+	return m
+}

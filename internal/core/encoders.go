@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"extremenc/internal/cpusim"
+	"extremenc/internal/gpu"
+	"extremenc/internal/rlnc"
+)
+
+// defaultMaterialize caps how many blocks the device engines compute
+// functionally per call; the remainder is accounted in simulated time only.
+// Every materialized block is bit-exact, so correctness coverage is
+// unaffected while large sweeps stay fast.
+const defaultMaterialize = 4
+
+// GPUEncoder runs a GPU encode kernel scheme on a simulated device. The
+// most recent segment stays resident in device memory (Sec. 5.1.2: media
+// segments are transferred once and served many times), so only the first
+// EncodeBlocks call per segment pays the host-interface copy.
+type GPUEncoder struct {
+	dev    *gpu.Device
+	scheme gpu.Scheme
+
+	resident *gpu.ResidentSegment
+
+	// Materialize overrides the functional-block cap (0 = default).
+	Materialize int
+}
+
+var _ Encoder = (*GPUEncoder)(nil)
+
+// NewGPUEncoder creates an encoder on a fresh device of the given spec.
+func NewGPUEncoder(spec gpu.DeviceSpec, scheme gpu.Scheme) (*GPUEncoder, error) {
+	dev, err := gpu.NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUEncoder{dev: dev, scheme: scheme}, nil
+}
+
+// Device exposes the underlying simulated device (for stats inspection).
+func (e *GPUEncoder) Device() *gpu.Device { return e.dev }
+
+// Name implements Encoder.
+func (e *GPUEncoder) Name() string {
+	return fmt.Sprintf("%s/%s", e.dev.Spec().Name, e.scheme)
+}
+
+// EncodeBlocks implements Encoder.
+func (e *GPUEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error) {
+	if err := validateEncodeArgs(seg, count); err != nil {
+		return nil, err
+	}
+	coeffs := DenseCoeffs(count, seg.Params().BlockCount, seed)
+	mat := e.Materialize
+	if mat == 0 {
+		mat = defaultMaterialize
+	}
+	if e.resident == nil || e.resident.Segment() != seg {
+		if e.resident != nil {
+			e.resident.Free()
+		}
+		rs, err := e.dev.LoadSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		e.resident = rs
+	}
+	res, err := e.dev.EncodeResident(e.resident, coeffs, e.scheme, &gpu.EncodeOptions{Materialize: mat})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Engine: e.Name(), Bytes: res.Bytes, Seconds: res.Seconds, Blocks: res.Blocks}, nil
+}
+
+// CPUEncoder runs the multicore CPU encoder on a simulated host.
+type CPUEncoder struct {
+	mach   *cpusim.Machine
+	mode   rlnc.EncodeMode
+	scheme cpusim.Scheme
+
+	Materialize int
+}
+
+var _ Encoder = (*CPUEncoder)(nil)
+
+// NewCPUEncoder creates a CPU encoder with the given partitioning mode and
+// multiplication scheme.
+func NewCPUEncoder(spec cpusim.CPUSpec, mode rlnc.EncodeMode, scheme cpusim.Scheme) (*CPUEncoder, error) {
+	mach, err := cpusim.NewMachine(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &CPUEncoder{mach: mach, mode: mode, scheme: scheme}, nil
+}
+
+// Machine exposes the underlying simulated host.
+func (e *CPUEncoder) Machine() *cpusim.Machine { return e.mach }
+
+// Name implements Encoder.
+func (e *CPUEncoder) Name() string {
+	return fmt.Sprintf("%s/%s/%s", e.mach.Spec().Name, e.scheme, e.mode)
+}
+
+// EncodeBlocks implements Encoder.
+func (e *CPUEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error) {
+	if err := validateEncodeArgs(seg, count); err != nil {
+		return nil, err
+	}
+	coeffs := DenseCoeffs(count, seg.Params().BlockCount, seed)
+	mat := e.Materialize
+	if mat == 0 {
+		mat = defaultMaterialize
+	}
+	res, err := e.mach.EncodeSegment(seg, coeffs, e.mode, e.scheme, &cpusim.EncodeOptions{Materialize: mat})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Engine: e.Name(), Bytes: res.Bytes, Seconds: res.Seconds, Blocks: res.Blocks}, nil
+}
+
+// HostEncoder measures the real machine this library runs on: it encodes
+// with the goroutine-parallel host codec and reports wall-clock time. This
+// is the engine a downstream adopter actually deploys.
+type HostEncoder struct {
+	workers int
+	mode    rlnc.EncodeMode
+}
+
+var _ Encoder = (*HostEncoder)(nil)
+
+// NewHostEncoder creates a host encoder; workers ≤ 0 selects GOMAXPROCS.
+func NewHostEncoder(workers int, mode rlnc.EncodeMode) (*HostEncoder, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if mode != rlnc.PartitionedBlock && mode != rlnc.FullBlock {
+		return nil, fmt.Errorf("core: unknown encode mode %d", int(mode))
+	}
+	return &HostEncoder{workers: workers, mode: mode}, nil
+}
+
+// Name implements Encoder.
+func (e *HostEncoder) Name() string {
+	return fmt.Sprintf("host/%d-workers/%s", e.workers, e.mode)
+}
+
+// EncodeBlocks implements Encoder.
+func (e *HostEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error) {
+	if err := validateEncodeArgs(seg, count); err != nil {
+		return nil, err
+	}
+	pe, err := rlnc.NewParallelEncoder(e.workers, e.mode)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	blocks, err := pe.Encode(seg, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return &Report{
+		Engine:  e.Name(),
+		Bytes:   int64(count) * int64(seg.Params().BlockSize),
+		Seconds: elapsed,
+		Blocks:  blocks,
+	}, nil
+}
+
+// CombinedEncoder drives a GPU and a CPU engine in parallel (Sec. 5.4.1):
+// encoding is embarrassingly parallel, so the block batch is split
+// proportionally to each engine's throughput and the combined rate
+// approaches the sum of the individual bandwidths.
+type CombinedEncoder struct {
+	gpu Encoder
+	cpu Encoder
+}
+
+var _ Encoder = (*CombinedEncoder)(nil)
+
+// NewCombinedEncoder pairs two engines.
+func NewCombinedEncoder(gpuEnc, cpuEnc Encoder) *CombinedEncoder {
+	return &CombinedEncoder{gpu: gpuEnc, cpu: cpuEnc}
+}
+
+// Name implements Encoder.
+func (e *CombinedEncoder) Name() string {
+	return fmt.Sprintf("combined(%s + %s)", e.gpu.Name(), e.cpu.Name())
+}
+
+// EncodeBlocks implements Encoder. The split ratio is probed with a small
+// calibration batch, then both engines encode their share; wall time is the
+// slower of the two since they run concurrently.
+func (e *CombinedEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error) {
+	if err := validateEncodeArgs(seg, count); err != nil {
+		return nil, err
+	}
+	probe := seg.Params().BlockCount
+	gpuProbe, err := e.gpu.EncodeBlocks(seg, probe, seed^0x9E3779B9)
+	if err != nil {
+		return nil, err
+	}
+	cpuProbe, err := e.cpu.EncodeBlocks(seg, probe, seed^0x7F4A7C15)
+	if err != nil {
+		return nil, err
+	}
+	gr, cr := gpuProbe.BandwidthMBps(), cpuProbe.BandwidthMBps()
+	if gr <= 0 || cr <= 0 {
+		return nil, fmt.Errorf("core: combined probe produced non-positive rates %.2f / %.2f", gr, cr)
+	}
+	gpuShare := int(float64(count) * gr / (gr + cr))
+	if gpuShare < 1 {
+		gpuShare = 1
+	}
+	if gpuShare >= count {
+		gpuShare = count - 1
+	}
+
+	gpuRep, err := e.gpu.EncodeBlocks(seg, gpuShare, seed)
+	if err != nil {
+		return nil, err
+	}
+	cpuRep, err := e.cpu.EncodeBlocks(seg, count-gpuShare, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	blocks := append(append([]*rlnc.CodedBlock(nil), gpuRep.Blocks...), cpuRep.Blocks...)
+	return &Report{
+		Engine:  e.Name(),
+		Bytes:   gpuRep.Bytes + cpuRep.Bytes,
+		Seconds: maxf(gpuRep.Seconds, cpuRep.Seconds),
+		Blocks:  blocks,
+	}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetMaterialize adjusts how many blocks the engine computes functionally
+// per call (0 restores the default). Used by callers that need a decodable
+// sample, e.g. the streaming server's client verification.
+func (e *GPUEncoder) SetMaterialize(n int) { e.Materialize = n }
+
+// SetMaterialize adjusts the functional-block sample size (0 = default).
+func (e *CPUEncoder) SetMaterialize(n int) { e.Materialize = n }
+
+// SetMaterialize forwards the sample-size adjustment to both engines.
+func (e *CombinedEncoder) SetMaterialize(n int) {
+	type materializer interface{ SetMaterialize(int) }
+	if m, ok := e.gpu.(materializer); ok {
+		m.SetMaterialize(n)
+	}
+	if m, ok := e.cpu.(materializer); ok {
+		m.SetMaterialize(n)
+	}
+}

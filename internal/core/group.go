@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"extremenc/internal/gpu"
+	"extremenc/internal/rlnc"
+)
+
+// EngineGroup drives several encode engines concurrently on the same
+// segment, splitting each batch proportionally to the engines' probed
+// throughput. It generalizes the paper's GPU+CPU pairing (Sec. 5.4.1) to
+// the multi-GPU deployments the paper proposes for "exceptionally
+// demanding applications" (Sec. 2): aggregate bandwidth approaches the sum
+// of the members'.
+type EngineGroup struct {
+	engines []Encoder
+}
+
+var _ Encoder = (*EngineGroup)(nil)
+
+// NewEngineGroup bundles two or more engines.
+func NewEngineGroup(engines ...Encoder) (*EngineGroup, error) {
+	if len(engines) < 2 {
+		return nil, fmt.Errorf("core: engine group needs at least 2 engines, got %d", len(engines))
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("core: engine %d is nil", i)
+		}
+	}
+	return &EngineGroup{engines: engines}, nil
+}
+
+// NewMultiGPUEncoder builds a group of `count` identical simulated GPUs
+// running the given scheme.
+func NewMultiGPUEncoder(spec gpu.DeviceSpec, scheme gpu.Scheme, count int) (*EngineGroup, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("core: multi-GPU encoder needs ≥ 2 devices, got %d", count)
+	}
+	engines := make([]Encoder, count)
+	for i := range engines {
+		e, err := NewGPUEncoder(spec, scheme)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	return NewEngineGroup(engines...)
+}
+
+// Name implements Encoder.
+func (g *EngineGroup) Name() string {
+	names := make([]string, len(g.engines))
+	for i, e := range g.engines {
+		names[i] = e.Name()
+	}
+	return fmt.Sprintf("group(%s)", strings.Join(names, " + "))
+}
+
+// Size returns the number of member engines.
+func (g *EngineGroup) Size() int { return len(g.engines) }
+
+// EncodeBlocks implements Encoder: probe each member with a small batch,
+// split count proportionally, run all members (concurrently in deployment,
+// so wall time is the slowest member's), and merge the materialized blocks.
+func (g *EngineGroup) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Report, error) {
+	if err := validateEncodeArgs(seg, count); err != nil {
+		return nil, err
+	}
+	if count < len(g.engines) {
+		return nil, fmt.Errorf("core: batch of %d smaller than group of %d", count, len(g.engines))
+	}
+
+	probe := seg.Params().BlockCount
+	rates := make([]float64, len(g.engines))
+	total := 0.0
+	for i, e := range g.engines {
+		rep, err := e.EncodeBlocks(seg, probe, seed^int64(0x9E3779B9+i*0x1F123BB5))
+		if err != nil {
+			return nil, fmt.Errorf("core: probing %s: %w", e.Name(), err)
+		}
+		rates[i] = rep.BandwidthMBps()
+		if rates[i] <= 0 {
+			return nil, fmt.Errorf("core: %s probed non-positive rate", e.Name())
+		}
+		total += rates[i]
+	}
+
+	// Proportional shares, with the remainder on the fastest engine.
+	shares := make([]int, len(g.engines))
+	assigned, fastest := 0, 0
+	for i, r := range rates {
+		shares[i] = int(float64(count) * r / total)
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+		assigned += shares[i]
+		if r > rates[fastest] {
+			fastest = i
+		}
+	}
+	shares[fastest] += count - assigned // may be negative; clamp below
+	if shares[fastest] < 1 {
+		return nil, fmt.Errorf("core: cannot split %d blocks across %d engines", count, len(g.engines))
+	}
+
+	out := &Report{Engine: g.Name()}
+	for i, e := range g.engines {
+		rep, err := e.EncodeBlocks(seg, shares[i], seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", e.Name(), err)
+		}
+		out.Bytes += rep.Bytes
+		if rep.Seconds > out.Seconds {
+			out.Seconds = rep.Seconds
+		}
+		out.Blocks = append(out.Blocks, rep.Blocks...)
+	}
+	return out, nil
+}
+
+// SetMaterialize forwards the sample-size adjustment to every member that
+// supports it.
+func (g *EngineGroup) SetMaterialize(n int) {
+	type materializer interface{ SetMaterialize(int) }
+	for _, e := range g.engines {
+		if m, ok := e.(materializer); ok {
+			m.SetMaterialize(n)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"extremenc/internal/rlnc"
+)
+
+// Streaming-server capacity arithmetic (paper Secs. 5.1.1–5.1.2): a server
+// holds GPU-resident media segments and serves coded blocks to downstream
+// peers at a fixed stream rate.
+
+// GigabitEthernetMBps is the payload capacity of one Gigabit Ethernet
+// interface in the paper's units.
+const GigabitEthernetMBps = 125.0
+
+// StreamScenario is the paper's running example: 512 KB segments of 128 ×
+// 4 KB blocks at a 768 Kbps high-quality video rate, giving 5.33 s of
+// content per segment.
+type StreamScenario struct {
+	Params          rlnc.Params
+	StreamRateKbps  float64
+	NICCount        int
+	NICCapacityMBps float64
+}
+
+// DefaultStreamScenario returns the Sec. 5.1.1 configuration.
+func DefaultStreamScenario() StreamScenario {
+	return StreamScenario{
+		Params:          rlnc.Params{BlockCount: 128, BlockSize: 4096},
+		StreamRateKbps:  768,
+		NICCount:        1,
+		NICCapacityMBps: GigabitEthernetMBps,
+	}
+}
+
+// SegmentDuration returns the seconds of media one segment carries.
+func (s StreamScenario) SegmentDuration() float64 {
+	return float64(s.Params.SegmentSize()) * 8 / (s.StreamRateKbps * 1000)
+}
+
+// PeersByCompute returns how many peers the coding bandwidth alone can
+// sustain (the paper's 1385/1844/3000+ numbers).
+func (s StreamScenario) PeersByCompute(encodeMBps float64) int {
+	if s.StreamRateKbps <= 0 {
+		return 0
+	}
+	return int(encodeMBps * 1e6 * 8 / (s.StreamRateKbps * 1000))
+}
+
+// PeersByNetwork returns how many peers the NICs can sustain.
+func (s StreamScenario) PeersByNetwork() int {
+	if s.StreamRateKbps <= 0 {
+		return 0
+	}
+	total := float64(s.NICCount) * s.NICCapacityMBps
+	return int(total * 1e6 * 8 / (s.StreamRateKbps * 1000))
+}
+
+// PeersServed returns the binding constraint.
+func (s StreamScenario) PeersServed(encodeMBps float64) int {
+	c, n := s.PeersByCompute(encodeMBps), s.PeersByNetwork()
+	if c < n {
+		return c
+	}
+	return n
+}
+
+// NICsSaturated returns how many Gigabit interfaces the coding bandwidth
+// can fill (the paper notes 294 MB/s "can easily saturate two Gigabit
+// Ethernet interfaces").
+func (s StreamScenario) NICsSaturated(encodeMBps float64) float64 {
+	if s.NICCapacityMBps <= 0 {
+		return 0
+	}
+	return encodeMBps / s.NICCapacityMBps
+}
+
+// BlocksPerSegmentForPeers returns how many coded blocks must be generated
+// from each segment to serve the given peer count: every peer needs a
+// little over n blocks to decode (the paper's "at least 177,333 coded
+// blocks from every video segment" for ~1385 peers).
+func (s StreamScenario) BlocksPerSegmentForPeers(peers int) int {
+	return peers * s.Params.BlockCount
+}
+
+// GPUSegmentCapacity returns how many scenario segments fit in a device
+// memory of the given size ("1024 MB memory on the GTX 280 is able to
+// easily accommodate hundreds of such segments").
+func (s StreamScenario) GPUSegmentCapacity(deviceMemBytes int64) int {
+	segSize := int64(s.Params.SegmentSize())
+	if segSize <= 0 {
+		return 0
+	}
+	return int(deviceMemBytes / segSize)
+}
+
+func (s StreamScenario) String() string {
+	return fmt.Sprintf("%v @ %.0f Kbps, %d × %.0f MB/s NIC",
+		s.Params, s.StreamRateKbps, s.NICCount, s.NICCapacityMBps)
+}

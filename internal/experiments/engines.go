@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extremenc/internal/core"
+	"extremenc/internal/cpusim"
+	"extremenc/internal/gpu"
+	"extremenc/internal/rlnc"
+)
+
+// Rate helpers shared by the figure runners. Encode rates are measured
+// under streaming-server conditions: enough coded blocks in flight to keep
+// every SM (or core) busy, a handful materialized and verified. Decode
+// rates for sweep points use the cost-only estimate APIs, which the
+// simulator packages pin to their functional paths by test.
+
+// saturatedRows returns a batch size that fills the device several times
+// over for output threads of k/4 words each.
+func saturatedRows(spec gpu.DeviceSpec, n, k int) int {
+	words := (k + 3) / 4
+	rows := (spec.SMs * spec.MaxResidentThreadsPerSM * 4) / words
+	if rows < 2*n {
+		rows = 2 * n
+	}
+	return rows
+}
+
+func gpuEncodeRate(spec gpu.DeviceSpec, n, k int, scheme gpu.Scheme) (float64, error) {
+	dev, err := gpu.NewDevice(spec)
+	if err != nil {
+		return 0, err
+	}
+	p := rlnc.Params{BlockCount: n, BlockSize: k}
+	seg, err := core.RandomSegment(0, p, int64(31*n+k))
+	if err != nil {
+		return 0, err
+	}
+	coeffs := core.DenseCoeffs(saturatedRows(spec, n, k), n, int64(k+7))
+	res, err := dev.EncodeSegment(seg, coeffs, scheme, &gpu.EncodeOptions{Materialize: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.BandwidthMBps(), nil
+}
+
+func cpuEncodeRate(n, k int, mode rlnc.EncodeMode, scheme cpusim.Scheme) (float64, error) {
+	mach, err := cpusim.NewMachine(cpusim.MacPro())
+	if err != nil {
+		return 0, err
+	}
+	p := rlnc.Params{BlockCount: n, BlockSize: k}
+	seg, err := core.RandomSegment(0, p, int64(17*n+k))
+	if err != nil {
+		return 0, err
+	}
+	rows := 2 * n
+	coeffs := core.DenseCoeffs(rows, n, int64(k+11))
+	res, err := mach.EncodeSegment(seg, coeffs, mode, scheme, &cpusim.EncodeOptions{Materialize: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.BandwidthMBps(), nil
+}
+
+func gpuDecodeRate(spec gpu.DeviceSpec, n, k int) (float64, error) {
+	dev, err := gpu.NewDevice(spec)
+	if err != nil {
+		return 0, err
+	}
+	res, err := dev.EstimateDecodeSegment(rlnc.Params{BlockCount: n, BlockSize: k}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.BandwidthMBps(), nil
+}
+
+func gpuMultiDecodeRate(spec gpu.DeviceSpec, n, k, segments, perSM int) (rate, stage1Share float64, err error) {
+	dev, err := gpu.NewDevice(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := dev.EstimateMultiSegment(
+		rlnc.Params{BlockCount: n, BlockSize: k},
+		segments,
+		&gpu.MultiSegmentOptions{SegmentsPerSM: perSM},
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.BandwidthMBps(), res.Stage1Share(), nil
+}
+
+func cpuDecodeRate(n, k int) (float64, error) {
+	mach, err := cpusim.NewMachine(cpusim.MacPro())
+	if err != nil {
+		return 0, err
+	}
+	res, err := mach.EstimateDecodeSegment(rlnc.Params{BlockCount: n, BlockSize: k})
+	if err != nil {
+		return 0, err
+	}
+	return res.BandwidthMBps(), nil
+}
+
+func cpuMultiDecodeRate(n, k, segments int) (float64, error) {
+	mach, err := cpusim.NewMachine(cpusim.MacPro())
+	if err != nil {
+		return 0, err
+	}
+	res, err := mach.EstimateDecodeSegmentsParallel(rlnc.Params{BlockCount: n, BlockSize: k}, segments)
+	if err != nil {
+		return 0, err
+	}
+	return res.BandwidthMBps(), nil
+}
+
+// sweepSeries evaluates rate(k) over KSweep into a named series.
+func sweepSeries(name string, rate func(k int) (float64, error)) (Series, error) {
+	s := Series{Name: name, Points: make([]Point, 0, len(KSweep))}
+	for _, k := range KSweep {
+		v, err := rate(k)
+		if err != nil {
+			return Series{}, fmt.Errorf("%s at k=%d: %w", name, k, err)
+		}
+		s.Points = append(s.Points, Point{X: k, Value: v})
+	}
+	return s, nil
+}

@@ -1,0 +1,228 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Secs. 4–5). Each Fig*/Misc* runner sweeps the paper's
+// parameter grid on the simulated testbeds and returns a Figure — printable
+// series in the paper's units (MB/s) — while the package tests assert the
+// paper's shapes: who wins, by roughly what factor, and where the
+// crossovers fall. DESIGN.md §5 maps every runner to its paper anchor.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// KSweep is the paper's block-size grid: 128 bytes to 32 KB.
+var KSweep = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// NSweep is the paper's main block-count grid.
+var NSweep = []int{128, 256, 512}
+
+// Point is one measurement: X is the numeric key (usually block size k);
+// Label overrides it for categorical rows (e.g. scheme names in Fig. 7).
+type Point struct {
+	X     int
+	Label string
+	Value float64
+}
+
+func (p Point) key() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return strconv.Itoa(p.X)
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated table or figure.
+type Figure struct {
+	ID    string // e.g. "fig7"
+	Title string
+	XAxis string // row-key meaning, e.g. "block size (bytes)"
+	Unit  string // cell meaning, e.g. "MB/s"
+
+	Series []Series
+	Notes  []string
+}
+
+// Runner produces one figure.
+type Runner func() (*Figure, error)
+
+// Registry lists every experiment in paper order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig4a", Fig4aEncodeLoopBased},
+		{"fig4b", Fig4bDecodeSingleSegment},
+		{"fig6", Fig6TableVsLoop},
+		{"fig7", Fig7OptimizationLadder},
+		{"fig8", Fig8BestEncode},
+		{"fig9", Fig9MultiSegmentDecode},
+		{"fig10", Fig10CPUFullBlock},
+		{"cpu-table", MiscCPUTableBased},
+		{"vod", MiscVoDMultiSegmentEncode},
+		{"atomicmin", MiscAtomicMin},
+		{"coeffcache", MiscCoefficientCache},
+		{"combined", MiscCombinedEngine},
+		{"dummy", MiscDummyInput},
+		{"stream", MiscStreamingCapacity},
+		{"p2p", MiscP2PDistribution},
+		{"sparse", MiscSparseDensity},
+		{"playback", MiscPlayback},
+	}
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// Render writes the figure as an aligned text table: one row per X/Label,
+// one column per series, followed by the notes.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "%s", f.XAxis)
+	for _, s := range f.Series {
+		fmt.Fprintf(tw, "\t%s", s.Name)
+	}
+	fmt.Fprintf(tw, "\t(%s)\n", f.Unit)
+
+	for _, key := range f.rowKeys() {
+		fmt.Fprintf(tw, "%s", key)
+		for _, s := range f.Series {
+			if v, ok := seriesValue(s, key); ok {
+				fmt.Fprintf(tw, "\t%.1f", v)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintf(tw, "\t\n")
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// rowKeys returns the union of row keys across series, in first-seen order
+// for categorical labels and ascending order for numeric keys.
+func (f *Figure) rowKeys() []string {
+	seen := make(map[string]bool)
+	var labels []string
+	var xs []int
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			k := p.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if p.Label != "" {
+				labels = append(labels, k)
+			} else {
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Ints(xs)
+	keys := labels
+	for _, x := range xs {
+		keys = append(keys, strconv.Itoa(x))
+	}
+	return keys
+}
+
+func seriesValue(s Series, key string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.key() == key {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Value looks up a cell by series name and row key; it reports ok=false
+// when absent. Tests use it to assert the paper's shapes.
+func (f *Figure) Value(series, key string) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Name == series {
+			return seriesValue(s, key)
+		}
+	}
+	return 0, false
+}
+
+// MustValue is Value that fails loudly — for tests and assertions.
+func (f *Figure) MustValue(series, key string) (float64, error) {
+	v, ok := f.Value(series, key)
+	if !ok {
+		return 0, fmt.Errorf("experiments: %s has no cell (%q, %q)", f.ID, series, key)
+	}
+	return v, nil
+}
+
+// RenderCSV writes the figure as CSV: a comment line with the title, a
+// header row, one row per X/label. Notes become trailing comment lines.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if _, err := fmt.Fprintf(w, "# %s: %s (%s)\n", f.ID, f.Title, f.Unit); err != nil {
+		return err
+	}
+	header := append([]string{f.XAxis}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, key := range f.rowKeys() {
+		row := []string{key}
+		for _, s := range f.Series {
+			if v, ok := seriesValue(s, key); ok {
+				row = append(row, strconv.FormatFloat(v, 'f', 3, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mustRun executes a runner and fails the test on error.
+func mustRun(t *testing.T, r Runner) *Figure {
+	t.Helper()
+	f, err := r()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// cell fetches a figure cell and fails the test when missing.
+func cell(t *testing.T, f *Figure, series, key string) float64 {
+	t.Helper()
+	v, err := f.MustValue(series, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// within asserts v ∈ [lo, hi].
+func within(t *testing.T, what string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s = %.2f, want in [%.2f, %.2f]", what, v, lo, hi)
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("registry entry %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := Lookup(e.ID); !ok {
+			t.Fatalf("Lookup(%q) failed", e.ID)
+		}
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("Lookup accepted unknown id")
+	}
+}
+
+func TestRender(t *testing.T) {
+	f := &Figure{
+		ID: "x", Title: "T", XAxis: "k", Unit: "MB/s",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 128, Value: 1}, {X: 256, Value: 2}}},
+			{Name: "b", Points: []Point{{X: 128, Value: 3}}},
+		},
+		Notes: []string{"hello"},
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== x: T ==", "a", "b", "128", "256", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := f.MustValue("nope", "128"); err == nil {
+		t.Error("MustValue found a ghost cell")
+	}
+}
+
+// TestFig4aShape: GTX 280 loop-based encoding ≈133/66/33.6 MB/s for
+// n=128/256/512, ≈2× the 8800 GT, roughly flat in k.
+func TestFig4aShape(t *testing.T) {
+	f := mustRun(t, Fig4aEncodeLoopBased)
+	within(t, "GTX280 n=128 @4KB", cell(t, f, "GTX280 n=128", "4096"), 120, 146)
+	within(t, "GTX280 n=256 @4KB", cell(t, f, "GTX280 n=256", "4096"), 59, 73)
+	within(t, "GTX280 n=512 @4KB", cell(t, f, "GTX280 n=512", "4096"), 30, 37)
+	ratio := cell(t, f, "GTX280 n=128", "4096") / cell(t, f, "8800GT n=128", "4096")
+	within(t, "GTX280/8800GT speedup", ratio, 1.8, 2.3)
+	flat := cell(t, f, "GTX280 n=128", "32768") / cell(t, f, "GTX280 n=128", "512")
+	within(t, "flatness across k", flat, 0.9, 1.15)
+}
+
+// TestFig4bShape: decoding rises with k; the CPU wins at small blocks and
+// the GPU beyond ≈8 KB (n=128).
+func TestFig4bShape(t *testing.T) {
+	f := mustRun(t, Fig4bDecodeSingleSegment)
+	gpuSmall := cell(t, f, "GTX280 n=128", "512")
+	cpuSmall := cell(t, f, "MacPro n=128", "512")
+	if gpuSmall >= cpuSmall {
+		t.Errorf("small blocks: GPU %.1f should lose to CPU %.1f", gpuSmall, cpuSmall)
+	}
+	gpuBig := cell(t, f, "GTX280 n=128", "8192")
+	cpuBig := cell(t, f, "MacPro n=128", "8192")
+	if gpuBig < cpuBig {
+		t.Errorf("8 KB blocks: GPU %.1f should beat CPU %.1f", gpuBig, cpuBig)
+	}
+	if g32 := cell(t, f, "GTX280 n=128", "32768"); g32 < cell(t, f, "GTX280 n=128", "4096") {
+		t.Error("GPU decode should rise with k")
+	}
+	within(t, "MacPro n=128 plateau", cell(t, f, "MacPro n=128", "32768"), 50, 65)
+}
+
+// TestFig6Shape: TB-1 beats loop-based by ≥ ~30% across every setting.
+func TestFig6Shape(t *testing.T) {
+	f := mustRun(t, Fig6TableVsLoop)
+	for _, n := range []string{"128", "256", "512"} {
+		for _, k := range []string{"512", "4096", "32768"} {
+			tb := cell(t, f, "TB n="+n, k)
+			lb := cell(t, f, "LB n="+n, k)
+			within(t, "TB/LB n="+n+" k="+k, tb/lb, 1.22, 1.42)
+		}
+	}
+	within(t, "TB n=128 @4KB", cell(t, f, "TB n=128", "4096"), 160, 185)
+}
+
+// TestFig7Shape pins the full optimization ladder at n=128.
+func TestFig7Shape(t *testing.T) {
+	f := mustRun(t, Fig7OptimizationLadder)
+	const s = "GTX280 n=128"
+	anchors := []struct {
+		scheme string
+		lo, hi float64
+	}{
+		{"table-based-0", 88, 110},
+		{"loop-based", 125, 141},
+		{"table-based-1", 160, 185},
+		{"table-based-2", 180, 207},
+		{"table-based-3", 196, 222},
+		{"table-based-4", 225, 254},
+		{"table-based-5", 276, 312},
+	}
+	var prev float64
+	for _, a := range anchors {
+		v := cell(t, f, s, a.scheme)
+		within(t, a.scheme, v, a.lo, a.hi)
+		if v <= prev {
+			t.Errorf("%s (%.1f) did not improve on previous (%.1f)", a.scheme, v, prev)
+		}
+		prev = v
+	}
+	// Headline: TB-5 ≈ 2.2× loop-based.
+	ratio := cell(t, f, s, "table-based-5") / cell(t, f, s, "loop-based")
+	within(t, "TB-5 / loop-based", ratio, 2.0, 2.4)
+}
+
+// TestFig8Shape: best encoding ≈294/147/73.5/36.6 MB/s with rate ∝ 1/n.
+func TestFig8Shape(t *testing.T) {
+	f := mustRun(t, Fig8BestEncode)
+	within(t, "n=128", cell(t, f, "n=128", "4096"), 276, 312)
+	within(t, "n=256", cell(t, f, "n=256", "4096"), 138, 156)
+	within(t, "n=512", cell(t, f, "n=512", "4096"), 69, 78)
+	within(t, "n=1024", cell(t, f, "n=1024", "4096"), 34, 40)
+}
+
+// TestFig9Shape: multi-segment decoding at n=128 tops near 254 MB/s, beats
+// the Mac Pro 1.3–4.2× beyond small blocks, gains 2.7–27.6× over
+// single-segment GPU decode, and the 60-segment variant wins up to ≈1.4×
+// at small k; the Mac Pro falls off past its L2.
+func TestFig9Shape(t *testing.T) {
+	f := mustRun(t, Fig9MultiSegmentDecode)
+
+	within(t, "GTX280-30seg n=128 @32KB", cell(t, f, "GTX280-30seg n=128", "32768"), 235, 275)
+
+	// GPU vs CPU across practical sizes (512 B and up).
+	for _, k := range []string{"512", "4096", "32768"} {
+		ratio := cell(t, f, "GTX280-30seg n=128", k) / cell(t, f, "MacPro-8seg n=128", k)
+		within(t, "GPU/CPU multi-seg @"+k, ratio, 1.2, 5.2)
+	}
+
+	// 60-segment gain at the smallest block size.
+	gain := cell(t, f, "GTX280-60seg n=128", "128") / cell(t, f, "GTX280-30seg n=128", "128")
+	within(t, "60seg/30seg @128B", gain, 1.2, 1.6)
+	// Converged at large blocks.
+	conv := cell(t, f, "GTX280-60seg n=128", "32768") / cell(t, f, "GTX280-30seg n=128", "32768")
+	within(t, "60seg/30seg @32KB", conv, 0.98, 1.1)
+
+	// Mac Pro L2 falloff: 32 KB below 16 KB at n=128.
+	if m32, m16 := cell(t, f, "MacPro-8seg n=128", "32768"), cell(t, f, "MacPro-8seg n=128", "16384"); m32 >= m16 {
+		t.Errorf("Mac Pro falloff missing: 32KB %.1f ≥ 16KB %.1f", m32, m16)
+	}
+}
+
+// TestFig9GainOverSingleSegment: the paper's 2.7–27.6× multi-vs-single
+// improvement across practical block sizes.
+func TestFig9GainOverSingleSegment(t *testing.T) {
+	multi := mustRun(t, Fig9MultiSegmentDecode)
+	single := mustRun(t, Fig4bDecodeSingleSegment)
+	lo, hi := 1e18, 0.0
+	for _, k := range []string{"1024", "2048", "4096", "8192", "16384", "32768"} {
+		g := cell(t, multi, "GTX280-30seg n=128", k) / cell(t, single, "GTX280 n=128", k)
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	within(t, "min multi/single gain (k ≥ 1KB)", lo, 2.0, 4.5)
+	within(t, "max multi/single gain (k ≥ 1KB)", hi, 7.0, 30.0)
+}
+
+// TestFig10Shape: full-block ≫ partitioned at 128 B, converged by 16 KB,
+// plateaus ≈67.2/33.6/16.8 MB/s.
+func TestFig10Shape(t *testing.T) {
+	f := mustRun(t, Fig10CPUFullBlock)
+	gap := cell(t, f, "FB n=128", "128") / cell(t, f, "Part n=128", "128")
+	within(t, "FB/Part @128B", gap, 1.5, 2.5)
+	conv := cell(t, f, "FB n=128", "16384") / cell(t, f, "Part n=128", "16384")
+	within(t, "FB/Part @16KB", conv, 0.95, 1.15)
+	within(t, "FB n=128 plateau", cell(t, f, "FB n=128", "16384"), 60, 74)
+	within(t, "FB n=256 plateau", cell(t, f, "FB n=256", "16384"), 30, 37)
+	within(t, "FB n=512 plateau", cell(t, f, "FB n=512", "16384"), 15, 19)
+}
+
+func TestMiscCPUTableBased(t *testing.T) {
+	f := mustRun(t, MiscCPUTableBased)
+	drop := 1 - cell(t, f, "table-based", "32768")/cell(t, f, "loop-simd", "32768")
+	within(t, "CPU table-based drop", drop, 0.35, 0.50)
+}
+
+func TestMiscVoD(t *testing.T) {
+	f := mustRun(t, MiscVoDMultiSegmentEncode)
+	single := cell(t, f, "GTX280", "single-segment")
+	vod := cell(t, f, "GTX280", "vod-30-segments")
+	degrade := (1 - vod/single) * 100
+	within(t, "VoD degradation %", degrade, 0.05, 3.0)
+}
+
+func TestMiscAtomicMin(t *testing.T) {
+	f := mustRun(t, MiscAtomicMin)
+	within(t, "atomicMin gain @4KB", cell(t, f, "gain", "4096"), 0.3, 1.0)
+}
+
+func TestMiscCoefficientCache(t *testing.T) {
+	f := mustRun(t, MiscCoefficientCache)
+	small := cell(t, f, "gain", "128")
+	big := cell(t, f, "gain", "32768")
+	within(t, "coeff-cache gain @128B", small, 1.5, 4.0)
+	within(t, "coeff-cache gain @32KB", big, 0.05, 1.0)
+	if small <= big {
+		t.Error("coefficient-cache gain should shrink with k")
+	}
+}
+
+func TestMiscCombined(t *testing.T) {
+	f := mustRun(t, MiscCombinedEngine)
+	gpuRate := cell(t, f, "rate", "GTX280 TB-5")
+	cpuRate := cell(t, f, "rate", "MacPro loop-simd")
+	comb := cell(t, f, "rate", "combined")
+	within(t, "GPU/CPU ratio", gpuRate/cpuRate, 3.8, 4.9)
+	within(t, "combined vs sum", comb/(gpuRate+cpuRate), 0.85, 1.1)
+}
+
+func TestMiscDummyInput(t *testing.T) {
+	f := mustRun(t, MiscDummyInput)
+	within(t, "dummy gain @4KB", cell(t, f, "gain", "4096"), 0.05, 5.0)
+}
+
+func TestMiscStreamingCapacity(t *testing.T) {
+	f := mustRun(t, MiscStreamingCapacity)
+	within(t, "peers @loop-based", cell(t, f, "peers-by-compute", "loop-based"), 1300, 1500)
+	within(t, "peers @TB-1", cell(t, f, "peers-by-compute", "table-based-1"), 1700, 2000)
+	if p := cell(t, f, "peers-by-compute", "table-based-5"); p <= 3000 {
+		t.Errorf("TB-5 peers = %.0f, want > 3000", p)
+	}
+}
+
+func TestMiscP2P(t *testing.T) {
+	f := mustRun(t, MiscP2PDistribution)
+	rl := cell(t, f, "overhead-x", "rlnc")
+	fw := cell(t, f, "overhead-x", "forward-coded")
+	un := cell(t, f, "overhead-x", "uncoded")
+	if rl >= fw || rl >= un {
+		t.Errorf("RLNC overhead %.2f should be the lowest (fwd %.2f, uncoded %.2f)", rl, fw, un)
+	}
+}
+
+// TestMiscSparseDensity: sparser matrices code strictly faster; at 5%
+// density the loop-based kernel does far less data-dependent work.
+func TestMiscSparseDensity(t *testing.T) {
+	f := mustRun(t, MiscSparseDensity)
+	for _, series := range []string{"TB-5", "LB"} {
+		dense := cell(t, f, series, "100")
+		half := cell(t, f, series, "50")
+		sparse := cell(t, f, series, "5")
+		if !(sparse > half && half > dense) {
+			t.Errorf("%s: rates not increasing with sparsity: %.1f / %.1f / %.1f", series, dense, half, sparse)
+		}
+	}
+	if gain := cell(t, f, "LB", "5") / cell(t, f, "LB", "100"); gain < 3 {
+		t.Errorf("LB sparse gain = %.1fx, expected large (iterations scale with non-zeros)", gain)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	f := &Figure{
+		ID: "x", Title: "T", XAxis: "k", Unit: "MB/s",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 128, Value: 1.5}}},
+			{Name: "b", Points: []Point{{X: 256, Value: 2}}},
+		},
+		Notes: []string{"note"},
+	}
+	var sb strings.Builder
+	if err := f.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# x: T (MB/s)", "k,a,b", "128,1.500,", "256,,2.000", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMiscPlayback: smooth below the NIC-bound limit, stalls beyond it.
+func TestMiscPlayback(t *testing.T) {
+	f := mustRun(t, MiscPlayback)
+	var limit int
+	for _, p := range f.Series[0].Points {
+		if p.X > limit {
+			limit = p.X
+		}
+	}
+	// The sweep's largest point is 2× the smooth limit and must stall.
+	over, err := f.MustValue("stall-s-per-min", itoaT(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over <= 0 {
+		t.Errorf("2x oversubscription shows no stalls")
+	}
+	under, err := f.MustValue("stall-s-per-min", itoaT(f.Series[1].Points[0].X))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != 0 {
+		t.Errorf("light load stalls %.2f s/min", under)
+	}
+}
+
+func itoaT(n int) string { return strconv.Itoa(n) }
+
+// TestDeterminism: every figure regenerates bit-identically — the seeds are
+// pinned, so EXPERIMENTS.md numbers are reproducible.
+func TestDeterminism(t *testing.T) {
+	for _, id := range []string{"fig7", "combined", "coeffcache"} {
+		runner, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		render := func() string {
+			f, err := runner()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := f.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			return sb.String()
+		}
+		if render() != render() {
+			t.Errorf("%s is not deterministic", id)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package gf256
+
+import "encoding/binary"
+
+// Bulk row operations. These are the host codec's hot path: every encode,
+// recode and Gauss–Jordan row operation reduces to dst ⊕= c·src over k-byte
+// rows. Two strategies are provided, mirroring the paper's CPU discussion:
+//
+//   - a loop-based, bit-sliced form that processes 8 byte-lanes per uint64
+//     (the SSE2/AltiVec analogue from the authors' IWQoS'07 work), and
+//   - a table-row form that indexes the 256-entry product row of the
+//     coefficient (the classic log/exp-style lookup, one load per byte).
+//
+// MulAddSlice picks between them by row length; the ablation benchmarks
+// exercise each directly.
+
+const (
+	loMask  = 0x7f7f7f7f7f7f7f7f
+	hiMask  = 0x8080808080808080
+	polyRed = 0x1b // Poly's low byte, the per-lane reduction constant
+
+	// tableRowThreshold is the row length above which building/loading the
+	// 256-entry product row beats bit-sliced math. Determined empirically
+	// with BenchmarkMulAddStrategies.
+	tableRowThreshold = 64
+)
+
+// xtimes8 multiplies each of the 8 byte-lanes of v by x (i.e. by 0x02) in
+// Rijndael's field.
+func xtimes8(v uint64) uint64 {
+	hi := v & hiMask
+	return ((v &^ hiMask) << 1) ^ ((hi >> 7) * polyRed)
+}
+
+// mulLanes multiplies each byte-lane of v by the scalar coefficient c using
+// the loop-based algorithm: at most 8 shift/test/xor iterations.
+func mulLanes(v uint64, c byte) uint64 {
+	var acc uint64
+	for c != 0 {
+		if c&1 != 0 {
+			acc ^= v
+		}
+		c >>= 1
+		v = xtimes8(v)
+	}
+	return acc
+}
+
+// AddSlice computes dst[i] ^= src[i] for every i. len(src) must not exceed
+// len(dst). Rows may not partially alias (identical slices are fine and
+// zero the row).
+func AddSlice(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c·src[i] — the fundamental network-coding
+// row operation. It dispatches on row length between the bit-sliced and
+// table-row strategies.
+func MulAddSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	if len(src) >= tableRowThreshold {
+		mulAddTable(dst, src, c)
+		return
+	}
+	mulAddBitSliced(dst, src, c)
+}
+
+// MulAddSliceLoop is the always-bit-sliced variant, exported for ablation
+// benchmarks and for tests that pin the strategy.
+func MulAddSliceLoop(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	mulAddBitSliced(dst, src, c)
+}
+
+// MulAddSliceTable is the always-table-row variant.
+func MulAddSliceTable(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	mulAddTable(dst, src, c)
+}
+
+func mulAddBitSliced(dst, src []byte, c byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^mulLanes(s, c))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= mulSlow(src[i], c)
+	}
+}
+
+func mulAddTable(dst, src []byte, c byte) {
+	row := &_tables.mul[c]
+	n := len(src)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// MulSlice computes dst[i] = c·src[i] (no accumulation).
+func MulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		clear(dst[:len(src)])
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := &_tables.mul[c]
+	for i, v := range src {
+		dst[i] = row[v]
+	}
+}
+
+// ScaleSlice computes dst[i] = c·dst[i] in place.
+func ScaleSlice(dst []byte, c byte) {
+	MulSlice(dst, dst, c)
+}
+
+// DotProduct returns the GF(2^8) inner product of coefficient vector coeffs
+// with the byte columns of rows: out[j] = Σ_i coeffs[i]·rows[i][j].
+// All rows must be at least len(out) long. out is overwritten.
+func DotProduct(out []byte, coeffs []byte, rows [][]byte) {
+	clear(out)
+	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		MulAddSlice(out, rows[i][:len(out)], c)
+	}
+}

@@ -1,0 +1,256 @@
+package gf65536
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"extremenc/internal/gf256"
+)
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	// buildTables only returns a verified generator; re-check its order.
+	g := Generator()
+	if g < 2 {
+		t.Fatalf("generator = %d", g)
+	}
+	x := uint16(1)
+	for i := 0; i < Order; i++ {
+		x = mulSlow(x, g)
+		if x == 1 && i != Order-1 {
+			t.Fatalf("generator order divides %d", i+1)
+		}
+	}
+	if x != 1 {
+		t.Fatal("generator order is not 65535")
+	}
+}
+
+func TestMulAgreesWithLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		a, b := uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16))
+		if got, want := Mul(a, b), MulLoop(a, b); got != want {
+			t.Fatalf("Mul(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	t.Run("commutativity", func(t *testing.T) {
+		if err := quick.Check(func(a, b uint16) bool { return Mul(a, b) == Mul(b, a) }, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("associativity", func(t *testing.T) {
+		f := func(a, b, c uint16) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("distributivity", func(t *testing.T) {
+		f := func(a, b, c uint16) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("inverse", func(t *testing.T) {
+		f := func(a uint16) bool {
+			if a == 0 {
+				return Inv(0) == 0
+			}
+			return Mul(a, Inv(a)) == 1
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("division", func(t *testing.T) {
+		f := func(a, b uint16) bool {
+			if b == 0 {
+				return Div(a, b) == 0
+			}
+			return Mul(Div(a, b), b) == a
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestMulAddAndScaleSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]uint16, 301)
+	dst := make([]uint16, 301)
+	for i := range src {
+		src[i] = uint16(rng.Intn(1 << 16))
+		dst[i] = uint16(rng.Intn(1 << 16))
+	}
+	for _, c := range []uint16{0, 1, 0x1234, 0xFFFF} {
+		want := append([]uint16(nil), dst...)
+		for i := range want {
+			want[i] ^= MulLoop(c, src[i])
+		}
+		got := append([]uint16(nil), dst...)
+		MulAddSlice(got, src, c)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MulAddSlice c=%#x at %d", c, i)
+			}
+		}
+		scaled := append([]uint16(nil), src...)
+		ScaleSlice(scaled, c)
+		for i := range scaled {
+			if scaled[i] != MulLoop(c, src[i]) {
+				t.Fatalf("ScaleSlice c=%#x at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	id := [][]uint16{{1, 0}, {0, 1}}
+	if Rank(id) != 2 {
+		t.Fatal("identity rank")
+	}
+	dep := [][]uint16{{2, 4}, {Mul(2, 7), Mul(4, 7)}} // scaled row
+	if Rank(dep) != 1 {
+		t.Fatal("dependent rows rank")
+	}
+	if Rank(nil) != 0 || Rank([][]uint16{{0, 0}}) != 0 {
+		t.Fatal("degenerate ranks")
+	}
+}
+
+// TestDependenceProbabilityVsGF256 quantifies the symbol-width trade: a
+// random 4×4 coefficient matrix over GF(2^8) is singular ≈0.4% of the time
+// (≈q⁻¹), over GF(2^16) ≈0.0015% — the upside the paper forgoes because
+// the tables stop fitting on-chip (Sec. 4.1).
+func TestDependenceProbabilityVsGF256(t *testing.T) {
+	const trials, n = 30000, 4
+	rng := rand.New(rand.NewSource(3))
+
+	singular8 := 0
+	for trial := 0; trial < trials; trial++ {
+		rows := make([][]uint16, n)
+		for i := range rows {
+			rows[i] = make([]uint16, n)
+			for j := range rows[i] {
+				rows[i][j] = uint16(rng.Intn(256)) // byte symbols via GF(2^8) mul below
+			}
+		}
+		// GF(2^8) rank with byte arithmetic.
+		if rank8(rows) < n {
+			singular8++
+		}
+	}
+	singular16 := 0
+	for trial := 0; trial < trials; trial++ {
+		rows := make([][]uint16, n)
+		for i := range rows {
+			rows[i] = make([]uint16, n)
+			for j := range rows[i] {
+				rows[i][j] = uint16(rng.Intn(1 << 16))
+			}
+		}
+		if Rank(rows) < n {
+			singular16++
+		}
+	}
+	// GF(2^8): expected ≈ trials × (1 − Π(1−q^{-i})) ≈ trials/255 ≈ 118.
+	if singular8 < 70 || singular8 > 180 {
+		t.Errorf("GF(2^8) singular count = %d of %d, want ≈118", singular8, trials)
+	}
+	// GF(2^16): expected ≈ trials × 1.5e-5 ≈ 0.46 — almost never.
+	if singular16 > 10 {
+		t.Errorf("GF(2^16) singular count = %d of %d, want ≈0", singular16, trials)
+	}
+	if singular16 >= singular8 {
+		t.Error("wider symbols should reduce dependence probability")
+	}
+}
+
+// rank8 computes rank over GF(2^8) for byte-valued matrices.
+func rank8(rows [][]uint16) int {
+	work := make([][]byte, len(rows))
+	for i, r := range rows {
+		work[i] = make([]byte, len(r))
+		for j, v := range r {
+			work[i][j] = byte(v)
+		}
+	}
+	cols := len(work[0])
+	rank := 0
+	for col := 0; col < cols && rank < len(work); col++ {
+		pivot := -1
+		for r := rank; r < len(work); r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[pivot], work[rank] = work[rank], work[pivot]
+		prow := work[rank]
+		inv := gf256.Inv(prow[col])
+		gf256.ScaleSlice(prow, inv)
+		for r := 0; r < len(work); r++ {
+			if r != rank && work[r][col] != 0 {
+				gf256.MulAddSlice(work[r], prow, work[r][col])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// TestTableFootprint pins the Sec. 4.1 rationale: GF(2^16) tables cannot
+// fit a Tesla SM's 16 KiB shared memory, while GF(2^8)'s fit many times
+// over.
+func TestTableFootprint(t *testing.T) {
+	const sharedMem = 16 << 10
+	if TableBytes <= sharedMem {
+		t.Fatalf("GF(2^16) tables (%d B) should dwarf shared memory (%d B)", TableBytes, sharedMem)
+	}
+	const gf256Tables = 256 + 512 // log + doubled exp, bytes
+	if gf256Tables > sharedMem/16 {
+		t.Fatalf("GF(2^8) tables (%d B) should fit shared memory many times over", gf256Tables)
+	}
+	if TableBytes/gf256Tables < 400 {
+		t.Fatalf("granularity blow-up = %dx, expected ≫ 400x", TableBytes/gf256Tables)
+	}
+}
+
+// BenchmarkGranularity compares row-operation throughput per byte at the
+// two symbol widths on this machine.
+func BenchmarkGranularity(b *testing.B) {
+	const bytes = 8192
+	rng := rand.New(rand.NewSource(4))
+
+	src8 := make([]byte, bytes)
+	dst8 := make([]byte, bytes)
+	rng.Read(src8)
+	rng.Read(dst8)
+	b.Run("gf256", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			gf256.MulAddSlice(dst8, src8, 0xA7)
+		}
+	})
+
+	src16 := make([]uint16, bytes/2)
+	dst16 := make([]uint16, bytes/2)
+	for i := range src16 {
+		src16[i] = uint16(rng.Intn(1 << 16))
+		dst16[i] = uint16(rng.Intn(1 << 16))
+	}
+	b.Run("gf65536", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			MulAddSlice(dst16, src16, 0xA7B3)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package gpu
+
+// Global-memory coalescing analysis. The encode partitioning of Fig. 2
+// assigns consecutive 4-byte words of a coded block to consecutive threads
+// of a warp precisely so that each half-warp's loads and stores coalesce
+// into single memory transactions ("such partitioning significantly
+// reduces the number of accesses to the GPU memory", Sec. 4.2.1). This
+// file computes transaction counts for an access pattern under the Tesla
+// coalescing rules, so tests can demonstrate the claim quantitatively and
+// the docs don't have to be taken on faith.
+
+// transactionSegment is the Tesla coalescing granularity for 4-byte
+// accesses: one 64-byte segment per half-warp when accesses align.
+const transactionSegment = 64
+
+// CoalescingReport summarizes an access pattern's memory behaviour.
+type CoalescingReport struct {
+	Accesses     int // individual thread accesses
+	Transactions int // memory transactions issued
+}
+
+// Efficiency returns accesses per transaction — 16 is perfect for 4-byte
+// words on Tesla-class hardware (one transaction serves a half-warp).
+func (r CoalescingReport) Efficiency() float64 {
+	if r.Transactions == 0 {
+		return 0
+	}
+	return float64(r.Accesses) / float64(r.Transactions)
+}
+
+// analyzeCoalescing counts the transactions needed for per-thread byte
+// addresses, half-warp by half-warp: each distinct 64-byte segment touched
+// by a half-warp costs one transaction.
+func analyzeCoalescing(spec DeviceSpec, addrs []int) CoalescingReport {
+	rep := CoalescingReport{Accesses: len(addrs)}
+	half := spec.WarpSize / 2
+	for base := 0; base < len(addrs); base += half {
+		end := base + half
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		segments := make(map[int]struct{}, 2)
+		for _, a := range addrs[base:end] {
+			segments[a/transactionSegment] = struct{}{}
+		}
+		rep.Transactions += len(segments)
+	}
+	return rep
+}
+
+// EncodeSourceAccessPattern returns the byte addresses the Fig. 2 encode
+// partitioning issues when a warp loads one 4-byte word of a source block:
+// thread t of the warp reads word (warpBase + t).
+func EncodeSourceAccessPattern(spec DeviceSpec, warpBase int) []int {
+	addrs := make([]int, spec.WarpSize)
+	for t := range addrs {
+		addrs[t] = (warpBase + t) * 4
+	}
+	return addrs
+}
+
+// StridedAccessPattern returns the addresses of the naive alternative the
+// paper's partitioning avoids: thread t owns a contiguous chunk of the
+// coded block and reads its word at offset t·strideWords — adjacent threads
+// touch addresses a whole chunk apart.
+func StridedAccessPattern(spec DeviceSpec, strideWords int) []int {
+	addrs := make([]int, spec.WarpSize)
+	for t := range addrs {
+		addrs[t] = t * strideWords * 4
+	}
+	return addrs
+}
+
+// AnalyzeAccessPattern exposes the coalescing analysis for tests and
+// documentation tooling.
+func AnalyzeAccessPattern(spec DeviceSpec, addrs []int) CoalescingReport {
+	return analyzeCoalescing(spec, addrs)
+}

@@ -1,0 +1,239 @@
+package gpu
+
+// This file is the simulator's cycle-cost model. Time is charged in "issue
+// slots": one slot is one thread-instruction. A Tesla-class SM retires one
+// warp instruction (WarpSize threads) every WarpSize/SPsPerSM cycles, i.e.
+// SPsPerSM slots per cycle per SM, so a kernel whose threads collectively
+// need S slots occupies an SM for S/SPsPerSM cycles.
+//
+// The model combines:
+//
+//	issue time    — slots counted by the kernels (data-dependent: loop
+//	                iteration counts come from real coefficient bits, and
+//	                shared-memory access costs include bank-conflict rounds
+//	                measured on the kernel's real table indices);
+//	latency       — exposed global-memory latency when an SM holds too few
+//	                warps to hide round-trips (the paper's explanation for
+//	                poor decode scaling at small block sizes);
+//	bandwidth     — a device-wide DRAM bound, almost fully overlapped with
+//	                compute (the paper's dummy-input experiment shows only
+//	                0.5% of memory time is exposed during encoding);
+//	barriers      — __syncthreads and kernel-launch overheads.
+//
+// Absolute constants are calibrated against the GTX 280 numbers in the
+// paper (see DESIGN.md §4–5); shapes come from the counted events.
+type costModel struct {
+	// hideWarps is the resident-warp count per SM at which global-memory
+	// latency is fully hidden. Below it, a fraction of each dependent
+	// round-trip is exposed.
+	hideWarps float64
+
+	// memOverlapEps is the fraction of the smaller of compute/bandwidth
+	// time that cannot be overlapped (≈0.5% per the paper's dummy-input
+	// benchmark, Sec. 5.1.3).
+	memOverlapEps float64
+
+	// Loop-based GF multiply (byte coefficient × 32-bit word): slots per
+	// executed iteration and fixed slots per word-multiply. Iteration
+	// counts are data-dependent (bit length of the coefficient, ≈7 on
+	// random bytes).
+	lbIterSlots  float64
+	lbFixedSlots float64
+
+	// Table-based schemes: base arithmetic slots per word-multiply
+	// (everything except table accesses, which are charged separately from
+	// measured conflict rounds / texture hit rates).
+	tbBaseSlots [numTableSchemes]float64
+
+	// Table accesses per word-multiply, by storage class.
+	tbSharedReads [numTableSchemes]float64 // classic shared-memory tables
+	tbReplReads   [numTableSchemes]float64 // 8-copy replicated word tables
+	tbTexReads    [numTableSchemes]float64 // texture-resident exp table
+
+	// Texture access slot costs.
+	texHitSlots  float64
+	texMissSlots float64
+
+	// Encoding overheads.
+	encOutWordSlots  float64 // per generated output word (store, loop control)
+	preprocWordSlots float64 // log-domain transform slots per 4 source bytes
+
+	// Decoding.
+	decRowOpFixedSlots float64 // per word per row operation, beyond the multiply
+	decArrivalSlots    float64 // pivot search / bookkeeping per coded block per thread
+	decSyncsPerArrival float64 // barriers per coded-block arrival
+	decSyncsPerRowOp   float64 // barriers per row operation
+	atomicMinSpeedup   float64 // fractional decode-time saving with shared-memory atomicMin (Sec. 5.4.2)
+	coeffCacheMax      float64 // max fractional saving from caching C in shared memory (Sec. 5.4.3)
+
+	// stageTwoOverhead inflates the multi-segment stage-2 multiply relative
+	// to a pure encode: C⁻¹ rows are produced per SM by stage 1 and
+	// consumed device-wide, losing the encoder's broadcast-friendly
+	// coefficient layout.
+	stageTwoOverhead float64
+
+	// invOverlapEfficiency is the fraction of a second resident inversion's
+	// stalls that actually overlap when two segments share an SM
+	// (Sec. 5.2's 60-segment configuration).
+	invOverlapEfficiency float64
+}
+
+// defaultCostModel returns the constants calibrated to the paper's GTX 280
+// measurements.
+func defaultCostModel() costModel {
+	return costModel{
+		hideWarps:     16,
+		memOverlapEps: 0.03,
+
+		lbIterSlots:  10.85,
+		lbFixedSlots: 5.2,
+
+		// Scheme order: TB-0 … TB-5. Bases fall as each optimization strips
+		// instructions: log-domain preprocessing (1), merged zero tests (2),
+		// predicated zero handling (3), cheaper texture addressing (4),
+		// private replicated tables with word elements (5).
+		tbBaseSlots:   [numTableSchemes]float64{82.7, 50.8, 43.9, 39.8, 40.2, 28.2},
+		tbSharedReads: [numTableSchemes]float64{9, 4, 4, 4, 0, 0},
+		tbReplReads:   [numTableSchemes]float64{0, 0, 0, 0, 0, 4},
+		tbTexReads:    [numTableSchemes]float64{0, 0, 0, 0, 4, 0},
+
+		texHitSlots:  1.0,
+		texMissSlots: 24.0,
+
+		encOutWordSlots:  6.0,
+		preprocWordSlots: 8.0,
+
+		decRowOpFixedSlots: 6.0,
+		decArrivalSlots:    24.0,
+		decSyncsPerArrival: 2,
+		decSyncsPerRowOp:   1,
+		atomicMinSpeedup:   0.006,
+		coeffCacheMax:      0.034,
+
+		stageTwoOverhead:     1.10,
+		invOverlapEfficiency: 0.72,
+	}
+}
+
+// numTableSchemes is the count of table-based encode variants (TB-0…TB-5).
+const numTableSchemes = 6
+
+// kernelCost aggregates one kernel launch's accounted events.
+type kernelCost struct {
+	launches float64 // kernel launches charged (fractional when amortized)
+
+	slots      float64 // total thread-instruction slots, device-wide
+	busySMs    float64 // SMs with work (≤ spec.SMs)
+	warpsPerSM float64 // resident warps per SM, for latency exposure
+
+	latencyEvents float64 // dependent global round-trips per SM serial chain
+	syncs         float64 // barriers per SM serial chain
+	globalBytes   float64 // device-wide DRAM traffic
+
+	sharedAccesses float64
+	bankConflicts  float64
+	texReads       float64
+	texMisses      float64
+}
+
+func (k kernelCost) stats() Stats {
+	return Stats{
+		Kernels:        int64(k.launches + 0.5),
+		IssueSlots:     k.slots,
+		GlobalBytes:    k.globalBytes,
+		SharedAccesses: k.sharedAccesses,
+		BankConflicts:  k.bankConflicts,
+		TextureReads:   k.texReads,
+		TextureMisses:  k.texMisses,
+		Syncs:          k.syncs,
+	}
+}
+
+// seconds converts the accounted events into simulated wall time on spec.
+func (k kernelCost) seconds(spec DeviceSpec, m costModel) float64 {
+	busy := k.busySMs
+	if busy <= 0 || busy > float64(spec.SMs) {
+		busy = float64(spec.SMs)
+	}
+	issueCycles := k.slots / (float64(spec.SPsPerSM) * busy)
+
+	exposure := exposureFactor(k.warpsPerSM, m.hideWarps)
+	latencyCycles := k.latencyEvents * spec.MemLatencyCycles * exposure
+	syncCycles := k.syncs * spec.SyncCycles
+
+	computeCycles := issueCycles + latencyCycles + syncCycles
+	memCycles := k.globalBytes / spec.BytesPerCycle()
+
+	total := max(computeCycles, memCycles) + m.memOverlapEps*min(computeCycles, memCycles)
+	total += k.launches * spec.KernelLaunchCycles
+	return total / spec.ClockHz()
+}
+
+func (k *kernelCost) add(o kernelCost) {
+	k.launches += o.launches
+	k.slots += o.slots
+	if o.busySMs > k.busySMs {
+		k.busySMs = o.busySMs
+	}
+	if o.warpsPerSM > k.warpsPerSM {
+		k.warpsPerSM = o.warpsPerSM
+	}
+	k.latencyEvents += o.latencyEvents
+	k.syncs += o.syncs
+	k.globalBytes += o.globalBytes
+	k.sharedAccesses += o.sharedAccesses
+	k.bankConflicts += o.bankConflicts
+	k.texReads += o.texReads
+	k.texMisses += o.texMisses
+}
+
+// exposureFactor returns the fraction of global-memory latency left exposed
+// with the given resident warps per SM: 1 when single-warped, 0 at or above
+// hideWarps (thousands of lightweight threads hide stalls "with almost zero
+// overhead in hardware", Sec. 4.1).
+func exposureFactor(warps, hideWarps float64) float64 {
+	if warps <= 0 {
+		return 1
+	}
+	f := 1 - warps/hideWarps
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// occupancy computes the per-SM residency for a launch of `blocks` thread
+// blocks of `threadsPerBlock` threads each.
+type occupancy struct {
+	busySMs    float64
+	warpsPerSM float64
+}
+
+func computeOccupancy(spec DeviceSpec, blocks, threadsPerBlock, sharedPerBlock int) occupancy {
+	if blocks <= 0 || threadsPerBlock <= 0 {
+		return occupancy{busySMs: 1, warpsPerSM: 1}
+	}
+	residentBlocks := spec.MaxResidentBlocksPerSM
+	if byThreads := spec.MaxResidentThreadsPerSM / threadsPerBlock; byThreads < residentBlocks {
+		residentBlocks = byThreads
+	}
+	if sharedPerBlock > 0 {
+		if byShared := spec.SharedMemPerSM / sharedPerBlock; byShared < residentBlocks {
+			residentBlocks = byShared
+		}
+	}
+	if residentBlocks < 1 {
+		residentBlocks = 1
+	}
+	busy := float64(spec.SMs)
+	if b := float64(blocks); b < busy {
+		busy = b
+	}
+	warpsPerBlock := float64((threadsPerBlock + spec.WarpSize - 1) / spec.WarpSize)
+	// Average resident blocks per busy SM over the launch.
+	avgResident := float64(blocks) / busy
+	if r := float64(residentBlocks); avgResident > r {
+		avgResident = r
+	}
+	return occupancy{busySMs: busy, warpsPerSM: warpsPerBlock * avgResident}
+}

@@ -1,0 +1,199 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"extremenc/internal/rlnc"
+)
+
+// ErrAtomicsUnsupported reports an atomicMin request on a device without
+// shared-memory atomics (the 8800 GT; Sec. 5.4.2 notes the GTX 280 is the
+// first CUDA GPU with them).
+var ErrAtomicsUnsupported = errors.New("gpu: device lacks shared-memory atomics")
+
+// ErrCoeffCacheTooLarge reports a coefficient-cache request with n too large
+// for the 16 KB shared memory (Sec. 5.4.3 limits it to n ≤ 128).
+var ErrCoeffCacheTooLarge = errors.New("gpu: coefficient matrix exceeds shared memory")
+
+// DecodeOptions tunes single-segment decoding.
+type DecodeOptions struct {
+	// AtomicMin accelerates the pivot search with a shared-memory atomic
+	// minimum reduction (Sec. 5.4.2, ≈0.6% gain). Requires hardware
+	// support.
+	AtomicMin bool
+	// CacheCoefficients keeps the whole coefficient matrix in shared memory
+	// (Sec. 5.4.3, 0.5–3.4% gain, largest at small block sizes). Requires
+	// n ≤ 128.
+	CacheCoefficients bool
+}
+
+// DecodeResult reports a simulated decode.
+type DecodeResult struct {
+	Segment      *rlnc.Segment
+	Seconds      float64
+	DecodedBytes int64
+	Innovative   int
+	Dependent    int
+	Stats        Stats
+}
+
+// BandwidthMBps returns decoded source bytes per second / 1e6.
+func (r *DecodeResult) BandwidthMBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.DecodedBytes) / r.Seconds / 1e6
+}
+
+// DecodeSegment decodes one segment progressively, the way the paper's
+// single-segment GPU decoder works (Sec. 4.2.2): coded blocks arrive one at
+// a time; every SM holds a private copy of the coefficient columns plus a
+// 1/SMs partition of the payload columns, and performs Gauss–Jordan row
+// operations on its aggregate [C | x_i] slice, synchronizing block-wide to
+// locate each pivot. Parallelism is limited to one arriving block — the
+// bottleneck the multi-segment decoder removes.
+func (d *Device) DecodeSegment(blocks []*rlnc.CodedBlock, p rlnc.Params, opts *DecodeOptions) (*DecodeResult, error) {
+	if opts == nil {
+		opts = &DecodeOptions{}
+	}
+	if opts.AtomicMin && !d.spec.HasSharedAtomics {
+		return nil, fmt.Errorf("%w: %s", ErrAtomicsUnsupported, d.spec.Name)
+	}
+	if opts.CacheCoefficients && p.BlockCount > 128 {
+		return nil, fmt.Errorf("%w: n=%d > 128", ErrCoeffCacheTooLarge, p.BlockCount)
+	}
+
+	// ---- Functional execution with rank tracking ----
+	dec, err := rlnc.NewDecoder(p)
+	if err != nil {
+		return nil, err
+	}
+	totalRowOps := 0.0
+	arrivals := 0
+	for _, b := range blocks {
+		rank := dec.Rank()
+		innovative, err := dec.AddBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		arrivals++
+		// Row operations this arrival triggers: forward elimination against
+		// each held pivot, one normalization if innovative, and
+		// back-substitution into each held row (Sec. 3 / Sec. 4.2.2).
+		totalRowOps += float64(rank)
+		if innovative {
+			totalRowOps += 1 + float64(rank)
+		}
+		if dec.Ready() {
+			break
+		}
+	}
+	if !dec.Ready() {
+		return nil, fmt.Errorf("gpu: %w: rank %d of %d after %d blocks",
+			rlnc.ErrRankDeficient, dec.Rank(), p.BlockCount, len(blocks))
+	}
+	seg, err := dec.Segment()
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Cost accounting ----
+	startStats, startSeconds := d.stats, d.seconds
+	d.chargeDecode(p, totalRowOps, float64(arrivals), opts)
+	delta := d.stats
+	deltaSub(&delta, startStats)
+
+	return &DecodeResult{
+		Segment:      seg,
+		Seconds:      d.seconds - startSeconds,
+		DecodedBytes: int64(p.SegmentSize()),
+		Innovative:   dec.Rank(),
+		Dependent:    dec.Dependent(),
+		Stats:        delta,
+	}, nil
+}
+
+// chargeDecode accounts the single-segment decode: one thread block per SM,
+// each owning n coefficient columns (duplicated) plus k/SMs payload columns
+// (Fig. 3).
+func (d *Device) chargeDecode(p rlnc.Params, rowOps, arrivals float64, opts *DecodeOptions) {
+	spec, model := d.spec, d.model
+	n, k := p.BlockCount, p.BlockSize
+	sms := float64(spec.SMs)
+
+	rowWidth := float64(n) + float64(k)/sms // aggregate bytes per SM per row
+	words := rowWidth / 4
+	threads := int(words + 0.999)
+	if threads < 1 {
+		threads = 1
+	}
+	warps := float64((threads + spec.WarpSize - 1) / spec.WarpSize)
+
+	// Issue slots: every SM executes the same row-operation chain over its
+	// own partition. Loop-based word multiply at the random-coefficient
+	// average of 7 iterations, plus fixed row-op overhead per word.
+	wordMulSlots := 7*model.lbIterSlots + model.lbFixedSlots + model.decRowOpFixedSlots
+	perSMSlots := rowOps*words*wordMulSlots + arrivals*float64(threads)*model.decArrivalSlots
+
+	cost := kernelCost{
+		launches:      arrivals, // one kernel launch per arriving coded block
+		slots:         perSMSlots * sms,
+		busySMs:       sms,
+		warpsPerSM:    warps,
+		latencyEvents: rowOps + arrivals, // dependent row loads per SM chain
+		syncs:         arrivals*model.decSyncsPerArrival + rowOps*model.decSyncsPerRowOp,
+		globalBytes:   rowOps * rowWidth * 2 * sms,
+	}
+
+	scale := 1.0
+	if opts.AtomicMin {
+		scale *= 1 - model.atomicMinSpeedup
+	}
+	if opts.CacheCoefficients {
+		// Saving scales with the coefficient columns' share of each row —
+		// the data the cache removes from global memory. Cached rows also
+		// shed their global round-trips, so exposed latency shrinks by the
+		// same share.
+		weight := float64(n) / rowWidth
+		s := 1 - model.coeffCacheMax*weight
+		scale *= s
+		cost.latencyEvents *= s
+		cost.globalBytes -= rowOps * float64(n) * 2 * sms * 0.9
+	}
+	cost.slots *= scale
+	cost.syncs *= scale
+	d.charge(cost)
+}
+
+// EstimateDecodeSegment charges the cost of decoding one full segment from
+// a dense full-rank arrival sequence at p, without functional execution —
+// the planning API behind large figure sweeps. Dense random coded blocks
+// are innovative with probability ≥ 1−2⁻⁸ per arrival, so the row-operation
+// count is the deterministic Σⱼ(2j−1) = n²; tests assert agreement with the
+// functional path.
+func (d *Device) EstimateDecodeSegment(p rlnc.Params, opts *DecodeOptions) (*DecodeResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &DecodeOptions{}
+	}
+	if opts.AtomicMin && !d.spec.HasSharedAtomics {
+		return nil, fmt.Errorf("%w: %s", ErrAtomicsUnsupported, d.spec.Name)
+	}
+	if opts.CacheCoefficients && p.BlockCount > 128 {
+		return nil, fmt.Errorf("%w: n=%d > 128", ErrCoeffCacheTooLarge, p.BlockCount)
+	}
+	n := float64(p.BlockCount)
+	startStats, startSeconds := d.stats, d.seconds
+	d.chargeDecode(p, n*n, n, opts)
+	delta := d.stats
+	deltaSub(&delta, startStats)
+	return &DecodeResult{
+		Seconds:      d.seconds - startSeconds,
+		DecodedBytes: int64(p.SegmentSize()),
+		Innovative:   p.BlockCount,
+		Stats:        delta,
+	}, nil
+}

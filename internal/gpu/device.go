@@ -1,0 +1,193 @@
+package gpu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"extremenc/internal/matrix"
+	"extremenc/internal/rlnc"
+)
+
+// ErrOutOfMemory reports global-memory exhaustion on the simulated device.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// Stats accumulates the simulator's micro-architectural event counts.
+type Stats struct {
+	Kernels        int64   // kernel launches
+	IssueSlots     float64 // thread-instructions issued
+	GlobalBytes    float64 // bytes moved to/from global memory by kernels
+	SharedAccesses float64 // shared-memory accesses
+	BankConflicts  float64 // extra serialized shared-memory rounds
+	TextureReads   float64
+	TextureMisses  float64
+	Syncs          float64 // __syncthreads barriers executed
+	HostCopyBytes  float64 // bytes moved over the host interface
+}
+
+func (s *Stats) add(o Stats) {
+	s.Kernels += o.Kernels
+	s.IssueSlots += o.IssueSlots
+	s.GlobalBytes += o.GlobalBytes
+	s.SharedAccesses += o.SharedAccesses
+	s.BankConflicts += o.BankConflicts
+	s.TextureReads += o.TextureReads
+	s.TextureMisses += o.TextureMisses
+	s.Syncs += o.Syncs
+	s.HostCopyBytes += o.HostCopyBytes
+}
+
+// Device is a simulated GPU: a spec, a global-memory arena, an accumulated
+// simulated clock and event statistics. A Device is not safe for concurrent
+// use; create one per goroutine.
+type Device struct {
+	spec  DeviceSpec
+	model costModel
+
+	allocated int64
+	seconds   float64
+	stats     Stats
+}
+
+// NewDevice creates a device from a spec with the default cost model.
+func NewDevice(spec DeviceSpec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{spec: spec, model: defaultCostModel()}, nil
+}
+
+// Spec returns the device's hardware description.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Elapsed returns the simulated seconds consumed so far.
+func (d *Device) Elapsed() float64 { return d.seconds }
+
+// Stats returns a copy of the accumulated event counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Reset clears the simulated clock and statistics (allocations persist,
+// mirroring resident GPU buffers).
+func (d *Device) Reset() {
+	d.seconds = 0
+	d.stats = Stats{}
+}
+
+// Buffer is a region of simulated device global memory.
+type Buffer struct {
+	dev  *Device
+	data []byte
+}
+
+// Alloc reserves size bytes of device global memory.
+func (d *Device) Alloc(size int) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation %d", size)
+	}
+	if d.allocated+int64(size) > d.spec.GlobalMemBytes {
+		return nil, fmt.Errorf("%w: %d bytes requested, %d free",
+			ErrOutOfMemory, size, d.spec.GlobalMemBytes-d.allocated)
+	}
+	d.allocated += int64(size)
+	return &Buffer{dev: d, data: make([]byte, size)}, nil
+}
+
+// Free releases the buffer's reservation.
+func (b *Buffer) Free() {
+	if b.data != nil {
+		b.dev.allocated -= int64(len(b.data))
+		b.data = nil
+	}
+}
+
+// Size returns the buffer length in bytes.
+func (b *Buffer) Size() int { return len(b.data) }
+
+// Bytes exposes the simulated device memory to kernels (package-internal
+// callers and tests).
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// hostCopyGBps is the effective host↔device transfer rate (PCIe 2.0 x16 in
+// the paper's era, ~5 GB/s effective).
+const hostCopyGBps = 5.0
+
+// CopyToDevice transfers host bytes into the buffer, charging host-interface
+// time. The paper keeps media segments resident in the 1 GB of GPU memory so
+// this cost is off the coding path (Sec. 5.1.1).
+func (b *Buffer) CopyToDevice(src []byte) error {
+	if len(src) > len(b.data) {
+		return fmt.Errorf("gpu: copy of %d bytes into %d-byte buffer", len(src), len(b.data))
+	}
+	copy(b.data, src)
+	b.dev.chargeHostCopy(len(src))
+	return nil
+}
+
+// CopyToHost transfers the buffer's first len(dst) bytes back to the host.
+func (b *Buffer) CopyToHost(dst []byte) error {
+	if len(dst) > len(b.data) {
+		return fmt.Errorf("gpu: copy of %d bytes from %d-byte buffer", len(dst), len(b.data))
+	}
+	copy(dst, b.data)
+	b.dev.chargeHostCopy(len(dst))
+	return nil
+}
+
+func (d *Device) chargeHostCopy(bytes int) {
+	d.seconds += float64(bytes) / (hostCopyGBps * 1e9)
+	d.stats.HostCopyBytes += float64(bytes)
+}
+
+// charge converts a kernel's accounted events into simulated time.
+func (d *Device) charge(k kernelCost) {
+	d.stats.add(k.stats())
+	d.seconds += k.seconds(d.spec, d.model)
+}
+
+// ResidentSegment is a media segment staged in device global memory — the
+// paper's streaming-server deployment keeps segments resident so coded
+// blocks can be generated "per request from the downstream peers" without
+// host transfers (Sec. 5.1.2: "1024 MB memory on the GTX 280 is able to
+// easily accommodate hundreds of such segments").
+type ResidentSegment struct {
+	seg *rlnc.Segment
+	buf *Buffer
+}
+
+// LoadSegment allocates device memory for seg and copies it over, charging
+// the host-interface transfer once.
+func (d *Device) LoadSegment(seg *rlnc.Segment) (*ResidentSegment, error) {
+	buf, err := d.Alloc(seg.Params().SegmentSize())
+	if err != nil {
+		return nil, err
+	}
+	if err := buf.CopyToDevice(seg.Data()); err != nil {
+		buf.Free()
+		return nil, err
+	}
+	return &ResidentSegment{seg: seg, buf: buf}, nil
+}
+
+// Segment returns the staged segment.
+func (rs *ResidentSegment) Segment() *rlnc.Segment { return rs.seg }
+
+// Free releases the device memory.
+func (rs *ResidentSegment) Free() {
+	if rs.buf != nil {
+		rs.buf.Free()
+		rs.buf = nil
+	}
+}
+
+// EncodeResident encodes from a device-resident segment: identical to
+// EncodeSegment but guaranteed to operate on the staged bytes (verified
+// against the device buffer) with no further host transfers.
+func (d *Device) EncodeResident(rs *ResidentSegment, coeffs *matrix.Matrix, scheme Scheme, opts *EncodeOptions) (*EncodeResult, error) {
+	if rs == nil || rs.buf == nil {
+		return nil, fmt.Errorf("gpu: segment not resident")
+	}
+	if !bytes.Equal(rs.buf.Bytes(), rs.seg.Data()) {
+		return nil, fmt.Errorf("gpu: resident segment diverged from device memory")
+	}
+	return d.EncodeSegment(rs.seg, coeffs, scheme, opts)
+}

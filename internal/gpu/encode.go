@@ -1,0 +1,479 @@
+package gpu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"extremenc/internal/gf256"
+	"extremenc/internal/matrix"
+	"extremenc/internal/rlnc"
+)
+
+// Scheme identifies a GF(2^8) multiplication kernel for GPU network coding
+// (paper Secs. 4–5).
+type Scheme int
+
+const (
+	// LoopBased is the Nuclei kernel: on-the-fly "hand multiplication" in
+	// Rijndael's field, ~7 data-dependent iterations per multiply.
+	LoopBased Scheme = iota + 1
+	// TableBased0 holds log/exp tables in shared memory but multiplies raw
+	// operands (three lookups per byte) — the pre-optimization table scheme
+	// that loses to LoopBased by ~26%.
+	TableBased0
+	// TableBased1 preprocesses source blocks and coefficients into the log
+	// domain once per segment, halving lookups (Sec. 5.1.2).
+	TableBased1
+	// TableBased2 merges the four per-byte zero tests of a word into one
+	// test on the coefficient.
+	TableBased2
+	// TableBased3 remaps log(0) to 0x00 so zero tests become predicated
+	// register loads — no branches.
+	TableBased3
+	// TableBased4 serves the exp table from the texture cache.
+	TableBased4
+	// TableBased5 keeps 8 private word-width exp-table copies in shared
+	// memory, confining each thread to its own bank pair — the paper's best
+	// scheme (294 MB/s at n=128, 2.2× LoopBased).
+	TableBased5
+)
+
+// Schemes lists all encode schemes in the paper's Fig. 7 ladder order.
+func Schemes() []Scheme {
+	return []Scheme{TableBased0, LoopBased, TableBased1, TableBased2, TableBased3, TableBased4, TableBased5}
+}
+
+func (s Scheme) String() string {
+	switch s {
+	case LoopBased:
+		return "loop-based"
+	case TableBased0, TableBased1, TableBased2, TableBased3, TableBased4, TableBased5:
+		return fmt.Sprintf("table-based-%d", s.tableIndex())
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// tableIndex returns the TB-i index; -1 for non-table schemes.
+func (s Scheme) tableIndex() int {
+	if s >= TableBased0 && s <= TableBased5 {
+		return int(s - TableBased0)
+	}
+	return -1
+}
+
+// preprocessed reports whether the scheme works on log-domain operands.
+func (s Scheme) preprocessed() bool { return s >= TableBased1 }
+
+// remapped reports whether the scheme uses the zero-remapped tables.
+func (s Scheme) remapped() bool { return s >= TableBased3 }
+
+// ErrSchemeUnknown reports an unrecognized scheme value.
+var ErrSchemeUnknown = errors.New("gpu: unknown scheme")
+
+func (s Scheme) validate() error {
+	if s < LoopBased || s > TableBased5 {
+		return fmt.Errorf("%w: %d", ErrSchemeUnknown, int(s))
+	}
+	return nil
+}
+
+// EncodeOptions tunes an EncodeSegment call.
+type EncodeOptions struct {
+	// Materialize caps how many coded blocks are actually computed and
+	// returned; the remainder is accounted in time and statistics only.
+	// Zero materializes every block. Experiments use small values to sweep
+	// large configurations quickly; correctness is unaffected because the
+	// materialized blocks are verified against the host codec.
+	Materialize int
+
+	// DummyInput reproduces the paper's final encoding benchmark: inputs
+	// are synthesized in registers, so no global-memory traffic is charged
+	// (Sec. 5.1.3, "A benchmark that generates dummy input data...").
+	DummyInput bool
+}
+
+// EncodeResult reports a simulated encode: the coded blocks produced, the
+// simulated time, and the event statistics of the launch(es).
+type EncodeResult struct {
+	Blocks  []*rlnc.CodedBlock
+	Seconds float64
+	Bytes   int64 // coded bytes accounted: rows × block size
+	Stats   Stats
+}
+
+// BandwidthMBps returns the encoding bandwidth in the paper's units (total
+// coded bytes per second / 1e6).
+func (r *EncodeResult) BandwidthMBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Seconds / 1e6
+}
+
+// EncodeSegment generates one coded block per row of coeffs from seg using
+// the given kernel scheme, charging simulated time to the device.
+//
+// Functionally, payloads are exact: materialized blocks are computed with
+// the host field routines, and the first block is recomputed with the
+// scheme's literal arithmetic path (log-domain lookups, remapped tables, …)
+// and compared byte-for-byte, so a table bug cannot hide behind the cost
+// model.
+func (d *Device) EncodeSegment(seg *rlnc.Segment, coeffs *matrix.Matrix, scheme Scheme, opts *EncodeOptions) (*EncodeResult, error) {
+	if err := scheme.validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &EncodeOptions{}
+	}
+	p := seg.Params()
+	n, k := p.BlockCount, p.BlockSize
+	if coeffs.Cols() != n {
+		return nil, fmt.Errorf("gpu: coefficient matrix has %d columns, want %d", coeffs.Cols(), n)
+	}
+	m := coeffs.Rows()
+	if m == 0 {
+		return nil, fmt.Errorf("gpu: empty coefficient matrix")
+	}
+
+	materialize := m
+	if opts.Materialize > 0 && opts.Materialize < m {
+		materialize = opts.Materialize
+	}
+
+	// ---- Functional execution ----
+	blocks := make([]*rlnc.CodedBlock, materialize)
+	for i := range blocks {
+		payload := make([]byte, k)
+		rlnc.EncodeInto(payload, seg, coeffs.Row(i))
+		blocks[i] = &rlnc.CodedBlock{
+			SegmentID: seg.ID(),
+			Coeffs:    append([]byte(nil), coeffs.Row(i)...),
+			Payload:   payload,
+		}
+	}
+	if err := verifySchemeRow(blocks[0].Payload, seg, coeffs.Row(0), scheme); err != nil {
+		return nil, err
+	}
+
+	// ---- Cost accounting ----
+	startStats, startSeconds := d.stats, d.seconds
+	sampleRows := coeffs.Row(0)
+	d.chargeEncode(seg, coeffs, scheme, opts.DummyInput, [][]byte{sampleRows})
+
+	delta := d.stats
+	deltaSub(&delta, startStats)
+	return &EncodeResult{
+		Blocks:  blocks,
+		Seconds: d.seconds - startSeconds,
+		Bytes:   int64(m) * int64(k),
+		Stats:   delta,
+	}, nil
+}
+
+func deltaSub(s *Stats, start Stats) {
+	s.Kernels -= start.Kernels
+	s.IssueSlots -= start.IssueSlots
+	s.GlobalBytes -= start.GlobalBytes
+	s.SharedAccesses -= start.SharedAccesses
+	s.BankConflicts -= start.BankConflicts
+	s.TextureReads -= start.TextureReads
+	s.TextureMisses -= start.TextureMisses
+	s.Syncs -= start.Syncs
+	s.HostCopyBytes -= start.HostCopyBytes
+}
+
+// chargeEncode accounts the preprocessing (if any) and main encode launches.
+func (d *Device) chargeEncode(seg *rlnc.Segment, coeffs *matrix.Matrix, scheme Scheme, dummyInput bool, sampleCoeffs [][]byte) {
+	spec, model := d.spec, d.model
+	p := seg.Params()
+	n, k := p.BlockCount, p.BlockSize
+	m := coeffs.Rows()
+	words := (k + 3) / 4
+	totalWords := float64(m) * float64(words)
+
+	// Preprocessing launch: transform the segment (and coefficient matrix)
+	// into the log domain once (Sec. 5.1.2 steps 1–2). Charged per segment,
+	// so it amortizes over every block later generated from it.
+	if scheme.preprocessed() {
+		preThreads := float64(n) * float64(words)
+		pre := kernelCost{
+			launches:    1,
+			slots:       preThreads*model.preprocWordSlots + float64(m*n)*2,
+			globalBytes: float64(2*n*k + 2*m*n),
+		}
+		occ := computeOccupancy(spec, (n*words+255)/256, 256, 0)
+		pre.busySMs, pre.warpsPerSM = occ.busySMs, occ.warpsPerSM
+		d.charge(pre)
+	}
+
+	// Density: zero coefficients are predicated off in every kernel, so
+	// sparser matrices code faster ("the performance will be even higher
+	// with sparser matrices", Sec. 4.3) — both the multiply work and the
+	// source-word loads scale with the non-zero fraction.
+	nnzFrac := nonZeroFraction(coeffs)
+
+	// Main launch: one thread per 4-byte output word (Fig. 2 partitioning).
+	perWordSlots, access := d.encodeRowCost(seg, coeffs, scheme, sampleCoeffs, nnzFrac)
+
+	threadsPerBlock := 256
+	if words < threadsPerBlock {
+		threadsPerBlock = words
+	}
+	blocksPerRow := (words + threadsPerBlock - 1) / threadsPerBlock
+	gridBlocks := m * blocksPerRow
+	sharedPerBlock := schemeSharedBytes(scheme)
+	occ := computeOccupancy(spec, gridBlocks, threadsPerBlock, sharedPerBlock)
+
+	main := kernelCost{
+		launches:       1,
+		slots:          totalWords*perWordSlots + totalWords*model.encOutWordSlots,
+		busySMs:        occ.busySMs,
+		warpsPerSM:     occ.warpsPerSM,
+		latencyEvents:  float64(n), // dependent source loads along one thread's chain
+		syncs:          syncsPerEncodeBlock(scheme),
+		sharedAccesses: access.sharedAccesses * totalWords,
+		bankConflicts:  access.bankConflicts * totalWords,
+		texReads:       access.texReads * totalWords,
+		texMisses:      access.texMisses * totalWords,
+	}
+	if !dummyInput {
+		// Per generated word: n coefficient bytes (broadcast), source words
+		// for the non-zero terms, one output word (the paper's 5n+4 bytes
+		// at full density, Sec. 4.3).
+		main.globalBytes = totalWords * (float64(n) + 4*float64(n)*nnzFrac + 4)
+	}
+	d.charge(main)
+}
+
+// accessProfile is the per-word-multiply table-access accounting measured on
+// sampled real data.
+type accessProfile struct {
+	sharedAccesses float64
+	bankConflicts  float64
+	texReads       float64
+	texMisses      float64
+}
+
+// skippedCoeffSlots is the predicated cost of a zero coefficient: load and
+// test, no multiply.
+const skippedCoeffSlots = 2.0
+
+// nonZeroFraction returns the fraction of non-zero entries in the
+// coefficient matrix.
+func nonZeroFraction(coeffs *matrix.Matrix) float64 {
+	m, n := coeffs.Rows(), coeffs.Cols()
+	if m == 0 || n == 0 {
+		return 1
+	}
+	nnz := 0
+	for r := 0; r < m; r++ {
+		for _, c := range coeffs.Row(r) {
+			if c != 0 {
+				nnz++
+			}
+		}
+	}
+	return float64(nnz) / float64(m*n)
+}
+
+// encodeRowCost returns the issue slots per output word (summed over the
+// coefficient row, averaged across rows) and the per-word access profile.
+func (d *Device) encodeRowCost(seg *rlnc.Segment, coeffs *matrix.Matrix, scheme Scheme, sampleCoeffs [][]byte, nnzFrac float64) (float64, accessProfile) {
+	model := d.model
+	m, n := coeffs.Rows(), coeffs.Cols()
+
+	if scheme == LoopBased {
+		// Data-dependent: count the real iteration totals over every
+		// coefficient the kernel will consume (zero coefficients run zero
+		// iterations — sparsity is inherent here).
+		totalIters := 0.0
+		for r := 0; r < m; r++ {
+			for _, c := range coeffs.Row(r) {
+				totalIters += float64(gf256.LoopIterations(c))
+			}
+		}
+		avgItersPerRow := totalIters / float64(m)
+		return avgItersPerRow*model.lbIterSlots + float64(n)*model.lbFixedSlots, accessProfile{}
+	}
+
+	ti := scheme.tableIndex()
+	base := model.tbBaseSlots[ti]
+	var prof accessProfile
+	slots := base
+
+	if sr := model.tbSharedReads[ti]; sr > 0 {
+		rounds, _, _ := conflictSample(seg, sampleCoeffs, classicBankMap(d.spec), d.spec, 256)
+		slots += sr * rounds
+		prof.sharedAccesses = sr * nnzFrac
+		prof.bankConflicts = sr * (rounds - 1) * nnzFrac
+	}
+	if rr := model.tbReplReads[ti]; rr > 0 {
+		rounds, _, _ := conflictSample(seg, sampleCoeffs, replicatedBankMap(d.spec), d.spec, 256)
+		slots += rr * rounds
+		prof.sharedAccesses += rr * nnzFrac
+		prof.bankConflicts += rr * (rounds - 1) * nnzFrac
+	}
+	if tr := model.tbTexReads[ti]; tr > 0 {
+		hitRate := textureHitRate(seg, sampleCoeffs, d.spec, 2048)
+		slots += tr * (hitRate*model.texHitSlots + (1-hitRate)*model.texMissSlots)
+		prof.texReads = tr * nnzFrac
+		prof.texMisses = tr * (1 - hitRate) * nnzFrac
+	}
+	// slots so far are per word-multiply; a row pays the full cost for its
+	// non-zero coefficients and a predicated skip for the rest.
+	perRow := slots*float64(n)*nnzFrac + skippedCoeffSlots*float64(n)*(1-nnzFrac)
+	return perRow, prof
+}
+
+// schemeSharedBytes returns the shared memory a thread block reserves for
+// tables under each scheme. TB-5's eight word-width 512-entry exp copies
+// consume the entire 16 KB, forcing one resident block per SM (Sec. 5.1.3).
+func schemeSharedBytes(scheme Scheme) int {
+	switch scheme {
+	case LoopBased:
+		return 0
+	case TableBased4:
+		return 256 + 64 // log table stays shared; exp moves to texture
+	case TableBased5:
+		return 8*512*4 - 256 // eight word-width exp copies, minus kernel-arg reserve
+	default:
+		return 256 + 512 + 64 // log + exp byte tables + parameters
+	}
+}
+
+// syncsPerEncodeBlock returns barrier count per thread block: table-based
+// kernels synchronize once after cooperatively loading the tables.
+func syncsPerEncodeBlock(scheme Scheme) float64 {
+	if scheme == LoopBased {
+		return 0
+	}
+	return 1
+}
+
+// verifyPrefixBytes caps how much of the verification payload is recomputed
+// with the scheme's literal (byte-at-a-time) arithmetic. A multi-KiB prefix
+// across all n coefficients exercises every table path; the remainder is
+// covered by the fast reference computation.
+const verifyPrefixBytes = 4096
+
+// verifySchemeRow recomputes one coded payload prefix with the scheme's
+// literal arithmetic path and compares it to the reference payload.
+func verifySchemeRow(want []byte, seg *rlnc.Segment, coeffs []byte, scheme Scheme) error {
+	k := seg.Params().BlockSize
+	if k > verifyPrefixBytes {
+		k = verifyPrefixBytes
+	}
+	want = want[:k]
+	got := make([]byte, k)
+
+	switch {
+	case scheme == LoopBased:
+		for i, c := range coeffs {
+			if c == 0 {
+				continue
+			}
+			src := seg.Block(i)
+			for j := 0; j < k; j++ {
+				got[j] ^= gf256.MulLoop(c, src[j])
+			}
+		}
+	case scheme == TableBased0:
+		for i, c := range coeffs {
+			if c == 0 {
+				continue
+			}
+			src := seg.Block(i)
+			for j := 0; j < k; j++ {
+				got[j] ^= gf256.Mul(c, src[j])
+			}
+		}
+	case scheme.remapped():
+		logSrc := make([]uint16, k)
+		logCoeffs := make([]uint16, len(coeffs))
+		gf256.ToLogRemapped(logCoeffs, coeffs)
+		for i := range coeffs {
+			gf256.ToLogRemapped(logSrc, seg.Block(i)[:k])
+			lc := logCoeffs[i]
+			for j := 0; j < k; j++ {
+				got[j] ^= gf256.MulPreRemapped(lc, logSrc[j])
+			}
+		}
+	default: // TB-1, TB-2: classic log-domain preprocessing
+		logSrc := make([]byte, k)
+		logCoeffs := make([]byte, len(coeffs))
+		gf256.ToLog(logCoeffs, coeffs)
+		for i := range coeffs {
+			gf256.ToLog(logSrc, seg.Block(i)[:k])
+			lc := logCoeffs[i]
+			for j := 0; j < k; j++ {
+				got[j] ^= gf256.MulPre(lc, logSrc[j])
+			}
+		}
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("gpu: scheme %v arithmetic diverges from reference codec", scheme)
+	}
+	return nil
+}
+
+// RecodeBlocks generates fresh random combinations of previously received
+// coded blocks on the device — the relay-side operation that defines
+// network coding ("the coding capabilities of intermediate nodes", Sec. 1).
+// Computationally it is an encode whose source rows are the received
+// payloads and whose output coefficients are re-expressed over the original
+// blocks, so it reuses the encode kernels and cost model with n =
+// len(received).
+func (d *Device) RecodeBlocks(received []*rlnc.CodedBlock, count int, scheme Scheme, opts *EncodeOptions) (*EncodeResult, error) {
+	if len(received) == 0 {
+		return nil, fmt.Errorf("gpu: no blocks to recode")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("gpu: recode count %d must be positive", count)
+	}
+	inner := rlnc.Params{BlockCount: len(received), BlockSize: len(received[0].Payload)}
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	// Stage the received payloads as the kernel's source rows.
+	work, err := rlnc.NewSegment(received[0].SegmentID, inner)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range received {
+		if len(b.Payload) != inner.BlockSize {
+			return nil, fmt.Errorf("gpu: recode input %d has %d payload bytes, want %d",
+				i, len(b.Payload), inner.BlockSize)
+		}
+		if b.SegmentID != received[0].SegmentID {
+			return nil, fmt.Errorf("gpu: recode inputs span segments %d and %d",
+				received[0].SegmentID, b.SegmentID)
+		}
+		copy(work.Block(i), b.Payload)
+	}
+	mix := matrix.New(count, inner.BlockCount)
+	rng := rand.New(rand.NewSource(int64(received[0].SegmentID)*7919 + int64(count)))
+	for r := 0; r < count; r++ {
+		row := mix.Row(r)
+		for i := range row {
+			row[i] = byte(1 + rng.Intn(255))
+		}
+	}
+	res, err := d.EncodeSegment(work, mix, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Re-express each output's coefficients over the ORIGINAL source blocks
+	// so downstream decoders are oblivious to the recoding hop.
+	n := len(received[0].Coeffs)
+	for i, blk := range res.Blocks {
+		coeffs := make([]byte, n)
+		for j, f := range mix.Row(i) {
+			gf256.MulAddSlice(coeffs, received[j].Coeffs, f)
+		}
+		blk.Coeffs = coeffs
+	}
+	return res, nil
+}

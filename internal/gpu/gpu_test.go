@@ -1,0 +1,705 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"extremenc/internal/matrix"
+	"extremenc/internal/rlnc"
+)
+
+func newGTX280(t testing.TB) *Device {
+	t.Helper()
+	d, err := NewDevice(GTX280())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randomSegment(t testing.TB, p rlnc.Params, seed int64) *rlnc.Segment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := rlnc.SegmentFromData(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func denseCoeffs(rows, cols int, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for i := range row {
+			row[i] = byte(1 + rng.Intn(255))
+		}
+	}
+	return m
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, spec := range []DeviceSpec{GTX280(), GeForce8800GT()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	bad := GTX280()
+	bad.SMs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-SM spec validated")
+	}
+	if _, err := NewDevice(bad); err == nil {
+		t.Error("NewDevice accepted invalid spec")
+	}
+}
+
+func TestSpecDerived(t *testing.T) {
+	spec := GTX280()
+	if spec.Cores() != 240 {
+		t.Errorf("GTX280 cores = %d, want 240", spec.Cores())
+	}
+	if got := spec.IssueSlotsPerSecond(); got < 300e9 || got > 400e9 {
+		t.Errorf("issue rate = %g, want ≈350e9", got)
+	}
+	if GeForce8800GT().Cores() != 112 {
+		t.Errorf("8800GT cores = %d, want 112", GeForce8800GT().Cores())
+	}
+}
+
+func TestDeviceMemory(t *testing.T) {
+	d := newGTX280(t)
+	b, err := d.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 1<<20 {
+		t.Fatalf("size = %d", b.Size())
+	}
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := b.CopyToDevice(src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	if err := b.CopyToHost(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatal("device copy corrupted data")
+		}
+	}
+	if d.Elapsed() <= 0 {
+		t.Fatal("host copies charged no time")
+	}
+	if d.Stats().HostCopyBytes != 8192 {
+		t.Fatalf("host copy bytes = %v", d.Stats().HostCopyBytes)
+	}
+	b.Free()
+	b.Free() // double free is a no-op
+
+	if _, err := d.Alloc(int(GTX280().GlobalMemBytes) + 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized alloc err = %v", err)
+	}
+	if _, err := d.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if err := b.CopyToDevice(src); err == nil {
+		t.Fatal("copy into freed buffer accepted")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range Schemes() {
+		if s.String() == "" {
+			t.Errorf("scheme %d has empty name", int(s))
+		}
+	}
+	if LoopBased.String() != "loop-based" || TableBased5.String() != "table-based-5" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(0).validate() == nil || Scheme(99).validate() == nil {
+		t.Error("invalid schemes validated")
+	}
+}
+
+// TestEncodeFunctionalAllSchemes verifies that every scheme produces blocks
+// identical to the host codec and decodable back to the source.
+func TestEncodeFunctionalAllSchemes(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 256}
+	seg := randomSegment(t, p, 1)
+	coeffs := denseCoeffs(p.BlockCount+2, p.BlockCount, 2)
+
+	for _, scheme := range Schemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			d := newGTX280(t)
+			res, err := d.EncodeSegment(seg, coeffs, scheme, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Blocks) != coeffs.Rows() {
+				t.Fatalf("blocks = %d, want %d", len(res.Blocks), coeffs.Rows())
+			}
+			if res.Seconds <= 0 || res.BandwidthMBps() <= 0 {
+				t.Fatalf("non-positive time/bandwidth: %v s", res.Seconds)
+			}
+			dec, err := rlnc.NewDecoder(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range res.Blocks {
+				if _, err := dec.AddBlock(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := dec.Segment()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(seg) {
+				t.Fatal("decoded segment differs from source")
+			}
+		})
+	}
+}
+
+func TestEncodeMaterializeSubset(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 128}
+	seg := randomSegment(t, p, 3)
+	coeffs := denseCoeffs(64, p.BlockCount, 4)
+	d := newGTX280(t)
+	res, err := d.EncodeSegment(seg, coeffs, TableBased5, &EncodeOptions{Materialize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 3 {
+		t.Fatalf("materialized %d blocks, want 3", len(res.Blocks))
+	}
+	if res.Bytes != int64(64*p.BlockSize) {
+		t.Fatalf("accounted bytes = %d, want full batch", res.Bytes)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	seg := randomSegment(t, p, 5)
+	d := newGTX280(t)
+	if _, err := d.EncodeSegment(seg, denseCoeffs(4, 7, 6), LoopBased, nil); err == nil {
+		t.Fatal("column-mismatched coefficients accepted")
+	}
+	if _, err := d.EncodeSegment(seg, matrix.New(0, 8), LoopBased, nil); err == nil {
+		t.Fatal("empty coefficient matrix accepted")
+	}
+	if _, err := d.EncodeSegment(seg, denseCoeffs(4, 8, 7), Scheme(42), nil); !errors.Is(err, ErrSchemeUnknown) {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestEncodeDummyInputFaster(t *testing.T) {
+	p := rlnc.Params{BlockCount: 128, BlockSize: 4096}
+	seg := randomSegment(t, p, 8)
+	coeffs := denseCoeffs(128, p.BlockCount, 9)
+
+	d1 := newGTX280(t)
+	real, err := d1.EncodeSegment(seg, coeffs, TableBased5, &EncodeOptions{Materialize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newGTX280(t)
+	dummy, err := d2.EncodeSegment(seg, coeffs, TableBased5, &EncodeOptions{Materialize: 1, DummyInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := real.Seconds/dummy.Seconds - 1
+	if gain < 0 {
+		t.Fatalf("dummy input slower than real input (gain %.2f%%)", gain*100)
+	}
+	// Paper: only ≈0.5% — memory accesses are almost perfectly hidden.
+	if gain > 0.05 {
+		t.Fatalf("dummy-input gain %.2f%%, want < 5%% (memory should be hidden)", gain*100)
+	}
+	if dummy.Stats.GlobalBytes >= real.Stats.GlobalBytes {
+		t.Fatal("dummy input still charged global traffic")
+	}
+}
+
+func TestDecodeSegmentFunctional(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 512}
+	seg := randomSegment(t, p, 10)
+	rng := rand.New(rand.NewSource(11))
+	enc := rlnc.NewEncoder(seg, rng)
+	blocks := make([]*rlnc.CodedBlock, p.BlockCount+2)
+	for i := range blocks {
+		blocks[i] = enc.NextBlock()
+	}
+	d := newGTX280(t)
+	res, err := d.DecodeSegment(blocks, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Segment.Equal(seg) {
+		t.Fatal("decoded segment differs")
+	}
+	if res.Seconds <= 0 || res.DecodedBytes != int64(p.SegmentSize()) {
+		t.Fatalf("bad accounting: %v s, %d bytes", res.Seconds, res.DecodedBytes)
+	}
+	if res.Innovative != p.BlockCount {
+		t.Fatalf("innovative = %d", res.Innovative)
+	}
+}
+
+func TestDecodeSegmentRankDeficient(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	seg := randomSegment(t, p, 12)
+	rng := rand.New(rand.NewSource(13))
+	b := rlnc.NewEncoder(seg, rng).NextBlock()
+	d := newGTX280(t)
+	if _, err := d.DecodeSegment([]*rlnc.CodedBlock{b, b.Clone()}, p, nil); !errors.Is(err, rlnc.ErrRankDeficient) {
+		t.Fatalf("err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestDecodeOptionsGates(t *testing.T) {
+	p := rlnc.Params{BlockCount: 256, BlockSize: 64}
+	seg := randomSegment(t, p, 14)
+	rng := rand.New(rand.NewSource(15))
+	enc := rlnc.NewEncoder(seg, rng)
+	blocks := make([]*rlnc.CodedBlock, p.BlockCount)
+	for i := range blocks {
+		blocks[i] = enc.NextBlock()
+	}
+
+	gt8800, err := NewDevice(GeForce8800GT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gt8800.DecodeSegment(blocks, p, &DecodeOptions{AtomicMin: true}); !errors.Is(err, ErrAtomicsUnsupported) {
+		t.Fatalf("8800GT atomicMin err = %v", err)
+	}
+	d := newGTX280(t)
+	if _, err := d.DecodeSegment(blocks, p, &DecodeOptions{CacheCoefficients: true}); !errors.Is(err, ErrCoeffCacheTooLarge) {
+		t.Fatalf("n=256 coeff cache err = %v", err)
+	}
+}
+
+func TestDecodeOptionSpeedups(t *testing.T) {
+	p := rlnc.Params{BlockCount: 128, BlockSize: 512}
+	seg := randomSegment(t, p, 16)
+	rng := rand.New(rand.NewSource(17))
+	enc := rlnc.NewEncoder(seg, rng)
+	blocks := make([]*rlnc.CodedBlock, p.BlockCount)
+	for i := range blocks {
+		blocks[i] = enc.NextBlock()
+	}
+	base, err := newGTX280(t).DecodeSegment(blocks, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomic, err := newGTX280(t).DecodeSegment(blocks, p, &DecodeOptions{AtomicMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := newGTX280(t).DecodeSegment(blocks, p, &DecodeOptions{CacheCoefficients: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGain := base.Seconds/atomic.Seconds - 1
+	if aGain <= 0 || aGain > 0.02 {
+		t.Errorf("atomicMin gain = %.3f%%, want ≈0.6%%", aGain*100)
+	}
+	cGain := base.Seconds/cached.Seconds - 1
+	if cGain <= 0 || cGain > 0.06 {
+		t.Errorf("coeff cache gain = %.3f%%, want 0.5–3.4%%", cGain*100)
+	}
+}
+
+func TestMultiSegmentFunctional(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 128}
+	const segCount = 5
+	rng := rand.New(rand.NewSource(18))
+	segs := make([]*rlnc.Segment, segCount)
+	sets := make([][]*rlnc.CodedBlock, segCount)
+	for i := range segs {
+		segs[i] = randomSegment(t, p, int64(20+i))
+		enc := rlnc.NewEncoder(segs[i], rng)
+		for j := 0; j < p.BlockCount+1; j++ {
+			sets[i] = append(sets[i], enc.NextBlock())
+		}
+	}
+	d := newGTX280(t)
+	res, err := d.DecodeMultiSegment(sets, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != segCount {
+		t.Fatalf("materialized %d segments", len(res.Segments))
+	}
+	for i, s := range res.Segments {
+		if !s.Equal(segs[i]) {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+	if res.Stage1Seconds <= 0 || res.Stage2Seconds <= 0 {
+		t.Fatal("stage times not accounted")
+	}
+	if share := res.Stage1Share(); share <= 0 || share >= 1 {
+		t.Fatalf("stage-1 share = %v", share)
+	}
+	if res.DecodedBytes != int64(segCount*p.SegmentSize()) {
+		t.Fatalf("decoded bytes = %d", res.DecodedBytes)
+	}
+}
+
+func TestMultiSegmentValidation(t *testing.T) {
+	d := newGTX280(t)
+	p := rlnc.Params{BlockCount: 4, BlockSize: 16}
+	if _, err := d.DecodeMultiSegment(nil, p, nil); err == nil {
+		t.Fatal("empty set list accepted")
+	}
+	seg := randomSegment(t, p, 30)
+	rng := rand.New(rand.NewSource(31))
+	b := rlnc.NewEncoder(seg, rng).NextBlock()
+	sets := [][]*rlnc.CodedBlock{{b}} // rank deficient
+	if _, err := d.DecodeMultiSegment(sets, p, nil); !errors.Is(err, rlnc.ErrRankDeficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.DecodeMultiSegment(sets, p, &MultiSegmentOptions{StageTwoScheme: Scheme(9)}); !errors.Is(err, ErrSchemeUnknown) {
+		t.Fatalf("bogus stage-2 scheme err = %v", err)
+	}
+}
+
+func TestConflictRounds(t *testing.T) {
+	cases := []struct {
+		banks []int
+		want  int
+	}{
+		{[]int{0, 1, 2, 3}, 1},
+		{[]int{0, 0, 0, 0}, 4},
+		{[]int{5, 5, 1, 2, 2, 2}, 3},
+		{[]int{-1, -1}, 0},
+		{[]int{-1, 7}, 1},
+		{[]int{16, 0}, 2}, // wraps mod bankCount
+	}
+	for _, tc := range cases {
+		if got := conflictRounds(tc.banks, 16); got != tc.want {
+			t.Errorf("conflictRounds(%v) = %d, want %d", tc.banks, got, tc.want)
+		}
+	}
+}
+
+// TestConflictSampleLayouts verifies the replicated-table layout measurably
+// reduces conflicts relative to the classic layout on the same data — the
+// mechanism behind TB-5.
+func TestConflictSampleLayouts(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 4096}
+	seg := randomSegment(t, p, 40)
+	coeffs := [][]byte{denseCoeffs(1, 16, 41).Row(0)}
+	spec := GTX280()
+	classic, _, _ := conflictSample(seg, coeffs, classicBankMap(spec), spec, 256)
+	repl, _, _ := conflictSample(seg, coeffs, replicatedBankMap(spec), spec, 256)
+	if classic < 2 || classic > 5 {
+		t.Errorf("classic conflict rounds = %.2f, want ≈3 (paper Sec. 5.1.3)", classic)
+	}
+	if repl >= classic {
+		t.Errorf("replicated layout rounds %.2f not better than classic %.2f", repl, classic)
+	}
+	if repl < 1 || repl > 2.3 {
+		t.Errorf("replicated rounds = %.2f, want mostly conflict-free", repl)
+	}
+}
+
+func TestTextureCache(t *testing.T) {
+	c := newTexCache(1024, 32)
+	if c.access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(4) {
+		t.Fatal("same-line access missed")
+	}
+	if !c.access(0) {
+		t.Fatal("re-access missed")
+	}
+	p := rlnc.Params{BlockCount: 8, BlockSize: 2048}
+	seg := randomSegment(t, p, 42)
+	coeffs := [][]byte{denseCoeffs(1, 8, 43).Row(0)}
+	rate := textureHitRate(seg, coeffs, GTX280(), 2048)
+	if rate < 0.9 {
+		t.Errorf("texture hit rate = %.3f; the tiny exp table should cache almost perfectly", rate)
+	}
+}
+
+func TestExposureFactor(t *testing.T) {
+	if exposureFactor(0, 16) != 1 {
+		t.Error("zero warps should expose all latency")
+	}
+	if exposureFactor(16, 16) != 0 || exposureFactor(32, 16) != 0 {
+		t.Error("ample warps should hide latency")
+	}
+	if f := exposureFactor(8, 16); f != 0.5 {
+		t.Errorf("half occupancy exposure = %v", f)
+	}
+}
+
+func TestComputeOccupancy(t *testing.T) {
+	spec := GTX280()
+	occ := computeOccupancy(spec, 1000, 256, 0)
+	if occ.busySMs != 30 {
+		t.Errorf("busy SMs = %v", occ.busySMs)
+	}
+	if occ.warpsPerSM != 32 { // 4 blocks × 8 warps
+		t.Errorf("warps/SM = %v, want 32", occ.warpsPerSM)
+	}
+	// Shared memory limits residency: TB-5 style full-shared block.
+	occ = computeOccupancy(spec, 1000, 256, spec.SharedMemPerSM)
+	if occ.warpsPerSM != 8 {
+		t.Errorf("full-shared warps/SM = %v, want 8", occ.warpsPerSM)
+	}
+	// Fewer blocks than SMs.
+	occ = computeOccupancy(spec, 4, 64, 0)
+	if occ.busySMs != 4 || occ.warpsPerSM != 2 {
+		t.Errorf("small grid occupancy = %+v", occ)
+	}
+	occ = computeOccupancy(spec, 0, 0, 0)
+	if occ.busySMs != 1 {
+		t.Errorf("degenerate occupancy = %+v", occ)
+	}
+}
+
+func TestResetClearsClock(t *testing.T) {
+	d := newGTX280(t)
+	p := rlnc.Params{BlockCount: 4, BlockSize: 64}
+	seg := randomSegment(t, p, 50)
+	if _, err := d.EncodeSegment(seg, denseCoeffs(4, 4, 51), LoopBased, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Elapsed() <= 0 {
+		t.Fatal("no time charged")
+	}
+	d.Reset()
+	if d.Elapsed() != 0 || d.Stats().Kernels != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// TestEstimateMatchesFunctionalDecode pins the cost-only planning APIs to
+// the functional paths at matching parameters.
+func TestEstimateMatchesFunctionalDecode(t *testing.T) {
+	p := rlnc.Params{BlockCount: 24, BlockSize: 480}
+	seg := randomSegment(t, p, 90)
+	rng := rand.New(rand.NewSource(91))
+	enc := rlnc.NewEncoder(seg, rng)
+	blocks := make([]*rlnc.CodedBlock, p.BlockCount)
+	for i := range blocks {
+		blocks[i] = enc.NextBlock()
+	}
+
+	fun, err := newGTX280(t).DecodeSegment(blocks, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := newGTX280(t).EstimateDecodeSegment(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := fun.Seconds/est.Seconds - 1; rel < -0.02 || rel > 0.02 {
+		t.Errorf("estimate diverges from functional decode by %.1f%%", rel*100)
+	}
+
+	sets := make([][]*rlnc.CodedBlock, 6)
+	for i := range sets {
+		sets[i] = blocks
+	}
+	funM, err := newGTX280(t).DecodeMultiSegment(sets, p, &MultiSegmentOptions{MaterializeSegments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estM, err := newGTX280(t).EstimateMultiSegment(p, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := funM.Seconds/estM.Seconds - 1; rel < -0.1 || rel > 0.1 {
+		t.Errorf("multi-segment estimate diverges by %.1f%%", rel*100)
+	}
+	if estM.Stage1Share() <= 0 {
+		t.Error("estimate lost stage-1 share")
+	}
+
+	if _, err := newGTX280(t).EstimateMultiSegment(p, 0, nil); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := newGTX280(t).EstimateDecodeSegment(rlnc.Params{}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestDevicePresetScaling: encode rate tracks core count × clock across the
+// Tesla-generation presets.
+func TestDevicePresetScaling(t *testing.T) {
+	p := rlnc.Params{BlockCount: 128, BlockSize: 4096}
+	seg := randomSegment(t, p, 200)
+	coeffs := denseCoeffs(512, 128, 201)
+	rate := func(spec DeviceSpec) float64 {
+		d, err := NewDevice(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.EncodeSegment(seg, coeffs, TableBased5, &EncodeOptions{Materialize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BandwidthMBps()
+	}
+	gtx280, gtx260, tesla := rate(GTX280()), rate(GTX260()), rate(TeslaC1060())
+	if !(gtx280 > tesla && tesla > gtx260) {
+		t.Errorf("preset ordering wrong: GTX280 %.1f, C1060 %.1f, GTX260 %.1f", gtx280, tesla, gtx260)
+	}
+	// Issue-rate ratio GTX280/GTX260 = (30·1458)/(24·1242) ≈ 1.47.
+	if r := gtx280 / gtx260; r < 1.3 || r > 1.6 {
+		t.Errorf("GTX280/GTX260 = %.2f, want ≈1.47", r)
+	}
+	for _, spec := range []DeviceSpec{GTX260(), TeslaC1060()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestResidentSegmentEncode(t *testing.T) {
+	d := newGTX280(t)
+	p := rlnc.Params{BlockCount: 8, BlockSize: 256}
+	seg := randomSegment(t, p, 300)
+	rs, err := d.LoadSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Segment() != seg {
+		t.Fatal("resident segment identity lost")
+	}
+	if d.Stats().HostCopyBytes != float64(p.SegmentSize()) {
+		t.Fatalf("host copy bytes = %v", d.Stats().HostCopyBytes)
+	}
+	res, err := d.EncodeResident(rs, denseCoeffs(8, 8, 301), TableBased5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rlnc.NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Blocks {
+		if _, err := dec.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("resident encode differs")
+	}
+	rs.Free()
+	if _, err := d.EncodeResident(rs, denseCoeffs(8, 8, 301), TableBased5, nil); err == nil {
+		t.Fatal("encode from freed resident segment accepted")
+	}
+	if _, err := d.EncodeResident(nil, denseCoeffs(8, 8, 301), TableBased5, nil); err == nil {
+		t.Fatal("nil resident segment accepted")
+	}
+}
+
+// TestRecodeBlocksOnDevice: GPU-recoded blocks remain decodable and carry
+// coefficients re-expressed over the original source.
+func TestRecodeBlocksOnDevice(t *testing.T) {
+	p := rlnc.Params{BlockCount: 12, BlockSize: 256}
+	seg := randomSegment(t, p, 400)
+	rng := rand.New(rand.NewSource(401))
+	enc := rlnc.NewEncoder(seg, rng)
+	received := make([]*rlnc.CodedBlock, p.BlockCount+1)
+	for i := range received {
+		received[i] = enc.NextBlock()
+	}
+
+	d := newGTX280(t)
+	res, err := d.RecodeBlocks(received, p.BlockCount+2, TableBased5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatal("no time charged for recoding")
+	}
+	dec, err := rlnc.NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Blocks {
+		if len(b.Coeffs) != p.BlockCount {
+			t.Fatalf("recoded coefficients have length %d, want %d", len(b.Coeffs), p.BlockCount)
+		}
+		if _, err := dec.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("GPU-recoded stream decodes to wrong segment")
+	}
+
+	if _, err := d.RecodeBlocks(nil, 4, TableBased5, nil); err == nil {
+		t.Fatal("empty recode input accepted")
+	}
+	if _, err := d.RecodeBlocks(received, 0, TableBased5, nil); err == nil {
+		t.Fatal("zero recode count accepted")
+	}
+	short := []*rlnc.CodedBlock{received[0], {SegmentID: received[0].SegmentID, Coeffs: received[1].Coeffs, Payload: received[1].Payload[:8]}}
+	if _, err := d.RecodeBlocks(short, 2, TableBased5, nil); err == nil {
+		t.Fatal("ragged payloads accepted")
+	}
+	other := received[1].Clone()
+	other.SegmentID = 99
+	if _, err := d.RecodeBlocks([]*rlnc.CodedBlock{received[0], other}, 2, TableBased5, nil); err == nil {
+		t.Fatal("cross-segment recode accepted")
+	}
+}
+
+// TestCoalescing quantifies the Fig. 2 partitioning claim: word-per-thread
+// assignment coalesces perfectly (16 accesses per transaction), while a
+// chunk-per-thread assignment degrades to one transaction per thread.
+func TestCoalescing(t *testing.T) {
+	spec := GTX280()
+
+	perfect := AnalyzeAccessPattern(spec, EncodeSourceAccessPattern(spec, 0))
+	if perfect.Efficiency() != 16 {
+		t.Errorf("word-per-thread efficiency = %.1f, want 16", perfect.Efficiency())
+	}
+	if perfect.Transactions != 2 { // one per half-warp
+		t.Errorf("word-per-thread transactions = %d, want 2", perfect.Transactions)
+	}
+
+	strided := AnalyzeAccessPattern(spec, StridedAccessPattern(spec, 256))
+	if strided.Efficiency() != 1 {
+		t.Errorf("strided efficiency = %.1f, want 1", strided.Efficiency())
+	}
+	if ratio := float64(strided.Transactions) / float64(perfect.Transactions); ratio != 16 {
+		t.Errorf("partitioning should cut transactions 16x, got %.1fx", ratio)
+	}
+
+	// Unaligned warp base still coalesces into at most 2 segments per
+	// half-warp.
+	offset := AnalyzeAccessPattern(spec, EncodeSourceAccessPattern(spec, 3))
+	if offset.Transactions > 4 {
+		t.Errorf("offset pattern transactions = %d", offset.Transactions)
+	}
+	if empty := AnalyzeAccessPattern(spec, nil); empty.Efficiency() != 0 {
+		t.Error("empty pattern efficiency")
+	}
+}

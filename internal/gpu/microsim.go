@@ -1,0 +1,454 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"extremenc/internal/gf256"
+)
+
+// Warp-level SIMT micro-interpreter. The aggregate cost model in
+// costmodel.go charges issue slots per GF multiply from calibrated
+// constants; this file grounds those constants by actually executing the
+// two key inner loops — the loop-based multiply and the TB-5 table-based
+// multiply — as PTX-like instruction sequences over a full warp, counting
+// every issued instruction and every shared-memory bank-conflict round.
+// The microsim tests assert that the counted costs sit where the model's
+// constants say they should (the paper's authors worked at this level:
+// "hand-optimization of the PTX assembly code", Sec. 4.1).
+//
+// The interpreter is deliberately small: registers are uint32, predicates
+// are registers, control flow is a single backward branch (the kernels
+// here have warp-uniform trip counts — every thread of a warp shares the
+// same coefficient, so the loop-based multiply never diverges).
+
+// OpCode is a micro-instruction opcode.
+type OpCode int
+
+// Micro-ISA. LDS counts a shared-memory access; its bank conflicts are
+// derived from the actual per-thread addresses.
+const (
+	OpMOVI   OpCode = iota + 1 // dst = imm
+	OpMOV                      // dst = a
+	OpAND                      // dst = a & b
+	OpANDI                     // dst = a & imm
+	OpOR                       // dst = a | b
+	OpXOR                      // dst = a ^ b
+	OpADD                      // dst = a + b
+	OpSHLI                     // dst = a << imm
+	OpSHRI                     // dst = a >> imm
+	OpMULI                     // dst = a * imm
+	OpSHR                      // dst = a >> (b & 31) — variable shift
+	OpSETEQI                   // dst = (a == imm) ? 1 : 0
+	OpSELP                     // dst = p(a) != 0 ? b : imm-selected zero — dst = a!=0 ? b : 0
+	OpLDS                      // dst = shared[a + imm] (byte or word per kernel's table layout)
+	OpBNZ                      // if a != 0 (warp-uniform) branch to Target
+	OpEXIT
+)
+
+// Instr is one micro-instruction.
+type Instr struct {
+	Op     OpCode
+	Dst    int
+	A, B   int
+	Imm    uint32
+	Target int // branch target for OpBNZ
+}
+
+// ErrDivergence reports a non-uniform branch, which these kernels must not
+// produce.
+var ErrDivergence = errors.New("gpu: warp divergence in microsim kernel")
+
+// microResult aggregates an execution's counts.
+type microResult struct {
+	instructions   int // warp instructions issued
+	sharedAccesses int // LDS instructions issued
+	conflictRounds int // serialized shared rounds beyond the first, summed
+}
+
+// microSim executes a program over one warp.
+type microSim struct {
+	spec    DeviceSpec
+	shared  []uint32 // word-addressed shared memory
+	regs    [][]uint32
+	widthFn func(addrWord int) int // maps word address to bank
+}
+
+func newMicroSim(spec DeviceSpec, sharedWords int) *microSim {
+	m := &microSim{
+		spec:   spec,
+		shared: make([]uint32, sharedWords),
+		regs:   make([][]uint32, spec.WarpSize),
+	}
+	for i := range m.regs {
+		m.regs[i] = make([]uint32, 32)
+	}
+	m.widthFn = func(addrWord int) int { return addrWord % spec.SharedBanks }
+	return m
+}
+
+// run executes prog for the warp; init seeds each thread's registers.
+func (m *microSim) run(prog []Instr, init func(tid int, regs []uint32)) (microResult, error) {
+	for tid := range m.regs {
+		clear(m.regs[tid])
+		init(tid, m.regs[tid])
+	}
+	var res microResult
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			return res, fmt.Errorf("gpu: microsim runaway program")
+		}
+		if pc < 0 || pc >= len(prog) {
+			return res, fmt.Errorf("gpu: microsim pc %d out of range", pc)
+		}
+		in := prog[pc]
+		if in.Op == OpEXIT {
+			return res, nil
+		}
+		res.instructions++
+
+		if in.Op == OpBNZ {
+			taken, err := m.uniformPredicate(in.A)
+			if err != nil {
+				return res, err
+			}
+			if taken {
+				pc = in.Target
+			} else {
+				pc++
+			}
+			continue
+		}
+		if in.Op == OpLDS {
+			res.sharedAccesses++
+			res.conflictRounds += m.execLDS(in)
+			pc++
+			continue
+		}
+		for tid := range m.regs {
+			r := m.regs[tid]
+			switch in.Op {
+			case OpMOVI:
+				r[in.Dst] = in.Imm
+			case OpMOV:
+				r[in.Dst] = r[in.A]
+			case OpAND:
+				r[in.Dst] = r[in.A] & r[in.B]
+			case OpANDI:
+				r[in.Dst] = r[in.A] & in.Imm
+			case OpOR:
+				r[in.Dst] = r[in.A] | r[in.B]
+			case OpXOR:
+				r[in.Dst] = r[in.A] ^ r[in.B]
+			case OpADD:
+				r[in.Dst] = r[in.A] + r[in.B]
+			case OpSHLI:
+				r[in.Dst] = r[in.A] << in.Imm
+			case OpSHRI:
+				r[in.Dst] = r[in.A] >> in.Imm
+			case OpSHR:
+				r[in.Dst] = r[in.A] >> (r[in.B] & 31)
+			case OpMULI:
+				r[in.Dst] = r[in.A] * in.Imm
+			case OpSETEQI:
+				if r[in.A] == in.Imm {
+					r[in.Dst] = 1
+				} else {
+					r[in.Dst] = 0
+				}
+			case OpSELP:
+				if r[in.A] != 0 {
+					r[in.Dst] = r[in.B]
+				} else {
+					r[in.Dst] = 0
+				}
+			default:
+				return res, fmt.Errorf("gpu: microsim bad opcode %d", in.Op)
+			}
+		}
+		pc++
+	}
+}
+
+// uniformPredicate requires every thread to agree on a branch.
+func (m *microSim) uniformPredicate(reg int) (bool, error) {
+	first := m.regs[0][reg] != 0
+	for _, r := range m.regs[1:] {
+		if (r[reg] != 0) != first {
+			return false, ErrDivergence
+		}
+	}
+	return first, nil
+}
+
+// execLDS performs the shared load for every thread and returns the extra
+// serialized rounds (per half-warp, the bank-conflict rule of Sec. 5.1.3).
+func (m *microSim) execLDS(in Instr) int {
+	half := m.spec.WarpSize / 2
+	extra := 0
+	for base := 0; base < m.spec.WarpSize; base += half {
+		counts := make(map[int]int, m.spec.SharedBanks)
+		maxLoad := 0
+		for tid := base; tid < base+half; tid++ {
+			r := m.regs[tid]
+			addr := int(r[in.A] + in.Imm)
+			if addr < 0 || addr >= len(m.shared) {
+				addr = 0
+			}
+			r[in.Dst] = m.shared[addr]
+			bank := m.widthFn(addr)
+			counts[bank]++
+			if counts[bank] > maxLoad {
+				maxLoad = counts[bank]
+			}
+		}
+		if maxLoad > 1 {
+			extra += maxLoad - 1
+		}
+	}
+	return extra
+}
+
+// Register allocation shared by the kernel programs below.
+const (
+	rC    = 0 // coefficient (uniform across the warp)
+	rSrc  = 1 // source word (4 packed bytes)
+	rAcc  = 2 // accumulator word
+	rT1   = 3
+	rT2   = 4
+	rHi   = 5
+	rLC   = 6 // log(coefficient), remapped domain
+	rBase = 7 // private exp-table base (word offset)
+	rByte = 8
+	rIdx  = 9
+	rOut  = 10
+	rT3   = 11
+)
+
+// loopMulProgram is the loop-based GF multiply of a byte coefficient into a
+// 4-byte word (the Nuclei kernel's inner loop, Sec. 4.1): Russian-peasant
+// multiplication with a packed-lane xtime, iterating while coefficient bits
+// remain. Trip count is warp-uniform (one coefficient per row).
+func loopMulProgram() []Instr {
+	const loopStart = 1
+	return []Instr{
+		{Op: OpMOVI, Dst: rAcc, Imm: 0},
+		// loop:
+		{Op: OpANDI, Dst: rT1, A: rC, Imm: 1},   // t1 = c & 1
+		{Op: OpSELP, Dst: rT2, A: rT1, B: rSrc}, // t2 = t1 ? v : 0 (predicated)
+		{Op: OpXOR, Dst: rAcc, A: rAcc, B: rT2}, // acc ^= t2
+		{Op: OpSHRI, Dst: rC, A: rC, Imm: 1},    // c >>= 1
+		{Op: OpANDI, Dst: rHi, A: rSrc, Imm: 0x80808080},
+		{Op: OpANDI, Dst: rT1, A: rSrc, Imm: 0x7f7f7f7f},
+		{Op: OpSHLI, Dst: rT1, A: rT1, Imm: 1}, // v' = (v & 0x7f..) << 1
+		{Op: OpSHRI, Dst: rHi, A: rHi, Imm: 7},
+		{Op: OpMULI, Dst: rHi, A: rHi, Imm: 0x1b}, // per-lane reduction
+		{Op: OpXOR, Dst: rSrc, A: rT1, B: rHi},    // v = xtime(v)
+		{Op: OpBNZ, A: rC, Target: loopStart},     // while c != 0
+		{Op: OpEXIT},
+	}
+}
+
+// loopMulIterInstrs is the issued instruction count per loop iteration of
+// loopMulProgram (everything between loopStart and the branch, inclusive).
+const loopMulIterInstrs = 11
+
+// tb5MulProgram is the Table-based-5 multiply of a log-domain coefficient
+// into a log-domain source word (Sec. 5.1.3): for each of the 4 bytes,
+// extract, predicated zero test, add logs, load the private word-width exp
+// table from shared memory, and merge into the output word. No branches —
+// fully predicated, the point of the TB-3 remapping.
+func tb5MulProgram() []Instr {
+	prog := []Instr{{Op: OpMOVI, Dst: rOut, Imm: 0}}
+	for b := 0; b < 4; b++ {
+		shift := uint32(8 * b)
+		prog = append(prog,
+			Instr{Op: OpSHRI, Dst: rByte, A: rSrc, Imm: shift}, // byte lane
+			Instr{Op: OpANDI, Dst: rByte, A: rByte, Imm: 0xFF},
+			Instr{Op: OpADD, Dst: rIdx, A: rLC, B: rByte}, // log c + log s
+			Instr{Op: OpADD, Dst: rIdx, A: rIdx, B: rBase},
+			Instr{Op: OpLDS, Dst: rT1, A: rIdx},           // exp lookup (word table)
+			Instr{Op: OpSELP, Dst: rT1, A: rByte, B: rT1}, // zero-remapped predication
+			Instr{Op: OpSHLI, Dst: rT1, A: rT1, Imm: shift},
+			Instr{Op: OpOR, Dst: rOut, A: rOut, B: rT1},
+		)
+	}
+	prog = append(prog, Instr{Op: OpEXIT})
+	return prog
+}
+
+// tb5MulInstrs is the issued instruction count of tb5MulProgram (excluding
+// EXIT): 1 init + 8 per byte × 4.
+const tb5MulInstrs = 33
+
+// runLoopMulWarp executes the loop-based multiply for a warp where every
+// thread multiplies coefficient c into its own source word. Results are
+// returned per thread for verification.
+func runLoopMulWarp(spec DeviceSpec, c byte, words []uint32) ([]uint32, microResult, error) {
+	m := newMicroSim(spec, 1)
+	res, err := m.run(loopMulProgram(), func(tid int, regs []uint32) {
+		regs[rC] = uint32(c)
+		regs[rSrc] = words[tid%len(words)]
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	out := make([]uint32, spec.WarpSize)
+	for tid := range out {
+		out[tid] = m.regs[tid][rAcc]
+	}
+	return out, res, nil
+}
+
+// runTB5MulWarp executes the TB-5 multiply for a warp: the shared memory
+// holds 8 private remapped-exp tables laid out in bank pairs; thread t uses
+// copy t%8. Inputs are log-domain words (4 remapped log bytes each).
+func runTB5MulWarp(spec DeviceSpec, logC uint16, logWords []uint32) ([]uint32, microResult, error) {
+	const copies = 8
+	const tableWords = 512
+	m := newMicroSim(spec, copies*tableWords)
+	// Bank-pair layout: copy c owns banks {2c, 2c+1}; within a copy the
+	// index's low bit picks the bank (Sec. 5.1.3, fourth optimization).
+	banksPerCopy := spec.SharedBanks / copies
+	m.widthFn = func(addrWord int) int {
+		copy := addrWord / tableWords
+		idx := addrWord % tableWords
+		return copy*banksPerCopy + idx%banksPerCopy
+	}
+	for c := 0; c < copies; c++ {
+		for i := 0; i < tableWords; i++ {
+			m.shared[c*tableWords+i] = uint32(gf256.ExpRemapped(i))
+		}
+	}
+	res, err := m.run(tb5MulProgram(), func(tid int, regs []uint32) {
+		regs[rLC] = uint32(logC)
+		regs[rSrc] = logWords[tid%len(logWords)]
+		regs[rBase] = uint32((tid % copies) * tableWords)
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	out := make([]uint32, spec.WarpSize)
+	for tid := range out {
+		out[tid] = m.regs[tid][rOut]
+	}
+	return out, res, nil
+}
+
+// tb1MulProgram is the Table-based-1 multiply (Sec. 5.1.2): operands are in
+// the classic log domain (0xFF sentinel for zero) and the exp table is a
+// single shared byte table. It carries the costs the later ladder steps
+// strip: a sentinel test per byte for BOTH operands (TB-2 merges the
+// coefficient's four tests into one; TB-3 turns the rest into free
+// predication), and byte-granular loads on word-addressed shared memory
+// (word load + variable shift + mask — the "longer and less efficient
+// code" of Sec. 4.1).
+func tb1MulProgram() []Instr {
+	prog := []Instr{{Op: OpMOVI, Dst: rOut, Imm: 0}}
+	for b := 0; b < 4; b++ {
+		shift := uint32(8 * b)
+		prog = append(prog,
+			Instr{Op: OpSHRI, Dst: rByte, A: rSrc, Imm: shift}, // log-domain byte lane
+			Instr{Op: OpANDI, Dst: rByte, A: rByte, Imm: 0xFF},
+			Instr{Op: OpSETEQI, Dst: rT2, A: rByte, Imm: 0xFF}, // source sentinel
+			Instr{Op: OpSETEQI, Dst: rT3, A: rLC, Imm: 0xFF},   // coefficient sentinel (merged away by TB-2)
+			Instr{Op: OpOR, Dst: rT2, A: rT2, B: rT3},
+			Instr{Op: OpSETEQI, Dst: rT2, A: rT2, Imm: 0}, // invert: 1 when both non-zero
+			Instr{Op: OpADD, Dst: rIdx, A: rLC, B: rByte}, // log c + log s
+			// Byte table on word-addressed shared memory.
+			Instr{Op: OpSHRI, Dst: rT1, A: rIdx, Imm: 2}, // word address
+			Instr{Op: OpLDS, Dst: rT1, A: rT1},           // exp word
+			Instr{Op: OpANDI, Dst: rHi, A: rIdx, Imm: 3},
+			Instr{Op: OpSHLI, Dst: rHi, A: rHi, Imm: 3}, // bit offset
+			Instr{Op: OpSHR, Dst: rT1, A: rT1, B: rHi},  // variable extract
+			Instr{Op: OpANDI, Dst: rT1, A: rT1, Imm: 0xFF},
+			Instr{Op: OpSELP, Dst: rT1, A: rT2, B: rT1}, // zero on sentinel
+			Instr{Op: OpSHLI, Dst: rT1, A: rT1, Imm: shift},
+			Instr{Op: OpOR, Dst: rOut, A: rOut, B: rT1},
+		)
+	}
+	prog = append(prog, Instr{Op: OpEXIT})
+	return prog
+}
+
+// tb1MulInstrs is tb1MulProgram's issued instruction count: 1 + 16 × 4.
+const tb1MulInstrs = 65
+
+// runTB1MulWarp executes the TB-1 multiply for a warp over a single shared
+// classic exp byte-table (packed little-endian into words); logC and the
+// source words use the 0xFF-sentinel log domain.
+func runTB1MulWarp(spec DeviceSpec, logC byte, logWords []uint32) ([]uint32, microResult, error) {
+	const tableWords = 128 // 512 exp bytes
+	m := newMicroSim(spec, tableWords)
+	for i := 0; i < tableWords; i++ {
+		var w uint32
+		for j := 0; j < 4; j++ {
+			idx := 4*i + j
+			e := gf256.Exp(idx % 255)
+			if idx >= 510 {
+				e = 0
+			}
+			w |= uint32(e) << (8 * j)
+		}
+		m.shared[i] = w
+	}
+	res, err := m.run(tb1MulProgram(), func(tid int, regs []uint32) {
+		regs[rLC] = uint32(logC)
+		regs[rSrc] = logWords[tid%len(logWords)]
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	out := make([]uint32, spec.WarpSize)
+	for tid := range out {
+		out[tid] = m.regs[tid][rOut]
+	}
+	return out, res, nil
+}
+
+// Decode-side micro programs: the pivot search of Sec. 4.2.2 / 5.4.2. Each
+// thread holds the column index of its leading non-zero coefficient (or a
+// +inf sentinel); the block must agree on the minimum. The classic kernel
+// runs a log₂-step tree reduction over shared memory with a barrier per
+// step; the GTX 280's shared-memory atomicMin collapses it to one atomic
+// per thread and a single barrier — the ≈0.6% decode saving of Sec. 5.4.2.
+
+// pivotSentinel marks "no non-zero coefficient in my columns".
+const pivotSentinel = 0x7FFFFFFF
+
+// runPivotReduction executes the tree-reduction pivot search for one
+// half-warp-sized group and returns the found minimum plus issued
+// instruction and barrier counts.
+func runPivotReduction(spec DeviceSpec, values []int) (int, int, int) {
+	n := len(values)
+	shared := make([]int, n)
+	copy(shared, values)
+	instr, barriers := 0, 0
+	for stride := n / 2; stride > 0; stride /= 2 {
+		for t := 0; t < stride; t++ {
+			// load both, compare, store min: ≈4 instructions per active thread.
+			a, b := shared[t], shared[t+stride]
+			if b < a {
+				shared[t] = b
+			}
+			instr += 4
+		}
+		barriers++ // __syncthreads between steps
+	}
+	return shared[0], instr, barriers
+}
+
+// runPivotAtomicMin executes the atomicMin variant: every thread issues one
+// atomic against a single shared word, then one barrier.
+func runPivotAtomicMin(spec DeviceSpec, values []int) (int, int, int) {
+	min := pivotSentinel
+	instr := 0
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		instr += 2 // address + atomic issue
+	}
+	return min, instr, 1
+}

@@ -1,0 +1,172 @@
+package gpu
+
+import (
+	"testing"
+
+	"extremenc/internal/rlnc"
+)
+
+// Cost-model law tests: the paper's performance physics imply orderings
+// that must hold at every parameter point, not just the calibrated anchors.
+
+func encRateAt(t *testing.T, spec DeviceSpec, n, k int, scheme Scheme) float64 {
+	t.Helper()
+	d, err := NewDevice(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rlnc.Params{BlockCount: n, BlockSize: k}
+	seg := randomSegment(t, p, int64(n+k))
+	rows := 4096 * 256 / ((k + 3) / 4)
+	if rows < 2*n {
+		rows = 2 * n
+	}
+	res, err := d.EncodeSegment(seg, denseCoeffs(rows, n, int64(n*k)), scheme, &EncodeOptions{Materialize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.BandwidthMBps()
+}
+
+// TestEncodeRateInverseInN: encoding cost is n multiplies per byte, so the
+// rate must fall ≈proportionally with n for every scheme.
+func TestEncodeRateInverseInN(t *testing.T) {
+	spec := GTX280()
+	for _, scheme := range Schemes() {
+		r128 := encRateAt(t, spec, 128, 4096, scheme)
+		r256 := encRateAt(t, spec, 256, 4096, scheme)
+		r512 := encRateAt(t, spec, 512, 4096, scheme)
+		if !(r128 > r256 && r256 > r512) {
+			t.Errorf("%v: rates not decreasing in n: %.1f / %.1f / %.1f", scheme, r128, r256, r512)
+		}
+		if ratio := r128 / r256; ratio < 1.8 || ratio > 2.3 {
+			t.Errorf("%v: n=128/n=256 ratio %.2f, want ≈2", scheme, ratio)
+		}
+	}
+}
+
+// TestLadderOrderHoldsEverywhere: the TB-1…TB-5 ordering is not a n=128
+// artifact.
+func TestLadderOrderHoldsEverywhere(t *testing.T) {
+	spec := GTX280()
+	ladder := []Scheme{TableBased1, TableBased2, TableBased3, TableBased4, TableBased5}
+	for _, n := range []int{64, 256} {
+		for _, k := range []int{1024, 16384} {
+			prev := 0.0
+			for _, scheme := range ladder {
+				r := encRateAt(t, spec, n, k, scheme)
+				if r <= prev {
+					t.Errorf("n=%d k=%d: %v (%.1f) not above previous (%.1f)", n, k, scheme, r, prev)
+				}
+				prev = r
+			}
+		}
+	}
+}
+
+// TestMoreSMsNeverSlower: growing the device must never slow any kernel.
+func TestMoreSMsNeverSlower(t *testing.T) {
+	small := GTX280()
+	small.SMs = 10
+	big := GTX280()
+	for _, scheme := range []Scheme{LoopBased, TableBased5} {
+		rs := encRateAt(t, small, 128, 4096, scheme)
+		rb := encRateAt(t, big, 128, 4096, scheme)
+		if rb <= rs {
+			t.Errorf("%v: 30 SMs (%.1f) not faster than 10 SMs (%.1f)", scheme, rb, rs)
+		}
+	}
+}
+
+// TestDecodeRateMonotoneInK: single-segment decoding improves with block
+// size at every n (the Fig. 4b mechanism: more threads per SM).
+func TestDecodeRateMonotoneInK(t *testing.T) {
+	d := newGTX280(t)
+	for _, n := range []int{64, 128, 256, 512} {
+		prev := 0.0
+		for _, k := range []int{128, 512, 2048, 8192, 32768} {
+			res, err := d.EstimateDecodeSegment(rlnc.Params{BlockCount: n, BlockSize: k}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.BandwidthMBps()
+			if r <= prev {
+				t.Errorf("n=%d: decode rate not rising at k=%d (%.2f ≤ %.2f)", n, k, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+// TestMultiSegmentAlwaysBeatsSingle: for any (n, k), decoding 30 segments
+// in parallel must outperform decoding them serially.
+func TestMultiSegmentAlwaysBeatsSingle(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		for _, k := range []int{512, 4096, 32768} {
+			p := rlnc.Params{BlockCount: n, BlockSize: k}
+			single, err := newGTX280(t).EstimateDecodeSegment(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi, err := newGTX280(t).EstimateMultiSegment(p, 30, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi.BandwidthMBps() <= single.BandwidthMBps() {
+				t.Errorf("n=%d k=%d: multi (%.1f) not above single (%.1f)",
+					n, k, multi.BandwidthMBps(), single.BandwidthMBps())
+			}
+		}
+	}
+}
+
+// TestStageShareFallsWithK: stage 1's share of multi-segment decode time
+// strictly falls as blocks grow (the Fig. 9 annotation trend).
+func TestStageShareFallsWithK(t *testing.T) {
+	prev := 1.1
+	for _, k := range []int{128, 1024, 8192, 32768} {
+		res, err := newGTX280(t).EstimateMultiSegment(rlnc.Params{BlockCount: 128, BlockSize: k}, 30, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := res.Stage1Share()
+		if share >= prev {
+			t.Errorf("stage-1 share not falling at k=%d: %.3f ≥ %.3f", k, share, prev)
+		}
+		prev = share
+	}
+}
+
+// TestGPUGenerationDecodeGap reproduces the Sec. 4.3 text claim: at n=128
+// the GTX 280's single-segment decode is nearly tied with the 8800 GT at
+// small blocks (≤1 KB) and gains a modest 5–38% from 2–16 KB — the missing
+// parallelism caps what the extra cores can do.
+func TestGPUGenerationDecodeGap(t *testing.T) {
+	rate := func(spec DeviceSpec, k int) float64 {
+		d, err := NewDevice(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.EstimateDecodeSegment(rlnc.Params{BlockCount: 128, BlockSize: k}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BandwidthMBps()
+	}
+	for _, k := range []int{256, 1024} {
+		gap := rate(GTX280(), k) / rate(GeForce8800GT(), k)
+		if gap < 0.95 || gap > 1.35 {
+			t.Errorf("k=%d: GTX280/8800GT decode gap %.2f, want ≈1 (small blocks)", k, gap)
+		}
+	}
+	// 2–16 KB: a modest gain, far below the 2× core advantage (paper:
+	// 5–38%; our model lands somewhat higher at the top of the range
+	// because its partition-width advantage is undiluted — recorded as a
+	// known deviation in EXPERIMENTS.md).
+	for _, k := range []int{4096, 16384} {
+		gap := rate(GTX280(), k) / rate(GeForce8800GT(), k)
+		if gap < 1.02 || gap > 1.75 {
+			t.Errorf("k=%d: GTX280/8800GT decode gap %.2f, want modest gain ≪ 2×", k, gap)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package gpu
+
+import "math/rand"
+
+// newRand returns a seeded PRNG for calibration helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

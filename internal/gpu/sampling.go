@@ -1,0 +1,209 @@
+package gpu
+
+import (
+	"extremenc/internal/gf256"
+	"extremenc/internal/rlnc"
+)
+
+// Shared-memory bank-conflict and texture-cache sampling. Rather than baking
+// "≈3 conflicts per half-warp" into the model, the simulator measures the
+// conflict rounds the table-based kernels would incur on the data they
+// actually process: a half-warp of 16 threads issues 16 concurrent shared
+// loads whose bank residues come from the real exp-table indices
+// (log c + log s over the real source bytes). The measured average feeds the
+// per-access cost (paper Sec. 5.1.3).
+
+const halfWarp = 16
+
+// conflictRounds returns the serialized access rounds for one half-warp
+// given each access's bank id (-1 marks a predicated-off access that issues
+// no load). It is the maximum load on any bank, at least 1 when any access
+// is live.
+func conflictRounds(banks []int, bankCount int) int {
+	counts := make([]int, bankCount)
+	rounds := 0
+	live := false
+	for _, b := range banks {
+		if b < 0 {
+			continue
+		}
+		live = true
+		counts[b%bankCount]++
+		if counts[b%bankCount] > rounds {
+			rounds = counts[b%bankCount]
+		}
+	}
+	if !live {
+		return 0
+	}
+	return rounds
+}
+
+// bankMapper maps a thread index and exp-table index to a shared-memory
+// bank, defining a table layout.
+type bankMapper func(thread, idx int) int
+
+// classicBankMap is the single shared byte-table layout of TB-0…TB-3: the
+// exp table occupies consecutive bytes, so bank = (byte address / bank
+// width) mod banks. Concurrent random indices collide freely.
+func classicBankMap(spec DeviceSpec) bankMapper {
+	return func(_, idx int) int {
+		return (idx / spec.SharedBankWidth) % spec.SharedBanks
+	}
+}
+
+// replicatedBankMap is the TB-5 layout: 8 private word-width copies of the
+// exp table, each confined to a pair of banks so a thread only ever
+// contends with the one other half-warp thread sharing its copy
+// (Sec. 5.1.3, fourth optimization).
+func replicatedBankMap(spec DeviceSpec) bankMapper {
+	copies := 8
+	banksPerCopy := spec.SharedBanks / copies
+	if banksPerCopy < 1 {
+		banksPerCopy = 1
+	}
+	return func(thread, idx int) int {
+		c := thread % copies
+		return c*banksPerCopy + idx%banksPerCopy
+	}
+}
+
+// conflictSample measures the average serialized rounds per live shared
+// access for the table-based encode inner loop over real data.
+//
+// Threads t of a half-warp process 16 consecutive words of one coded block;
+// at byte lane l they look up exp[log c + log src[(w+t)*4+l]]. Zero source
+// bytes are predicated off (no load). The sample walks several coefficient
+// rows and several word offsets and returns rounds per access (≥1) plus the
+// measured access count per sampled half-warp sweep.
+func conflictSample(seg *rlnc.Segment, coeffs [][]byte, mapper bankMapper, spec DeviceSpec, maxSamples int) (roundsPerAccess float64, accesses, conflicts float64) {
+	p := seg.Params()
+	words := p.BlockSize / 4
+	if words == 0 {
+		words = 1
+	}
+	data := seg.Data()
+
+	var totalRounds, totalAccesses float64
+	samples := 0
+	banks := make([]int, halfWarp)
+	for _, row := range coeffs {
+		for _, c := range row {
+			if samples >= maxSamples {
+				break
+			}
+			if c == 0 {
+				continue
+			}
+			logC, _ := gf256.Log(c)
+			// Spread the sampled half-warps across the block.
+			for base := 0; base+halfWarp <= words && samples < maxSamples; base += words/3 + halfWarp {
+				for lane := 0; lane < 4; lane++ {
+					for t := 0; t < halfWarp; t++ {
+						byteIdx := (base+t)*4 + lane
+						if byteIdx >= p.BlockSize {
+							banks[t] = -1
+							continue
+						}
+						// All threads read the same source block per term of
+						// Eq. 1; which block does not change bank statistics,
+						// so sample block 0's bytes at the thread's offset.
+						s := data[byteIdx%len(data)]
+						if s == 0 {
+							banks[t] = -1 // predicated off
+							continue
+						}
+						logS, _ := gf256.Log(s)
+						banks[t] = mapper(t, int(logC)+int(logS))
+					}
+					r := conflictRounds(banks, spec.SharedBanks)
+					live := 0
+					for _, b := range banks {
+						if b >= 0 {
+							live++
+						}
+					}
+					if live == 0 {
+						continue
+					}
+					totalRounds += float64(r) * halfWarp / float64(live)
+					totalAccesses += float64(live)
+					samples++
+				}
+			}
+		}
+	}
+	if samples == 0 {
+		return 1, 0, 0
+	}
+	avg := totalRounds / float64(samples)
+	if avg < 1 {
+		avg = 1
+	}
+	return avg, totalAccesses, (avg - 1) * totalAccesses / halfWarp
+}
+
+// texCache is a tiny direct-mapped texture cache simulator, one per TPC.
+type texCache struct {
+	lineSize int
+	tags     []int
+}
+
+func newTexCache(capacityBytes, lineSize int) *texCache {
+	lines := capacityBytes / lineSize
+	if lines < 1 {
+		lines = 1
+	}
+	tags := make([]int, lines)
+	for i := range tags {
+		tags[i] = -1
+	}
+	return &texCache{lineSize: lineSize, tags: tags}
+}
+
+// access touches addr and reports whether it hit.
+func (c *texCache) access(addr int) bool {
+	line := addr / c.lineSize
+	slot := line % len(c.tags)
+	if c.tags[slot] == line {
+		return true
+	}
+	c.tags[slot] = line
+	return false
+}
+
+// textureHitRate replays a sampled exp-table index stream from real data
+// through the texture cache and returns the hit fraction. The exp table is
+// a few hundred bytes, so after compulsory misses the locality is near
+// perfect — the mechanism behind TB-4's gain (Sec. 5.1.3).
+func textureHitRate(seg *rlnc.Segment, coeffs [][]byte, spec DeviceSpec, maxSamples int) float64 {
+	cache := newTexCache(spec.TexCacheBytes, 32)
+	data := seg.Data()
+	hits, total := 0, 0
+	for _, row := range coeffs {
+		for _, c := range row {
+			if total >= maxSamples {
+				break
+			}
+			if c == 0 {
+				continue
+			}
+			logC, _ := gf256.Log(c)
+			for i := 0; i < 64 && total < maxSamples; i++ {
+				s := data[i%len(data)]
+				if s == 0 {
+					continue
+				}
+				logS, _ := gf256.Log(s)
+				if cache.access(int(logC) + int(logS)) {
+					hits++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,263 @@
+// Package matrix implements dense matrices over GF(2^8) and the elimination
+// algorithms network coding relies on: Gauss–Jordan reduction to reduced
+// row-echelon form (RREF), matrix inversion via the augmented [C | I] form
+// (the first stage of the paper's multi-segment decoder), rank computation,
+// and GF matrix multiplication (the second stage).
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"extremenc/internal/gf256"
+)
+
+// ErrSingular is returned when a matrix has no inverse.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+// New returns a zero rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Random returns a rows×cols matrix with uniformly random entries.
+func Random(rows, cols int, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	rng.Read(m.data)
+	return m
+}
+
+// RandomFullRank returns a uniformly random n×n matrix conditioned on being
+// invertible (resampling on rank deficiency; the deficiency probability in
+// GF(2^8) is below 0.4% so this terminates almost immediately).
+func RandomFullRank(n int, rng *rand.Rand) *Matrix {
+	for {
+		m := Random(n, n, rng)
+		if m.Clone().RREF() == n {
+			return m
+		}
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols : (r+1)*m.cols] }
+
+// Data returns the backing row-major storage (aliased, not copied).
+func (m *Matrix) Data() []byte { return m.data }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether m is square and equal to the identity.
+func (m *Matrix) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	return m.Equal(Identity(m.rows))
+}
+
+// Augment returns [m | o] (same row count required).
+func (m *Matrix) Augment(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows {
+		return nil, fmt.Errorf("matrix: augment row mismatch %d vs %d", m.rows, o.rows)
+	}
+	a := New(m.rows, m.cols+o.cols)
+	for r := 0; r < m.rows; r++ {
+		copy(a.Row(r), m.Row(r))
+		copy(a.Row(r)[m.cols:], o.Row(r))
+	}
+	return a, nil
+}
+
+// Slice returns the sub-matrix of columns [c0, c1) as a copy.
+func (m *Matrix) Slice(c0, c1 int) *Matrix {
+	s := New(m.rows, c1-c0)
+	for r := 0; r < m.rows; r++ {
+		copy(s.Row(r), m.Row(r)[c0:c1])
+	}
+	return s
+}
+
+// Mul returns m·o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("matrix: %d×%d · %d×%d shape mismatch", m.rows, m.cols, o.rows, o.cols)
+	}
+	p := New(m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		out := p.Row(r)
+		row := m.Row(r)
+		for i, c := range row {
+			if c != 0 {
+				gf256.MulAddSlice(out, o.Row(i), c)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MulVec returns m·v for a column vector v of length Cols.
+func (m *Matrix) MulVec(v []byte) ([]byte, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: vector length %d, want %d", len(v), m.cols)
+	}
+	out := make([]byte, m.rows)
+	for r := 0; r < m.rows; r++ {
+		var acc byte
+		for i, c := range m.Row(r) {
+			if c != 0 && v[i] != 0 {
+				acc ^= gf256.MulTable(c, v[i])
+			}
+		}
+		out[r] = acc
+	}
+	return out, nil
+}
+
+// RREF reduces m in place to reduced row-echelon form using Gauss–Jordan
+// elimination (the paper's decoding algorithm, Sec. 3) and returns the rank.
+// Pivoting selects the first non-zero entry in the pivot column at or below
+// the current row, mirroring the GPU kernel's "first non-zero coefficient"
+// search — GF(2^8) arithmetic is exact, so no magnitude pivoting is needed.
+func (m *Matrix) RREF() int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != rank {
+			m.swapRows(pivot, rank)
+		}
+		prow := m.Row(rank)
+		if pv := prow[col]; pv != 1 {
+			gf256.ScaleSlice(prow, gf256.Inv(pv))
+		}
+		for r := 0; r < m.rows; r++ {
+			if r == rank {
+				continue
+			}
+			if f := m.At(r, col); f != 0 {
+				gf256.MulAddSlice(m.Row(r), prow, f)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Rank returns the rank of m without modifying it.
+func (m *Matrix) Rank() int { return m.Clone().RREF() }
+
+// Inverse returns m⁻¹ computed by Gauss–Jordan elimination on the augmented
+// matrix [m | I] — exactly the first stage of the paper's multi-segment
+// decoder (Sec. 5.2). It returns ErrSingular for rank-deficient input.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: inverse of non-square %d×%d: %w", m.rows, m.cols, ErrSingular)
+	}
+	aug, err := m.Augment(Identity(m.rows))
+	if err != nil {
+		return nil, err
+	}
+	aug.RREF()
+	// Rank of [C | I] is always full, so singularity must be detected on the
+	// left block: it reduces to the identity iff C was invertible.
+	if !aug.Slice(0, m.cols).IsIdentity() {
+		return nil, ErrSingular
+	}
+	return aug.Slice(m.cols, 2*m.cols), nil
+}
+
+func (m *Matrix) swapRows(a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// String renders the matrix in hex for debugging and test failure output.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%02x", m.At(r, c))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

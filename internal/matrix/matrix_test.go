@@ -1,0 +1,317 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"extremenc/internal/gf256"
+)
+
+func TestNewZeroAndShape(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("shape = %d×%d, want 3×5", m.Rows(), m.Cols())
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 5; c++ {
+			if m.At(r, c) != 0 {
+				t.Fatalf("fresh matrix non-zero at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Fatalf("FromRows layout wrong:\n%s", m)
+	}
+	if _, err := FromRows([][]byte{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("FromRows(nil) = %v rows, err %v", empty.Rows(), err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if !id.IsIdentity() {
+		t.Fatalf("Identity(4) fails IsIdentity:\n%s", id)
+	}
+	if id.Rank() != 4 {
+		t.Fatalf("Identity rank = %d", id.Rank())
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row does not alias storage")
+	}
+}
+
+func TestMulAgainstScalarDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := Random(4, 6, rng)
+	b := Random(6, 3, rng)
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			var want byte
+			for i := 0; i < 6; i++ {
+				want ^= gf256.MulTable(a.At(r, i), b.At(i, c))
+			}
+			if p.At(r, c) != want {
+				t.Fatalf("Mul (%d,%d) = %#x, want %#x", r, c, p.At(r, c), want)
+			}
+		}
+	}
+	if _, err := a.Mul(a); err == nil {
+		t.Fatal("shape-mismatched Mul accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := Random(5, 7, rng)
+	v := make([]byte, 7)
+	rng.Read(v)
+	got, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := New(7, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want, err := m.Mul(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %#x, want %#x", i, got[i], want.At(i, 0))
+		}
+	}
+	if _, err := m.MulVec(v[:3]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestRREFProducesIdentityForFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 8, 32} {
+		m := RandomFullRank(n, rng)
+		r := m.Clone()
+		if rank := r.RREF(); rank != n {
+			t.Fatalf("n=%d RREF rank = %d", n, rank)
+		}
+		if !r.IsIdentity() {
+			t.Fatalf("n=%d RREF of full-rank square is not identity:\n%s", n, r)
+		}
+	}
+}
+
+func TestRREFIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := Random(6, 10, rng)
+	m.RREF()
+	once := m.Clone()
+	m.RREF()
+	if !m.Equal(once) {
+		t.Fatal("RREF is not idempotent")
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Duplicated row must reduce rank.
+	m := Random(4, 4, rng)
+	copy(m.Row(3), m.Row(0))
+	if r := m.Rank(); r > 3 {
+		t.Fatalf("matrix with duplicate rows has rank %d", r)
+	}
+	// A scaled row is linearly dependent too.
+	m2 := RandomFullRank(4, rng)
+	gf256.MulSlice(m2.Row(2), m2.Row(1), 0x35)
+	if r := m2.Rank(); r != 3 {
+		t.Fatalf("scaled-row matrix rank = %d, want 3", r)
+	}
+	if z := New(3, 3).Rank(); z != 0 {
+		t.Fatalf("zero matrix rank = %d", z)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 2, 3, 16, 64} {
+		m := RandomFullRank(n, rng)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		p, err := m.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsIdentity() {
+			t.Fatalf("n=%d: m·m⁻¹ != I", n)
+		}
+		q, err := inv.Mul(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsIdentity() {
+			t.Fatalf("n=%d: m⁻¹·m != I", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := New(3, 3) // zero matrix
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero matrix inverse err = %v, want ErrSingular", err)
+	}
+	if _, err := New(2, 3).Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatal("non-square inverse did not report ErrSingular")
+	}
+}
+
+func TestAugmentAndSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := Random(3, 2, rng)
+	b := Random(3, 4, rng)
+	aug, err := a.Augment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.Cols() != 6 {
+		t.Fatalf("augment cols = %d", aug.Cols())
+	}
+	if !aug.Slice(0, 2).Equal(a) || !aug.Slice(2, 6).Equal(b) {
+		t.Fatal("Slice does not recover augment parts")
+	}
+	if _, err := a.Augment(Random(2, 2, rng)); err == nil {
+		t.Fatal("row-mismatched augment accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// TestSolveProperty: for random invertible C and random b, C·(C⁻¹·b) == b.
+// This is precisely the decode equation b = C⁻¹x from the paper.
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		c := RandomFullRank(n, rng)
+		x := Random(n, 9, rng)
+		inv, err := c.Inverse()
+		if err != nil {
+			return false
+		}
+		b, err := inv.Mul(x)
+		if err != nil {
+			return false
+		}
+		back, err := c.Mul(b)
+		if err != nil {
+			return false
+		}
+		return back.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomFullRankAlwaysInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 25; i++ {
+		m := RandomFullRank(8, rng)
+		if m.Rank() != 8 {
+			t.Fatalf("RandomFullRank produced rank %d", m.Rank())
+		}
+	}
+}
+
+func BenchmarkRREF(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	for _, n := range []int{64, 128, 256} {
+		m := RandomFullRank(n, rng)
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Clone().RREF()
+			}
+		})
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	m := RandomFullRank(128, rng)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestRankBounds: rank(AB) ≤ min(rank A, rank B) and
+// rank(A+B) ≤ rank(A)+rank(B) over random GF matrices.
+func TestRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		a := Random(n, n, rng)
+		b := Random(n, n, rng)
+		// Inject rank deficiency half the time.
+		if trial%2 == 0 {
+			copy(a.Row(n-1), a.Row(0))
+		}
+		ra, rb := a.Rank(), b.Rank()
+		ab, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := ab.Rank(); r > min(ra, rb) {
+			t.Fatalf("rank(AB)=%d exceeds min(%d,%d)", r, ra, rb)
+		}
+		sum := a.Clone()
+		for r := 0; r < n; r++ {
+			gf256.AddSlice(sum.Row(r), b.Row(r))
+		}
+		if r := sum.Rank(); r > ra+rb {
+			t.Fatalf("rank(A+B)=%d exceeds %d+%d", r, ra, rb)
+		}
+	}
+}

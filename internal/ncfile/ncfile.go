@@ -1,0 +1,344 @@
+// Package ncfile implements a network-coded file container: a payload is
+// split into coding segments and stored (or transmitted) as self-contained
+// coded-block records with per-record checksums. Because every record is a
+// random linear combination, any sufficiently large subset of intact
+// records reconstructs the file — dropped or corrupted records cost nothing
+// but their redundancy. This is the bulk content-distribution usage of the
+// paper's Sec. 2 (Avalanche) in single-file form, and the substrate of the
+// ncfile command.
+package ncfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+
+	"extremenc/internal/rlnc"
+)
+
+// Container format:
+//
+//	header:  magic "XNCF" | u32 version | u64 payload length |
+//	         u32 n | u32 k | u32 segment count | u32 CRC of the above
+//	records: u32 record length | record bytes (a marshaled rlnc.CodedBlock
+//	         or rlnc.SeededBlock), repeated until EOF.
+const (
+	containerMagic   = "XNCF"
+	containerVersion = 1
+	headerLen        = 4 + 4 + 8 + 4 + 4 + 4 + 4
+)
+
+// Container errors.
+var (
+	ErrBadHeader     = errors.New("ncfile: bad container header")
+	ErrUnrecoverable = errors.New("ncfile: insufficient intact records to recover payload")
+)
+
+// Header describes a container.
+type Header struct {
+	Length   int64
+	Params   rlnc.Params
+	Segments int
+}
+
+func (h Header) validate() error {
+	if h.Length < 0 {
+		return fmt.Errorf("%w: negative length", ErrBadHeader)
+	}
+	if err := h.Params.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if h.Segments <= 0 {
+		return fmt.Errorf("%w: segment count %d", ErrBadHeader, h.Segments)
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, h Header) error {
+	buf := make([]byte, headerLen)
+	copy(buf, containerMagic)
+	binary.BigEndian.PutUint32(buf[4:], containerVersion)
+	binary.BigEndian.PutUint64(buf[8:], uint64(h.Length))
+	binary.BigEndian.PutUint32(buf[16:], uint32(h.Params.BlockCount))
+	binary.BigEndian.PutUint32(buf[20:], uint32(h.Params.BlockSize))
+	binary.BigEndian.PutUint32(buf[24:], uint32(h.Segments))
+	binary.BigEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHeader(r io.Reader) (Header, error) {
+	buf := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Header{}, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if string(buf[:4]) != containerMagic {
+		return Header{}, fmt.Errorf("%w: wrong magic", ErrBadHeader)
+	}
+	if v := binary.BigEndian.Uint32(buf[4:]); v != containerVersion {
+		return Header{}, fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	}
+	if crc32.ChecksumIEEE(buf[:28]) != binary.BigEndian.Uint32(buf[28:]) {
+		return Header{}, fmt.Errorf("%w: checksum mismatch", ErrBadHeader)
+	}
+	h := Header{
+		Length: int64(binary.BigEndian.Uint64(buf[8:])),
+		Params: rlnc.Params{
+			BlockCount: int(binary.BigEndian.Uint32(buf[16:])),
+			BlockSize:  int(binary.BigEndian.Uint32(buf[20:])),
+		},
+		Segments: int(binary.BigEndian.Uint32(buf[24:])),
+	}
+	return h, h.validate()
+}
+
+func writeRecord(w io.Writer, rec []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(rec)
+	return err
+}
+
+// readRecord returns the next raw record, or io.EOF at a clean end.
+func readRecord(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("ncfile: record length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > 64<<20 {
+		return nil, fmt.Errorf("ncfile: implausible record length %d", n)
+	}
+	rec := make([]byte, n)
+	if _, err := io.ReadFull(r, rec); err != nil {
+		return nil, fmt.Errorf("ncfile: record body: %w", err)
+	}
+	return rec, nil
+}
+
+// EncodeOptions tunes Encode.
+type EncodeOptions struct {
+	// Redundancy is coded blocks emitted per source block (≥ 1); the
+	// default 1.15 tolerates ~13% record loss.
+	Redundancy float64
+	// Seeded stores 8-byte coefficient seeds instead of n-byte vectors.
+	Seeded bool
+	// Seed drives the coefficient stream.
+	Seed int64
+}
+
+// EncodeSummary reports an Encode run.
+type EncodeSummary struct {
+	Header       Header
+	Records      int
+	PayloadBytes int64
+	RecordBytes  int64
+}
+
+// Encode reads the payload from r and writes a coded container to w.
+func Encode(w io.Writer, r io.Reader, p rlnc.Params, opts EncodeOptions) (*EncodeSummary, error) {
+	if opts.Redundancy == 0 {
+		opts.Redundancy = 1.15
+	}
+	if opts.Redundancy < 1 {
+		return nil, fmt.Errorf("ncfile: redundancy %.2f below 1", opts.Redundancy)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ncfile: read payload: %w", err)
+	}
+	obj, err := rlnc.Split(payload, p)
+	if err != nil {
+		return nil, err
+	}
+	h := Header{Length: int64(len(payload)), Params: p, Segments: len(obj.Segments)}
+	if err := writeHeader(w, h); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perSegment := int(math.Ceil(float64(p.BlockCount) * opts.Redundancy))
+	sum := &EncodeSummary{Header: h, PayloadBytes: int64(len(payload))}
+	for _, seg := range obj.Segments {
+		enc := rlnc.NewEncoder(seg, rng)
+		for i := 0; i < perSegment; i++ {
+			var rec []byte
+			if opts.Seeded {
+				sb, err := enc.NextSeededBlock()
+				if err != nil {
+					return nil, err
+				}
+				rec, err = sb.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				rec, err = enc.NextBlock().MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := writeRecord(w, rec); err != nil {
+				return nil, err
+			}
+			sum.Records++
+			sum.RecordBytes += int64(len(rec))
+		}
+	}
+	return sum, nil
+}
+
+// DecodeSummary reports a Decode run.
+type DecodeSummary struct {
+	Header         Header
+	Records        int
+	CorruptRecords int
+	Dependent      int
+}
+
+// Decode reads a coded container from r and writes the recovered payload to
+// w. Corrupt records (failed checksums) are skipped; recovery succeeds as
+// long as every segment reaches full rank.
+func Decode(w io.Writer, r io.Reader) (*DecodeSummary, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	decoders := make(map[uint32]*rlnc.Decoder, h.Segments)
+	sum := &DecodeSummary{Header: h}
+
+	for {
+		rec, err := readRecord(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum.Records++
+		blk, ok := parseRecord(rec, h.Params)
+		if !ok {
+			sum.CorruptRecords++
+			continue
+		}
+		dec := decoders[blk.SegmentID]
+		if dec == nil {
+			if dec, err = rlnc.NewDecoder(h.Params); err != nil {
+				return nil, err
+			}
+			decoders[blk.SegmentID] = dec
+		}
+		if dec.Ready() {
+			continue // segment already solved; skip elimination work
+		}
+		innovative, err := dec.AddBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		if !innovative {
+			sum.Dependent++
+		}
+	}
+
+	segs := make([]*rlnc.Segment, 0, h.Segments)
+	for id, dec := range decoders {
+		seg, err := dec.Segment()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d at rank %d/%d",
+				ErrUnrecoverable, id, dec.Rank(), h.Params.BlockCount)
+		}
+		segs = append(segs, seg)
+	}
+	payload, err := rlnc.ReassembleSegments(segs, int(h.Length), h.Params)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// parseRecord decodes a plain or seeded coded-block record, reporting ok =
+// false for corrupt or unrecognized bytes.
+func parseRecord(rec []byte, p rlnc.Params) (*rlnc.CodedBlock, bool) {
+	var blk rlnc.CodedBlock
+	if err := blk.UnmarshalBinary(rec); err == nil {
+		if blk.Validate(p) != nil {
+			return nil, false
+		}
+		return &blk, true
+	}
+	var sb rlnc.SeededBlock
+	if err := sb.UnmarshalBinary(rec); err == nil {
+		expanded := sb.Expand()
+		if expanded.Validate(p) != nil {
+			return nil, false
+		}
+		return expanded, true
+	}
+	return nil, false
+}
+
+// CorruptOptions tunes Corrupt.
+type CorruptOptions struct {
+	DropRate float64 // probability a record is dropped entirely
+	FlipRate float64 // probability a record gets one byte flipped
+	Seed     int64
+}
+
+// CorruptSummary reports a Corrupt run.
+type CorruptSummary struct {
+	Records int
+	Dropped int
+	Flipped int
+}
+
+// Corrupt reads a container and writes a damaged copy — a deterministic
+// lossy channel for demonstrations and failure-injection tests.
+func Corrupt(w io.Writer, r io.Reader, opts CorruptOptions) (*CorruptSummary, error) {
+	if opts.DropRate < 0 || opts.DropRate >= 1 || opts.FlipRate < 0 || opts.FlipRate > 1 {
+		return nil, fmt.Errorf("ncfile: corrupt rates out of range")
+	}
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeHeader(w, h); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sum := &CorruptSummary{}
+	for {
+		rec, err := readRecord(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum.Records++
+		if rng.Float64() < opts.DropRate {
+			sum.Dropped++
+			continue
+		}
+		if rng.Float64() < opts.FlipRate {
+			rec[rng.Intn(len(rec))] ^= byte(1 + rng.Intn(255))
+			sum.Flipped++
+		}
+		if err := writeRecord(w, rec); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,283 @@
+// Package netio streams network-coded content over real connections (TCP
+// or any net.Conn): the deployment path of the paper's streaming-server
+// scenario (Sec. 5.1). A server pushes an endless stream of coded blocks
+// for every segment of an object; a client decodes progressively and hangs
+// up as soon as it holds full rank for everything — no acknowledgements,
+// retransmissions, or block scheduling needed, because any blocks work.
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+
+	"extremenc/internal/rlnc"
+)
+
+// Protocol:
+//
+//	session header: magic "XNCP" | u32 version | u32 n | u32 k |
+//	                u32 segment count | u64 payload length | u32 CRC
+//	then records:   u32 length | marshaled rlnc.CodedBlock, round-robin
+//	                across segments, until the client closes.
+const (
+	protoMagic     = "XNCP"
+	protoVersion   = 1
+	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4
+)
+
+// ErrBadHandshake reports a malformed session header.
+var ErrBadHandshake = errors.New("netio: bad session header")
+
+// sessionHeader describes the stream.
+type sessionHeader struct {
+	params   rlnc.Params
+	segments int
+	length   int64
+}
+
+func writeSessionHeader(w io.Writer, h sessionHeader) error {
+	buf := make([]byte, protoHeaderLen)
+	copy(buf, protoMagic)
+	binary.BigEndian.PutUint32(buf[4:], protoVersion)
+	binary.BigEndian.PutUint32(buf[8:], uint32(h.params.BlockCount))
+	binary.BigEndian.PutUint32(buf[12:], uint32(h.params.BlockSize))
+	binary.BigEndian.PutUint32(buf[16:], uint32(h.segments))
+	binary.BigEndian.PutUint64(buf[20:], uint64(h.length))
+	binary.BigEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readSessionHeader(r io.Reader) (sessionHeader, error) {
+	buf := make([]byte, protoHeaderLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if string(buf[:4]) != protoMagic {
+		return sessionHeader{}, fmt.Errorf("%w: wrong magic", ErrBadHandshake)
+	}
+	if v := binary.BigEndian.Uint32(buf[4:]); v != protoVersion {
+		return sessionHeader{}, fmt.Errorf("%w: version %d", ErrBadHandshake, v)
+	}
+	if crc32.ChecksumIEEE(buf[:28]) != binary.BigEndian.Uint32(buf[28:]) {
+		return sessionHeader{}, fmt.Errorf("%w: checksum", ErrBadHandshake)
+	}
+	h := sessionHeader{
+		params: rlnc.Params{
+			BlockCount: int(binary.BigEndian.Uint32(buf[8:])),
+			BlockSize:  int(binary.BigEndian.Uint32(buf[12:])),
+		},
+		segments: int(binary.BigEndian.Uint32(buf[16:])),
+		length:   int64(binary.BigEndian.Uint64(buf[20:])),
+	}
+	if err := h.params.Validate(); err != nil {
+		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if h.segments <= 0 || h.length < 0 {
+		return sessionHeader{}, fmt.Errorf("%w: shape", ErrBadHandshake)
+	}
+	return h, nil
+}
+
+// Server pushes coded blocks for one object to every connection.
+type Server struct {
+	object *rlnc.Object
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	nextID int64
+}
+
+// NewServer builds a server over media split at p.
+func NewServer(media []byte, p rlnc.Params) (*Server, error) {
+	obj, err := rlnc.Split(media, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{object: obj, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Segments returns the number of media segments served.
+func (s *Server) Segments() int { return len(s.object.Segments) }
+
+// Serve accepts connections from l until the listener or the server is
+// closed, handling each in its own goroutine. It returns nil after a clean
+// Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.nextID++
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Shutdown stops accepting, closes every live connection and waits for the
+// handlers to exit. The caller closes the listener.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ServeConn streams to a single connection until the peer closes (the
+// normal end: the client has decoded) or a write fails. Each connection
+// gets its own coefficient stream.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+
+	s.mu.Lock()
+	seed := s.nextID*int64(0x5851F42D4C957F2D) + 1
+	s.mu.Unlock()
+
+	h := sessionHeader{
+		params:   s.object.Params,
+		segments: len(s.object.Segments),
+		length:   int64(s.object.Length),
+	}
+	if err := writeSessionHeader(conn, h); err != nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	encoders := make([]*rlnc.Encoder, len(s.object.Segments))
+	for i, seg := range s.object.Segments {
+		encoders[i] = rlnc.NewEncoder(seg, rng)
+	}
+	var lenBuf [4]byte
+	for i := 0; ; i = (i + 1) % len(encoders) {
+		rec, err := encoders[i].NextBlock().MarshalBinary()
+		if err != nil {
+			return
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+		if _, err := conn.Write(lenBuf[:]); err != nil {
+			return // client hung up: done
+		}
+		if _, err := conn.Write(rec); err != nil {
+			return
+		}
+	}
+}
+
+// FetchStats reports a client download.
+type FetchStats struct {
+	Records   int
+	Dependent int
+	Corrupt   int
+	Bytes     int64
+}
+
+// Fetch downloads and decodes the served object from conn, closing it once
+// every segment reaches full rank. Records that fail their checksum are
+// skipped — coded streams need no retransmission.
+func Fetch(conn net.Conn) ([]byte, *FetchStats, error) {
+	defer conn.Close()
+	h, err := readSessionHeader(conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	decoders := make(map[uint32]*rlnc.Decoder, h.segments)
+	remaining := h.segments
+	stats := &FetchStats{}
+
+	var lenBuf [4]byte
+	for remaining > 0 {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return nil, nil, fmt.Errorf("netio: stream ended early: %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > 64<<20 {
+			return nil, nil, fmt.Errorf("netio: implausible record length %d", n)
+		}
+		rec := make([]byte, n)
+		if _, err := io.ReadFull(conn, rec); err != nil {
+			return nil, nil, fmt.Errorf("netio: truncated record: %w", err)
+		}
+		stats.Records++
+		stats.Bytes += int64(len(rec)) + 4
+
+		var blk rlnc.CodedBlock
+		if err := blk.UnmarshalBinary(rec); err != nil || blk.Validate(h.params) != nil {
+			stats.Corrupt++
+			continue
+		}
+		dec := decoders[blk.SegmentID]
+		if dec == nil {
+			if dec, err = rlnc.NewDecoder(h.params); err != nil {
+				return nil, nil, err
+			}
+			decoders[blk.SegmentID] = dec
+		}
+		if dec.Ready() {
+			continue
+		}
+		innovative, err := dec.AddBlock(&blk)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !innovative {
+			stats.Dependent++
+		} else if dec.Ready() {
+			remaining--
+		}
+	}
+
+	segs := make([]*rlnc.Segment, 0, h.segments)
+	for _, dec := range decoders {
+		seg, err := dec.Segment()
+		if err != nil {
+			return nil, nil, err
+		}
+		segs = append(segs, seg)
+	}
+	payload, err := rlnc.ReassembleSegments(segs, int(h.length), h.params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, stats, nil
+}

@@ -1,0 +1,125 @@
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+
+	"extremenc/internal/gf256"
+	"extremenc/internal/matrix"
+)
+
+// ErrRankDeficient reports that a batch of coded blocks does not span the
+// segment.
+var ErrRankDeficient = errors.New("rlnc: coded blocks are rank deficient")
+
+// BatchDecoder implements the two-stage offline decoder of the paper's
+// multi-segment scheme (Sec. 5.2): collect coded blocks, compute C⁻¹ by
+// Gauss–Jordan elimination on [C | I] (stage 1), then recover the source
+// blocks with a dense GF multiplication b = C⁻¹·x (stage 2). Compared to
+// the progressive Decoder it defers all work to Decode, which is the shape
+// that parallelizes across segments.
+type BatchDecoder struct {
+	params  Params
+	segID   uint32
+	haveSeg bool
+	blocks  []*CodedBlock
+}
+
+// NewBatchDecoder returns an empty batch decoder.
+func NewBatchDecoder(p Params) (*BatchDecoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &BatchDecoder{params: p}, nil
+}
+
+// Add stores one coded block for later decoding. Blocks beyond the first n
+// are retained (Decode uses the first linearly independent spanning subset),
+// so over-collection is harmless.
+func (d *BatchDecoder) Add(b *CodedBlock) error {
+	if err := b.Validate(d.params); err != nil {
+		return err
+	}
+	if d.haveSeg && b.SegmentID != d.segID {
+		return fmt.Errorf("%w: have %d, got %d", ErrWrongSegment, d.segID, b.SegmentID)
+	}
+	d.segID, d.haveSeg = b.SegmentID, true
+	d.blocks = append(d.blocks, b)
+	return nil
+}
+
+// Count returns the number of stored blocks.
+func (d *BatchDecoder) Count() int { return len(d.blocks) }
+
+// Decode recovers the segment, or ErrRankDeficient when the stored blocks
+// do not span it.
+func (d *BatchDecoder) Decode() (*Segment, error) {
+	n, k := d.params.BlockCount, d.params.BlockSize
+	rows := d.spanningSubset()
+	if len(rows) < n {
+		return nil, fmt.Errorf("%w: rank %d of %d from %d blocks",
+			ErrRankDeficient, len(rows), n, len(d.blocks))
+	}
+
+	// Stage 1: invert the coefficient matrix via [C | I].
+	c := matrix.New(n, n)
+	for i, b := range rows {
+		copy(c.Row(i), b.Coeffs)
+	}
+	inv, err := c.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rlnc: %w", err)
+	}
+
+	// Stage 2: b = C⁻¹ · x, an encode-like dense multiplication.
+	seg, err := NewSegment(d.segID, d.params)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		out := seg.Block(i)
+		for j, f := range inv.Row(i) {
+			if f != 0 {
+				gf256.MulAddSlice(out[:k], rows[j].Payload, f)
+			}
+		}
+	}
+	return seg, nil
+}
+
+// spanningSubset selects up to n stored blocks with linearly independent
+// coefficient vectors, in arrival order, using an incremental elimination
+// probe (one O(n²) pass over all stored blocks).
+func (d *BatchDecoder) spanningSubset() []*CodedBlock {
+	n := d.params.BlockCount
+	pivotRows := make([][]byte, n)
+	subset := make([]*CodedBlock, 0, n)
+	for _, b := range d.blocks {
+		if len(subset) == n {
+			break
+		}
+		row := append([]byte(nil), b.Coeffs...)
+		pivot := -1
+		for c := 0; c < n; c++ {
+			f := row[c]
+			if f == 0 {
+				continue
+			}
+			if pr := pivotRows[c]; pr != nil {
+				gf256.MulAddSlice(row, pr, f)
+				continue
+			}
+			pivot = c
+			break
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pv := row[pivot]; pv != 1 {
+			gf256.ScaleSlice(row, gf256.Inv(pv))
+		}
+		pivotRows[pivot] = row
+		subset = append(subset, b)
+	}
+	return subset
+}

@@ -1,0 +1,121 @@
+package rlnc
+
+import (
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format of a coded block (all integers big-endian):
+//
+//	offset  size  field
+//	0       4     magic "XNC1"
+//	4       4     segment ID
+//	8       4     block count n
+//	12      4     block size k
+//	16      n     coefficient vector
+//	16+n    k     coded payload
+//	16+n+k  4     CRC-32 (IEEE) over everything above
+const (
+	wireMagic      = "XNC1"
+	wireHeaderLen  = 16
+	wireTrailerLen = 4
+)
+
+// Errors returned by UnmarshalBinary.
+var (
+	ErrBadMagic    = errors.New("rlnc: bad coded-block magic")
+	ErrBadChecksum = errors.New("rlnc: coded-block checksum mismatch")
+	ErrTruncated   = errors.New("rlnc: truncated coded block")
+)
+
+// CodedBlock is one network-coded packet: the coefficient vector c and the
+// payload x = Σ c_i·b_i over the source blocks of one segment (Eq. 1).
+type CodedBlock struct {
+	SegmentID uint32
+	Coeffs    []byte
+	Payload   []byte
+}
+
+var (
+	_ encoding.BinaryMarshaler   = (*CodedBlock)(nil)
+	_ encoding.BinaryUnmarshaler = (*CodedBlock)(nil)
+)
+
+// Params returns the (n, k) configuration implied by the block's shape.
+func (b *CodedBlock) Params() Params {
+	return Params{BlockCount: len(b.Coeffs), BlockSize: len(b.Payload)}
+}
+
+// Validate checks the block against an expected configuration.
+func (b *CodedBlock) Validate(p Params) error {
+	if len(b.Coeffs) != p.BlockCount {
+		return fmt.Errorf("rlnc: coded block has %d coefficients, want %d", len(b.Coeffs), p.BlockCount)
+	}
+	if len(b.Payload) != p.BlockSize {
+		return fmt.Errorf("rlnc: coded block has %d payload bytes, want %d", len(b.Payload), p.BlockSize)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (b *CodedBlock) Clone() *CodedBlock {
+	return &CodedBlock{
+		SegmentID: b.SegmentID,
+		Coeffs:    append([]byte(nil), b.Coeffs...),
+		Payload:   append([]byte(nil), b.Payload...),
+	}
+}
+
+// WireSize returns the marshaled length of the block.
+func (b *CodedBlock) WireSize() int {
+	return wireHeaderLen + len(b.Coeffs) + len(b.Payload) + wireTrailerLen
+}
+
+// MarshalBinary encodes the block in the wire format above.
+func (b *CodedBlock) MarshalBinary() ([]byte, error) {
+	if err := b.Params().Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, b.WireSize())
+	copy(out, wireMagic)
+	binary.BigEndian.PutUint32(out[4:], b.SegmentID)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(b.Coeffs)))
+	binary.BigEndian.PutUint32(out[12:], uint32(len(b.Payload)))
+	copy(out[wireHeaderLen:], b.Coeffs)
+	copy(out[wireHeaderLen+len(b.Coeffs):], b.Payload)
+	sum := crc32.ChecksumIEEE(out[:len(out)-wireTrailerLen])
+	binary.BigEndian.PutUint32(out[len(out)-wireTrailerLen:], sum)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a block from the wire format, validating magic,
+// lengths and checksum.
+func (b *CodedBlock) UnmarshalBinary(data []byte) error {
+	if len(data) < wireHeaderLen+wireTrailerLen {
+		return ErrTruncated
+	}
+	if string(data[:4]) != wireMagic {
+		return ErrBadMagic
+	}
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	k := int(binary.BigEndian.Uint32(data[12:]))
+	p := Params{BlockCount: n, BlockSize: k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	want := wireHeaderLen + n + k + wireTrailerLen
+	if len(data) != want {
+		return fmt.Errorf("%w: have %d bytes, want %d", ErrTruncated, len(data), want)
+	}
+	sum := crc32.ChecksumIEEE(data[:len(data)-wireTrailerLen])
+	if sum != binary.BigEndian.Uint32(data[len(data)-wireTrailerLen:]) {
+		return ErrBadChecksum
+	}
+	b.SegmentID = binary.BigEndian.Uint32(data[4:])
+	b.Coeffs = append(b.Coeffs[:0], data[wireHeaderLen:wireHeaderLen+n]...)
+	b.Payload = append(b.Payload[:0], data[wireHeaderLen+n:wireHeaderLen+n+k]...)
+	return nil
+}

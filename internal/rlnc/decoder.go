@@ -1,0 +1,161 @@
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+
+	"extremenc/internal/gf256"
+)
+
+// Decoding errors.
+var (
+	ErrNotReady     = errors.New("rlnc: decoder does not hold a full-rank set yet")
+	ErrWrongSegment = errors.New("rlnc: coded block belongs to a different segment")
+)
+
+// Decoder recovers a segment from coded blocks by progressive Gauss–Jordan
+// elimination (paper Sec. 3). Each arriving block is reduced against the
+// rows held so far; a block that reduces to all zeros is linearly dependent
+// and is discarded — no explicit dependence check is needed. Rows are kept
+// in reduced row-echelon form over the aggregate [C | x] matrix, so once
+// rank reaches n the payload columns already hold the source blocks.
+type Decoder struct {
+	params  Params
+	segID   uint32
+	haveSeg bool
+
+	// rowForPivot[c] is the aggregate row (n coefficient bytes followed by k
+	// payload bytes) whose pivot is column c, or nil.
+	rowForPivot [][]byte
+	rank        int
+
+	received  int
+	dependent int
+}
+
+// NewDecoder returns an empty decoder for the given configuration.
+func NewDecoder(p Params) (*Decoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{params: p, rowForPivot: make([][]byte, p.BlockCount)}, nil
+}
+
+// Params returns the coding configuration.
+func (d *Decoder) Params() Params { return d.params }
+
+// Rank returns the number of linearly independent blocks absorbed so far.
+func (d *Decoder) Rank() int { return d.rank }
+
+// Ready reports whether the segment can be recovered.
+func (d *Decoder) Ready() bool { return d.rank == d.params.BlockCount }
+
+// Received returns how many blocks were offered to AddBlock.
+func (d *Decoder) Received() int { return d.received }
+
+// Dependent returns how many offered blocks were linearly dependent.
+func (d *Decoder) Dependent() int { return d.dependent }
+
+// AddBlock absorbs one coded block. It returns true when the block was
+// innovative (increased rank) and false when it was linearly dependent with
+// blocks already held. Blocks for a different segment are rejected.
+func (d *Decoder) AddBlock(b *CodedBlock) (innovative bool, err error) {
+	if err := b.Validate(d.params); err != nil {
+		return false, err
+	}
+	if d.haveSeg && b.SegmentID != d.segID {
+		return false, fmt.Errorf("%w: have %d, got %d", ErrWrongSegment, d.segID, b.SegmentID)
+	}
+	d.segID, d.haveSeg = b.SegmentID, true
+	d.received++
+
+	n, k := d.params.BlockCount, d.params.BlockSize
+	row := make([]byte, n+k)
+	copy(row, b.Coeffs)
+	copy(row[n:], b.Payload)
+
+	// Forward-reduce against every existing pivot and find this row's pivot
+	// (the first non-zero entry in a pivot-free column). The sweep must
+	// continue past the pivot: with out-of-order pivots (sparse vectors) the
+	// row can still hold entries in later columns that are already pivoted,
+	// and full RREF requires those eliminated too. Stored pivot rows are
+	// normalized (pivot entry 1), so adding f·pivotRow cancels column c.
+	pivot := -1
+	for c := 0; c < n; c++ {
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		if pr := d.rowForPivot[c]; pr != nil {
+			gf256.MulAddSlice(row, pr, f)
+			continue
+		}
+		if pivot < 0 {
+			pivot = c
+		}
+	}
+	if pivot < 0 {
+		// Reduced to a zero coefficient row: linearly dependent (Sec. 3).
+		d.dependent++
+		return false, nil
+	}
+
+	if pv := row[pivot]; pv != 1 {
+		gf256.ScaleSlice(row, gf256.Inv(pv))
+	}
+	// Back-substitute the new pivot out of every existing row to maintain
+	// full reduced row-echelon form.
+	for c := 0; c < n; c++ {
+		pr := d.rowForPivot[c]
+		if pr == nil {
+			continue
+		}
+		if f := pr[pivot]; f != 0 {
+			gf256.MulAddSlice(pr, row, f)
+		}
+	}
+	d.rowForPivot[pivot] = row
+	d.rank++
+	return true, nil
+}
+
+// Segment returns the recovered segment. It fails with ErrNotReady until
+// rank n is reached.
+func (d *Decoder) Segment() (*Segment, error) {
+	if !d.Ready() {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrNotReady, d.rank, d.params.BlockCount)
+	}
+	seg, err := NewSegment(d.segID, d.params)
+	if err != nil {
+		return nil, err
+	}
+	n := d.params.BlockCount
+	for i := 0; i < n; i++ {
+		copy(seg.Block(i), d.rowForPivot[i][n:])
+	}
+	return seg, nil
+}
+
+// Block returns decoded source block i once available. With full RREF rows,
+// source block i is recoverable as soon as row i's coefficient part has
+// collapsed to the unit vector — useful for early delivery in streaming.
+func (d *Decoder) Block(i int) ([]byte, bool) {
+	n := d.params.BlockCount
+	if i < 0 || i >= n {
+		return nil, false
+	}
+	row := d.rowForPivot[i]
+	if row == nil {
+		return nil, false
+	}
+	for c := 0; c < n; c++ {
+		want := byte(0)
+		if c == i {
+			want = 1
+		}
+		if row[c] != want {
+			return nil, false
+		}
+	}
+	return row[n : n+d.params.BlockSize], true
+}

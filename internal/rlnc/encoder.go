@@ -1,0 +1,197 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extremenc/internal/gf256"
+)
+
+// Encoder produces coded blocks from one source segment using independently
+// and randomly chosen coefficients (paper Sec. 3). The paper's evaluation
+// uses fully dense matrices with non-zero coefficients; a Density option
+// below 1 produces sparse vectors for the sparse-coding ablation.
+type Encoder struct {
+	seg     *Segment
+	rng     *rand.Rand
+	density float64
+}
+
+// EncoderOption configures an Encoder.
+type EncoderOption func(*Encoder)
+
+// WithDensity sets the probability that each coefficient is non-zero.
+// Density 1 (the default) draws every coefficient uniformly from [1, 255],
+// matching the paper's fully dense benchmark matrices.
+func WithDensity(d float64) EncoderOption {
+	return func(e *Encoder) { e.density = d }
+}
+
+// NewEncoder returns an encoder over seg driven by rng (which determines the
+// coefficient stream; pass a seeded source for reproducibility).
+func NewEncoder(seg *Segment, rng *rand.Rand, opts ...EncoderOption) *Encoder {
+	e := &Encoder{seg: seg, rng: rng, density: 1}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// NextCoeffs draws a fresh coefficient vector.
+func (e *Encoder) NextCoeffs() []byte {
+	n := e.seg.params.BlockCount
+	coeffs := make([]byte, n)
+	for {
+		nonZero := false
+		for i := range coeffs {
+			if e.density >= 1 || e.rng.Float64() < e.density {
+				coeffs[i] = byte(1 + e.rng.Intn(255))
+				nonZero = true
+			} else {
+				coeffs[i] = 0
+			}
+		}
+		if nonZero {
+			return coeffs
+		}
+	}
+}
+
+// NextBlock draws random coefficients and returns the corresponding coded
+// block.
+func (e *Encoder) NextBlock() *CodedBlock {
+	b, err := e.BlockFor(e.NextCoeffs())
+	if err != nil {
+		// NextCoeffs always produces a vector of the right length.
+		panic(fmt.Sprintf("rlnc: internal encoder error: %v", err))
+	}
+	return b
+}
+
+// BlockFor returns the coded block for an explicit coefficient vector —
+// Eq. 1: x = Σ c_i · b_i.
+func (e *Encoder) BlockFor(coeffs []byte) (*CodedBlock, error) {
+	p := e.seg.params
+	if len(coeffs) != p.BlockCount {
+		return nil, fmt.Errorf("rlnc: %d coefficients, want %d", len(coeffs), p.BlockCount)
+	}
+	payload := make([]byte, p.BlockSize)
+	EncodeInto(payload, e.seg, coeffs)
+	return &CodedBlock{
+		SegmentID: e.seg.id,
+		Coeffs:    append([]byte(nil), coeffs...),
+		Payload:   payload,
+	}, nil
+}
+
+// EncodeInto computes Σ c_i·b_i over the segment's source blocks into dst
+// (len ≥ BlockSize). It is the primitive shared by the encoder, the parallel
+// workers and the simulators' reference checks.
+func EncodeInto(dst []byte, seg *Segment, coeffs []byte) {
+	k := seg.params.BlockSize
+	clear(dst[:k])
+	for i, c := range coeffs {
+		if c != 0 {
+			gf256.MulAddSlice(dst[:k], seg.Block(i), c)
+		}
+	}
+}
+
+// Recoder regenerates fresh coded blocks from previously received ones
+// without decoding — the capability that distinguishes network coding from
+// end-to-end erasure codes ("can be recoded without affecting the guarantee
+// to decode", Sec. 2). The recoded block's coefficients are re-expressed in
+// terms of the original source blocks so downstream decoders are oblivious
+// to the number of recoding hops.
+type Recoder struct {
+	params   Params
+	segID    uint32
+	received []*CodedBlock
+
+	// probe tracks the rank of the received coefficient vectors so
+	// linearly dependent input is dropped at the door: storing it would
+	// waste memory and recombination work without enlarging the spanned
+	// subspace.
+	probe [][]byte
+	rank  int
+}
+
+// NewRecoder returns a recoder for the given configuration.
+func NewRecoder(p Params) (*Recoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recoder{params: p, probe: make([][]byte, p.BlockCount)}, nil
+}
+
+// Add registers a received coded block as recoding input. Blocks that are
+// linearly dependent with input already held are discarded (they cannot
+// change any recombination); Rank reports the span.
+func (r *Recoder) Add(b *CodedBlock) error {
+	if err := b.Validate(r.params); err != nil {
+		return err
+	}
+	if len(r.received) > 0 && b.SegmentID != r.segID {
+		return fmt.Errorf("rlnc: recoder holds segment %d, got block for %d", r.segID, b.SegmentID)
+	}
+	if !r.absorb(b.Coeffs) {
+		return nil
+	}
+	r.segID = b.SegmentID
+	r.received = append(r.received, b)
+	return nil
+}
+
+// absorb reduces coeffs against the probe basis; it reports whether the
+// vector was innovative (and if so, extends the basis).
+func (r *Recoder) absorb(coeffs []byte) bool {
+	row := append([]byte(nil), coeffs...)
+	pivot := -1
+	for c := range row {
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		if pr := r.probe[c]; pr != nil {
+			gf256.MulAddSlice(row, pr, f)
+			continue
+		}
+		if pivot < 0 {
+			pivot = c
+		}
+	}
+	if pivot < 0 {
+		return false
+	}
+	if pv := row[pivot]; pv != 1 {
+		gf256.ScaleSlice(row, gf256.Inv(pv))
+	}
+	r.probe[pivot] = row
+	r.rank++
+	return true
+}
+
+// Count returns the number of innovative blocks held for recombination.
+func (r *Recoder) Count() int { return len(r.received) }
+
+// Rank returns the dimension of the subspace the recoder can emit from.
+func (r *Recoder) Rank() int { return r.rank }
+
+// NextBlock emits a random linear recombination of everything received.
+// It returns an error when no input blocks are available.
+func (r *Recoder) NextBlock(rng *rand.Rand) (*CodedBlock, error) {
+	if len(r.received) == 0 {
+		return nil, fmt.Errorf("rlnc: recoder has no input blocks")
+	}
+	out := &CodedBlock{
+		SegmentID: r.segID,
+		Coeffs:    make([]byte, r.params.BlockCount),
+		Payload:   make([]byte, r.params.BlockSize),
+	}
+	for _, in := range r.received {
+		c := byte(1 + rng.Intn(255))
+		gf256.MulAddSlice(out.Coeffs, in.Coeffs, c)
+		gf256.MulAddSlice(out.Payload, in.Payload, c)
+	}
+	return out, nil
+}

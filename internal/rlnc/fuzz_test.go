@@ -1,0 +1,84 @@
+package rlnc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets for the wire formats. `go test` exercises the seed
+// corpus; `go test -fuzz=FuzzCodedBlockUnmarshal ./internal/rlnc` explores
+// further.
+
+func seedWire(f *testing.F, seeded bool) {
+	f.Helper()
+	p := Params{BlockCount: 8, BlockSize: 64}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(1, p, data)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewEncoder(seg, rng)
+	if seeded {
+		sb, err := enc.NextSeededBlock()
+		if err != nil {
+			f.Fatal(err)
+		}
+		wire, err := sb.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	} else {
+		wire, err := enc.NextBlock().MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("XNC1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+}
+
+func FuzzCodedBlockUnmarshal(f *testing.F) {
+	seedWire(f, false)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var blk CodedBlock
+		if err := blk.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted input must re-marshal to identical bytes.
+		out, err := blk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted block fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("unmarshal/marshal not idempotent")
+		}
+	})
+}
+
+func FuzzSeededBlockUnmarshal(f *testing.F) {
+	seedWire(f, true)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sb SeededBlock
+		if err := sb.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := sb.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted seeded block fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("seeded unmarshal/marshal not idempotent")
+		}
+		// Expansion must always produce a shape-consistent block.
+		blk := sb.Expand()
+		if len(blk.Coeffs) != sb.BlockCount || len(blk.Payload) != len(sb.Payload) {
+			t.Fatal("expanded block has inconsistent shape")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrMissingSegment reports a gap in a segment set during reassembly.
+var ErrMissingSegment = errors.New("rlnc: missing segment")
+
+// Object is a large payload split into consecutive generations (segments)
+// for coding — the paper's content-distribution unit ("data to be
+// disseminated is divided into n blocks" per segment; a file or stream is a
+// sequence of such segments). The original length is retained so padding in
+// the final segment can be stripped on reassembly.
+type Object struct {
+	Length   int
+	Params   Params
+	Segments []*Segment
+}
+
+// Split divides data into segments of p.SegmentSize() bytes, zero-padding
+// the last. Segment IDs are assigned sequentially from 0.
+func Split(data []byte, p Params) (*Object, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	segSize := p.SegmentSize()
+	count := (len(data) + segSize - 1) / segSize
+	if count == 0 {
+		count = 1
+	}
+	obj := &Object{Length: len(data), Params: p, Segments: make([]*Segment, 0, count)}
+	for i := 0; i < count; i++ {
+		lo := i * segSize
+		hi := min(lo+segSize, len(data))
+		var chunk []byte
+		if lo < len(data) {
+			chunk = data[lo:hi]
+		}
+		seg, err := SegmentFromData(uint32(i), p, chunk)
+		if err != nil {
+			return nil, err
+		}
+		obj.Segments = append(obj.Segments, seg)
+	}
+	return obj, nil
+}
+
+// Reassemble concatenates the object's segments and strips the padding.
+func (o *Object) Reassemble() ([]byte, error) {
+	return ReassembleSegments(o.Segments, o.Length, o.Params)
+}
+
+// ReassembleSegments rebuilds a payload of the given length from decoded
+// segments (in any order; IDs establish placement). It fails if a needed
+// segment is absent or parameters disagree.
+func ReassembleSegments(segs []*Segment, length int, p Params) ([]byte, error) {
+	segSize := p.SegmentSize()
+	need := (length + segSize - 1) / segSize
+	if need == 0 {
+		need = 1
+	}
+	byID := make(map[uint32]*Segment, len(segs))
+	for _, s := range segs {
+		if s.Params() != p {
+			return nil, fmt.Errorf("rlnc: segment %d has params %v, want %v", s.ID(), s.Params(), p)
+		}
+		byID[s.ID()] = s
+	}
+	out := make([]byte, 0, length)
+	ids := make([]int, 0, need)
+	for i := 0; i < need; i++ {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s, ok := byID[uint32(id)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrMissingSegment, id)
+		}
+		remaining := length - len(out)
+		out = append(out, s.Data()[:min(segSize, remaining)]...)
+	}
+	return out, nil
+}

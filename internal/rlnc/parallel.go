@@ -1,0 +1,174 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"extremenc/internal/gf256"
+)
+
+// EncodeMode selects how a multi-worker encoder partitions work — the
+// comparison of paper Sec. 5.3 / Fig. 10.
+type EncodeMode int
+
+const (
+	// PartitionedBlock splits every coded block's payload across all
+	// workers, so each single block materializes as fast as possible (the
+	// original IWQoS'07 scheme: on-demand generation).
+	PartitionedBlock EncodeMode = iota + 1
+	// FullBlock assigns whole coded blocks to workers (the paper's new
+	// streaming-server scheme: generate many, buffer, deliver on demand).
+	FullBlock
+)
+
+func (m EncodeMode) String() string {
+	switch m {
+	case PartitionedBlock:
+		return "partitioned-block"
+	case FullBlock:
+		return "full-block"
+	default:
+		return fmt.Sprintf("EncodeMode(%d)", int(m))
+	}
+}
+
+// ParallelEncoder produces batches of coded blocks with a pool of workers.
+// Output is deterministic for a given seed regardless of worker count or
+// scheduling: the coefficient matrix is drawn up front and workers write
+// disjoint regions.
+type ParallelEncoder struct {
+	workers int
+	mode    EncodeMode
+}
+
+// NewParallelEncoder returns an encoder with the given worker count and
+// partitioning mode.
+func NewParallelEncoder(workers int, mode EncodeMode) (*ParallelEncoder, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
+	}
+	if mode != PartitionedBlock && mode != FullBlock {
+		return nil, fmt.Errorf("rlnc: unknown encode mode %d", int(mode))
+	}
+	return &ParallelEncoder{workers: workers, mode: mode}, nil
+}
+
+// Encode produces count coded blocks from seg using coefficients drawn from
+// a rand source seeded with seed.
+func (pe *ParallelEncoder) Encode(seg *Segment, count int, seed int64) ([]*CodedBlock, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("rlnc: block count %d must be positive", count)
+	}
+	p := seg.Params()
+	rng := rand.New(rand.NewSource(seed))
+	enc := NewEncoder(seg, rng)
+	blocks := make([]*CodedBlock, count)
+	for i := range blocks {
+		blocks[i] = &CodedBlock{
+			SegmentID: seg.ID(),
+			Coeffs:    enc.NextCoeffs(),
+			Payload:   make([]byte, p.BlockSize),
+		}
+	}
+
+	switch pe.mode {
+	case FullBlock:
+		pe.encodeFullBlock(seg, blocks)
+	case PartitionedBlock:
+		pe.encodePartitioned(seg, blocks)
+	}
+	return blocks, nil
+}
+
+// encodeFullBlock hands whole coded blocks to workers round-robin.
+func (pe *ParallelEncoder) encodeFullBlock(seg *Segment, blocks []*CodedBlock) {
+	var wg sync.WaitGroup
+	for w := 0; w < pe.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(blocks); i += pe.workers {
+				EncodeInto(blocks[i].Payload, seg, blocks[i].Coeffs)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// encodePartitioned generates blocks one at a time, splitting each payload
+// into contiguous per-worker stripes.
+func (pe *ParallelEncoder) encodePartitioned(seg *Segment, blocks []*CodedBlock) {
+	k := seg.Params().BlockSize
+	stripe := (k + pe.workers - 1) / pe.workers
+	for _, b := range blocks {
+		var wg sync.WaitGroup
+		for w := 0; w < pe.workers; w++ {
+			lo := w * stripe
+			if lo >= k {
+				break
+			}
+			hi := min(lo+stripe, k)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				encodeStripe(b.Payload[lo:hi], seg, b.Coeffs, lo)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+// encodeStripe computes the [off, off+len(dst)) byte range of Σ c_i·b_i.
+func encodeStripe(dst []byte, seg *Segment, coeffs []byte, off int) {
+	clear(dst)
+	for i, c := range coeffs {
+		if c != 0 {
+			src := seg.Block(i)[off : off+len(dst)]
+			gf256.MulAddSlice(dst, src, c)
+		}
+	}
+}
+
+// DecodeSegmentsParallel batch-decodes independent segments with the given
+// worker count — the paper's parallel multi-segment decoding (Sec. 5.2):
+// each worker owns whole segments, so no cross-worker synchronization is
+// needed. blocksPerSegment[i] must span segment i.
+func DecodeSegmentsParallel(p Params, blocksPerSegment [][]*CodedBlock, workers int) ([]*Segment, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
+	}
+	segs := make([]*Segment, len(blocksPerSegment))
+	errs := make([]error, len(blocksPerSegment))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(blocksPerSegment); i += workers {
+				dec, err := NewBatchDecoder(p)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				for _, b := range blocksPerSegment[i] {
+					if err := dec.Add(b); err != nil {
+						errs[i] = err
+						break
+					}
+				}
+				if errs[i] != nil {
+					continue
+				}
+				segs[i], errs[i] = dec.Decode()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rlnc: segment %d: %w", i, err)
+		}
+	}
+	return segs, nil
+}

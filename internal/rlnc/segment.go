@@ -1,0 +1,66 @@
+package rlnc
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Segment is one generation of source data: BlockCount blocks of BlockSize
+// bytes stored contiguously (the paper's "media segment").
+type Segment struct {
+	id     uint32
+	params Params
+	data   []byte // length params.SegmentSize()
+}
+
+// NewSegment returns a zero-filled segment.
+func NewSegment(id uint32, p Params) (*Segment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}, nil
+}
+
+// SegmentFromData builds a segment from up to SegmentSize bytes, copying the
+// input and zero-padding the tail. Length recovery across padding is the
+// caller's concern (see Object in generation.go).
+func SegmentFromData(id uint32, p Params, data []byte) (*Segment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) > p.SegmentSize() {
+		return nil, fmt.Errorf("rlnc: %d bytes exceed segment size %d", len(data), p.SegmentSize())
+	}
+	s := &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}
+	copy(s.data, data)
+	return s, nil
+}
+
+// ID returns the segment identifier carried by every coded block.
+func (s *Segment) ID() uint32 { return s.id }
+
+// Params returns the coding configuration.
+func (s *Segment) Params() Params { return s.params }
+
+// Block returns source block i as a slice aliasing the segment storage.
+func (s *Segment) Block(i int) []byte {
+	k := s.params.BlockSize
+	return s.data[i*k : (i+1)*k : (i+1)*k]
+}
+
+// Blocks returns all source blocks as aliasing slices.
+func (s *Segment) Blocks() [][]byte {
+	rows := make([][]byte, s.params.BlockCount)
+	for i := range rows {
+		rows[i] = s.Block(i)
+	}
+	return rows
+}
+
+// Data returns the full contiguous payload (aliased, not copied).
+func (s *Segment) Data() []byte { return s.data }
+
+// Equal reports whether two segments carry identical parameters and bytes.
+func (s *Segment) Equal(o *Segment) bool {
+	return s.id == o.id && s.params == o.params && bytes.Equal(s.data, o.data)
+}

@@ -1,0 +1,50 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SystematicEncoder emits each source block verbatim once (as a
+// unit-coefficient coded block) before switching to random combinations —
+// the standard practical refinement: in the loss-free case receivers decode
+// with zero elimination work, and any losses are repaired by the coded
+// tail. The progressive Decoder consumes both phases transparently.
+type SystematicEncoder struct {
+	enc  *Encoder
+	next int // next source block to emit verbatim
+}
+
+// NewSystematicEncoder wraps seg in a systematic encoder.
+func NewSystematicEncoder(seg *Segment, rng *rand.Rand) *SystematicEncoder {
+	return &SystematicEncoder{enc: NewEncoder(seg, rng)}
+}
+
+// SystematicRemaining reports how many verbatim blocks are still to come.
+func (s *SystematicEncoder) SystematicRemaining() int {
+	n := s.enc.seg.params.BlockCount
+	if s.next >= n {
+		return 0
+	}
+	return n - s.next
+}
+
+// NextBlock returns the next verbatim source block, or a random combination
+// once the systematic phase is exhausted.
+func (s *SystematicEncoder) NextBlock() (*CodedBlock, error) {
+	n := s.enc.seg.params.BlockCount
+	if s.next < n {
+		coeffs := make([]byte, n)
+		coeffs[s.next] = 1
+		s.next++
+		b, err := s.enc.BlockFor(coeffs)
+		if err != nil {
+			return nil, fmt.Errorf("rlnc: systematic block: %w", err)
+		}
+		return b, nil
+	}
+	return s.enc.NextBlock(), nil
+}
+
+// Reset restarts the systematic phase (e.g. for a new receiver round).
+func (s *SystematicEncoder) Reset() { s.next = 0 }

@@ -1,0 +1,192 @@
+// Package simnet is a small deterministic discrete-event network simulator:
+// a virtual-time scheduler plus point-to-point links with bandwidth,
+// latency, and serialization. It is the substrate for the Avalanche-style
+// content-distribution experiments (paper Secs. 2 and 5.2) — the deployment
+// setting whose offline decoding workload motivates multi-segment decoding.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // FIFO tiebreak for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler executes events in virtual-time order. Events at the same
+// instant run in scheduling order, so runs are deterministic.
+type Scheduler struct {
+	queue eventQueue
+	now   float64
+	seq   int64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Scheduler) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Scheduler) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the queue drains, the virtual clock passes
+// deadline, or stop returns true. It returns the number of events executed.
+func (s *Scheduler) RunUntil(deadline float64, stop func() bool) int {
+	executed := 0
+	for s.queue.Len() > 0 {
+		if s.queue[0].at > deadline {
+			break
+		}
+		if stop != nil && stop() {
+			break
+		}
+		s.Step()
+		executed++
+	}
+	return executed
+}
+
+// Run drains the queue completely and returns the number of events executed.
+func (s *Scheduler) Run() int { return s.RunUntil(maxFloat, nil) }
+
+const maxFloat = 1.797693134862315708145274237317043567981e308
+
+// Link is a serialized point-to-point channel: messages queue behind each
+// other at the link bandwidth and arrive after the propagation latency.
+// Optionally, SetLoss makes the link drop messages at random — dropped
+// messages still occupy the wire for their transmission time, as on a real
+// lossy channel.
+type Link struct {
+	sched *Scheduler
+
+	BandwidthBps float64 // payload bits per second
+	Latency      float64 // propagation delay, seconds
+
+	lossRate float64
+	lossRng  *rand.Rand
+
+	busyUntil float64
+	sent      int64
+	sentBytes int64
+	dropped   int64
+}
+
+// NewLink creates a link on the scheduler.
+func NewLink(sched *Scheduler, bandwidthBps, latency float64) (*Link, error) {
+	if bandwidthBps <= 0 {
+		return nil, fmt.Errorf("simnet: bandwidth %g must be positive", bandwidthBps)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("simnet: latency %g must be non-negative", latency)
+	}
+	return &Link{sched: sched, BandwidthBps: bandwidthBps, Latency: latency}, nil
+}
+
+// SetLoss configures random message loss with the given probability,
+// drawn from rng (which the caller seeds for determinism). A nil rng or a
+// non-positive rate disables loss.
+func (l *Link) SetLoss(rate float64, rng *rand.Rand) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("simnet: loss rate %g out of [0, 1)", rate)
+	}
+	l.lossRate = rate
+	l.lossRng = rng
+	return nil
+}
+
+// Send enqueues a message of size bytes; deliver runs at the receiver when
+// the last bit arrives. It returns the delivery time.
+func (l *Link) Send(size int, deliver func()) float64 {
+	return l.SendWithLoss(size, deliver, nil)
+}
+
+// SendWithLoss is Send with a loss callback: when the link drops the
+// message, lost runs (at the would-be arrival time) instead of deliver, so
+// senders can keep their transmit loops going.
+func (l *Link) SendWithLoss(size int, deliver, lost func()) float64 {
+	start := l.sched.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	tx := float64(size) * 8 / l.BandwidthBps
+	l.busyUntil = start + tx
+	arrival := l.busyUntil + l.Latency
+
+	l.sent++
+	l.sentBytes += int64(size)
+	if l.lossRate > 0 && l.lossRng != nil && l.lossRng.Float64() < l.lossRate {
+		l.dropped++
+		if lost != nil {
+			l.sched.At(arrival, lost)
+		}
+		return arrival
+	}
+	l.sched.At(arrival, deliver)
+	return arrival
+}
+
+// Dropped returns the number of messages the link has lost.
+func (l *Link) Dropped() int64 { return l.dropped }
+
+// Idle reports whether the link has no transmission in progress.
+func (l *Link) Idle() bool { return l.busyUntil <= l.sched.Now() }
+
+// NextFree returns when the link can begin a new transmission.
+func (l *Link) NextFree() float64 {
+	if l.busyUntil > l.sched.Now() {
+		return l.busyUntil
+	}
+	return l.sched.Now()
+}
+
+// Sent returns the number of messages and payload bytes transmitted.
+func (l *Link) Sent() (messages, bytes int64) { return l.sent, l.sentBytes }

@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("executed %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulerPastEventClamps(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(10, func() {
+		s.At(5, func() { fired = true }) // in the past → runs now
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("time = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.RunUntil(5.5, nil)
+	if count != 5 {
+		t.Fatalf("executed %d events before deadline", count)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Stop predicate.
+	s.RunUntil(100, func() bool { return count >= 7 })
+	if count != 7 {
+		t.Fatalf("stop predicate ignored: count = %d", count)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	s := NewScheduler()
+	l, err := NewLink(s, 8000, 0.1) // 1000 bytes/s, 100 ms latency
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []float64
+	record := func() { arrivals = append(arrivals, s.Now()) }
+	// Two 500-byte messages: tx 0.5 s each, serialized.
+	if at := l.Send(500, record); at != 0.6 {
+		t.Fatalf("first arrival = %v, want 0.6", at)
+	}
+	if at := l.Send(500, record); at != 1.1 {
+		t.Fatalf("second arrival = %v, want 1.1 (serialized)", at)
+	}
+	s.Run()
+	if len(arrivals) != 2 || arrivals[0] != 0.6 || arrivals[1] != 1.1 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	msgs, bytes := l.Sent()
+	if msgs != 2 || bytes != 1000 {
+		t.Fatalf("sent = %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+func TestLinkIdleAndNextFree(t *testing.T) {
+	s := NewScheduler()
+	l, err := NewLink(s, 8000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Idle() {
+		t.Fatal("fresh link not idle")
+	}
+	l.Send(1000, func() {})
+	if l.Idle() {
+		t.Fatal("transmitting link reported idle")
+	}
+	if l.NextFree() != 1.0 {
+		t.Fatalf("NextFree = %v", l.NextFree())
+	}
+	s.Run()
+	if !l.Idle() {
+		t.Fatal("drained link not idle")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := NewScheduler()
+	if _, err := NewLink(s, 0, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewLink(s, 100, -1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	s := NewScheduler()
+	l, err := NewLink(s, 8e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetLoss(1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("loss rate 1.5 accepted")
+	}
+	if err := l.SetLoss(0.5, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	delivered, lost := 0, 0
+	for i := 0; i < 400; i++ {
+		l.SendWithLoss(100, func() { delivered++ }, func() { lost++ })
+	}
+	s.Run()
+	if delivered+lost != 400 {
+		t.Fatalf("delivered %d + lost %d != 400", delivered, lost)
+	}
+	if int64(lost) != l.Dropped() {
+		t.Fatalf("lost %d != Dropped %d", lost, l.Dropped())
+	}
+	if lost < 120 || lost > 280 {
+		t.Fatalf("lost %d of 400 at rate 0.5", lost)
+	}
+	// Dropped messages still occupied the wire.
+	if msgs, _ := l.Sent(); msgs != 400 {
+		t.Fatalf("sent = %d", msgs)
+	}
+}
+
+func TestLinkNoLossByDefault(t *testing.T) {
+	s := NewScheduler()
+	l, err := NewLink(s, 8e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 50; i++ {
+		l.Send(10, func() { got++ })
+	}
+	s.Run()
+	if got != 50 || l.Dropped() != 0 {
+		t.Fatalf("delivered %d, dropped %d", got, l.Dropped())
+	}
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"extremenc/internal/core"
+)
+
+// Playback modeling: the paper sizes its streaming scenario around client
+// buffering ("each segment contains content that lasts 5.33 seconds, which
+// is an acceptable buffering delay on the client side", Sec. 5.1.2). This
+// file models what those numbers mean for viewers: how long start-up takes
+// and whether playback ever stalls, as the peer population scales against
+// the server's coding and NIC capacity.
+
+// PlaybackConfig describes a live session to simulate.
+type PlaybackConfig struct {
+	Scenario core.StreamScenario
+
+	// EncodeMBps is the server's coding bandwidth (e.g. a measured engine
+	// rate).
+	EncodeMBps float64
+
+	// Peers is the concurrent viewer count.
+	Peers int
+
+	// SegmentCount is how much media to play.
+	SegmentCount int
+
+	// StartupSegments is how many segments a client buffers before
+	// starting playback (default 1 — the paper's buffering delay).
+	StartupSegments int
+}
+
+// Validate checks the configuration.
+func (c PlaybackConfig) Validate() error {
+	if err := c.Scenario.Params.Validate(); err != nil {
+		return err
+	}
+	if c.EncodeMBps <= 0 {
+		return fmt.Errorf("stream: encode rate must be positive")
+	}
+	if c.Peers <= 0 || c.SegmentCount <= 0 {
+		return fmt.Errorf("stream: peers and segments must be positive")
+	}
+	return nil
+}
+
+// PlaybackMetrics reports the viewer experience.
+type PlaybackMetrics struct {
+	// PerPeerMBps is each viewer's fair share of the server's delivery
+	// bandwidth (coding- or NIC-bound, whichever is tighter).
+	PerPeerMBps float64
+	// SegmentDeliverySeconds is how long one segment takes to reach a
+	// viewer at that share.
+	SegmentDeliverySeconds float64
+	// StartupDelay is the buffering time before playback begins.
+	StartupDelay float64
+	// Rebuffers counts playback stalls over the session.
+	Rebuffers int
+	// StallSeconds is the total stalled time over the session.
+	StallSeconds float64
+	// Sustainable reports whether delivery keeps up with real time
+	// (segment delivery ≤ segment duration).
+	Sustainable bool
+}
+
+// SimulatePlayback runs the analytic delivery/playback model: the server's
+// aggregate output (bounded by coding rate and NIC capacity) is shared
+// fairly; each viewer buffers StartupSegments, then consumes one segment
+// duration of media per segment while the next downloads. A stall occurs
+// whenever a segment finishes downloading after its playback deadline.
+func SimulatePlayback(cfg PlaybackConfig) (*PlaybackMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.Scenario
+	nicMBps := float64(s.NICCount) * s.NICCapacityMBps
+	aggregate := math.Min(cfg.EncodeMBps, nicMBps)
+	perPeer := aggregate / float64(cfg.Peers)
+
+	segBytes := float64(s.Params.SegmentSize())
+	delivery := segBytes / (perPeer * 1e6)
+	duration := s.SegmentDuration()
+
+	startupSegs := cfg.StartupSegments
+	if startupSegs <= 0 {
+		startupSegs = 1
+	}
+	m := &PlaybackMetrics{
+		PerPeerMBps:            perPeer,
+		SegmentDeliverySeconds: delivery,
+		StartupDelay:           float64(startupSegs) * delivery,
+		Sustainable:            delivery <= duration,
+	}
+
+	// Walk the session: segment i finishes downloading at (i+1)·delivery;
+	// playback needs it when the previously buffered media runs out, one
+	// segment duration after the prior segment's deadline (stalls push
+	// every later deadline back).
+	nextDeadline := m.StartupDelay + duration // when segment startupSegs is needed
+	for i := startupSegs; i < cfg.SegmentCount; i++ {
+		arrive := float64(i+1) * delivery
+		if arrive > nextDeadline {
+			m.Rebuffers++
+			m.StallSeconds += arrive - nextDeadline
+			nextDeadline = arrive
+		}
+		nextDeadline += duration
+	}
+	return m, nil
+}
+
+// MaxSmoothPeers returns the largest viewer count with stall-free playback
+// under the model: per-peer delivery must keep up with the media rate.
+func MaxSmoothPeers(s core.StreamScenario, encodeMBps float64) int {
+	nicMBps := float64(s.NICCount) * s.NICCapacityMBps
+	aggregate := math.Min(encodeMBps, nicMBps)
+	duration := s.SegmentDuration()
+	if duration <= 0 {
+		return 0
+	}
+	segBytes := float64(s.Params.SegmentSize())
+	// delivery = segBytes / (aggregate/peers · 1e6) ≤ duration
+	return int(aggregate * 1e6 * duration / segBytes)
+}

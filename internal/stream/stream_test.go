@@ -1,0 +1,222 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"extremenc/internal/core"
+	"extremenc/internal/cpusim"
+	"extremenc/internal/gpu"
+	"extremenc/internal/rlnc"
+)
+
+// testScenario shrinks the paper scenario for fast tests while keeping the
+// 768 Kbps stream rate.
+func testScenario() core.StreamScenario {
+	s := core.DefaultStreamScenario()
+	s.Params = rlnc.Params{BlockCount: 16, BlockSize: 1024}
+	return s
+}
+
+func testMedia(t testing.TB, bytes int) []byte {
+	t.Helper()
+	data := make([]byte, bytes)
+	rand.New(rand.NewSource(7)).Read(data)
+	return data
+}
+
+func gpuEncoder(t testing.TB) *core.GPUEncoder {
+	t.Helper()
+	enc, err := core.NewGPUEncoder(gpu.GTX280(), gpu.TableBased5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestNewServerValidation(t *testing.T) {
+	s := testScenario()
+	if _, err := NewServer(s, gpuEncoder(t), nil); err == nil {
+		t.Fatal("empty media accepted")
+	}
+	if _, err := NewServer(s, nil, testMedia(t, 100)); err == nil {
+		t.Fatal("nil encoder accepted")
+	}
+}
+
+func TestServeLiveGPU(t *testing.T) {
+	s := testScenario()
+	srv, err := NewServer(s, gpuEncoder(t), testMedia(t, 3*s.Params.SegmentSize()-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Segments() != 3 {
+		t.Fatalf("segments = %d", srv.Segments())
+	}
+	m, err := srv.ServeLive(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SampleVerified {
+		t.Fatal("sample client verification failed")
+	}
+	if m.EncodeMBps <= 0 {
+		t.Fatal("no encode rate")
+	}
+	if m.BlocksPerSegment != 200*s.Params.BlockCount {
+		t.Fatalf("blocks per segment = %d", m.BlocksPerSegment)
+	}
+	if !m.RealTime {
+		t.Errorf("GPU engine should keep up live at 200 peers (utilization %.3f)", m.EncoderUtilization)
+	}
+	if m.PeersServed <= 0 || m.PeersServed > m.PeersByNetwork {
+		t.Fatalf("peers served = %d (network cap %d)", m.PeersServed, m.PeersByNetwork)
+	}
+	if m.NICUtilization <= 0 {
+		t.Fatal("NIC utilization not computed")
+	}
+	if _, err := srv.ServeLive(0, 1); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+}
+
+func TestServeLiveCPUSlower(t *testing.T) {
+	s := testScenario()
+	media := testMedia(t, s.Params.SegmentSize())
+	gpuSrv, err := NewServer(s, gpuEncoder(t), media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuEnc, err := core.NewCPUEncoder(cpusim.MacPro(), rlnc.FullBlock, cpusim.LoopSIMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuSrv, err := NewServer(s, cpuEnc, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gpuSrv.ServeLive(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpuSrv.ServeLive(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EncodeMBps <= c.EncodeMBps {
+		t.Errorf("GPU %.1f MB/s not above CPU %.1f MB/s", g.EncodeMBps, c.EncodeMBps)
+	}
+	if g.PeersServed <= c.PeersServed && c.PeersServed < c.PeersByNetwork {
+		t.Errorf("GPU peers %d not above CPU peers %d", g.PeersServed, c.PeersServed)
+	}
+}
+
+func TestServeVoD(t *testing.T) {
+	s := testScenario()
+	srv, err := NewServer(s, gpuEncoder(t), testMedia(t, 4*s.Params.SegmentSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := srv.ServeVoD(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SampleVerified {
+		t.Fatal("sample client verification failed")
+	}
+	if m.SegmentsServed != 10 || m.BlocksTotal != int64(10*s.Params.BlockCount) {
+		t.Fatalf("VoD accounting: %d segments, %d blocks", m.SegmentsServed, m.BlocksTotal)
+	}
+	if _, err := srv.ServeVoD(0, 3); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}
+
+// TestPaperScenarioPeers reproduces the headline capacity numbers with the
+// full-size scenario: a TB-5 GTX 280 sustains >3000 peers by compute and
+// saturates ≥2 GigE NICs.
+func TestPaperScenarioPeers(t *testing.T) {
+	s := core.DefaultStreamScenario() // n=128, k=4096, 768 Kbps
+	srv, err := NewServer(s, gpuEncoder(t), testMedia(t, s.Params.SegmentSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := srv.ServeLive(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeersByCompute <= 3000 {
+		t.Errorf("compute peers = %d, want > 3000 at ≈294 MB/s", m.PeersByCompute)
+	}
+	if nics := s.NICsSaturated(m.EncodeMBps); nics < 2 {
+		t.Errorf("NICs saturated = %.2f, want ≥ 2", nics)
+	}
+	if m.PeersServed != m.PeersByNetwork {
+		t.Errorf("served should be NIC-bound: %d vs %d", m.PeersServed, m.PeersByNetwork)
+	}
+}
+
+func TestSimulatePlaybackSmooth(t *testing.T) {
+	s := core.DefaultStreamScenario()
+	cfg := PlaybackConfig{
+		Scenario:     s,
+		EncodeMBps:   294, // TB-5
+		Peers:        1000,
+		SegmentCount: 20,
+	}
+	m, err := SimulatePlayback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sustainable || m.Rebuffers != 0 {
+		t.Fatalf("1000 peers at 294 MB/s should be smooth: %+v", m)
+	}
+	// Startup delay ≈ one segment delivery, well under the 5.46 s of media
+	// per segment.
+	if m.StartupDelay <= 0 || m.StartupDelay > s.SegmentDuration() {
+		t.Fatalf("startup delay = %.2f s", m.StartupDelay)
+	}
+}
+
+func TestSimulatePlaybackOversubscribed(t *testing.T) {
+	s := core.DefaultStreamScenario()
+	limit := MaxSmoothPeers(s, 294)
+	// The NIC binds at 294 MB/s: the smooth limit equals the network peers.
+	if limit != s.PeersByNetwork() {
+		t.Fatalf("smooth limit %d != network peers %d", limit, s.PeersByNetwork())
+	}
+	over, err := SimulatePlayback(PlaybackConfig{
+		Scenario:     s,
+		EncodeMBps:   294,
+		Peers:        limit * 2,
+		SegmentCount: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Sustainable || over.Rebuffers == 0 || over.StallSeconds <= 0 {
+		t.Fatalf("2x oversubscription should stall: %+v", over)
+	}
+	at, err := SimulatePlayback(PlaybackConfig{
+		Scenario:     s,
+		EncodeMBps:   294,
+		Peers:        limit,
+		SegmentCount: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Rebuffers != 0 {
+		t.Fatalf("at the smooth limit playback should not stall: %+v", at)
+	}
+}
+
+func TestSimulatePlaybackValidation(t *testing.T) {
+	s := core.DefaultStreamScenario()
+	if _, err := SimulatePlayback(PlaybackConfig{Scenario: s, EncodeMBps: 0, Peers: 1, SegmentCount: 1}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := SimulatePlayback(PlaybackConfig{Scenario: s, EncodeMBps: 100, Peers: 0, SegmentCount: 1}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+}
