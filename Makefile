@@ -2,15 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race bench bench-host figures examples clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# Static checks plus a race pass over the codec packages the host-kernel
+# ladder touches (the worker pool and the gf256 kernels).
 vet:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/rlnc/ ./internal/gf256/
 
 test:
 	$(GO) test ./...
@@ -30,6 +33,14 @@ figures-csv:
 # the host-codec microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Host-codec optimization-ladder benchmarks, captured as a committed JSON
+# artifact (kernel rungs + batch-vs-single encode at n=128, k=4096).
+bench-host:
+	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch' \
+		-benchtime 100x -count 1 ./internal/gf256/ ./internal/rlnc/ \
+		| $(GO) run ./cmd/benchjson > BENCH_host.json
+	@cat BENCH_host.json
 
 # Run every example program.
 examples:

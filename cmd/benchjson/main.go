@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// stable JSON document (stdout), so benchmark runs can be committed and
+// diffed as machine-readable artifacts. It also derives the headline
+// host-codec ratios — most importantly the tiled batch encoder's speedup
+// over the single-block path — when the relevant benchmarks are present.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch' \
+//	    -benchtime 100x ./internal/gf256/ ./internal/rlnc/ | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+// Document is the emitted artifact.
+type Document struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Packages   []string           `json:"packages,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	derive(doc)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	doc := &Document{}
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Packages = append(doc.Packages, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseLine handles the standard result shape:
+//
+//	BenchmarkName-8   123   4567 ns/op   89.01 MB/s  [extra columns ignored]
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Runs: runs, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		if f[i+1] == "MB/s" {
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				b.MBPerS = v
+			}
+		}
+	}
+	return b, true
+}
+
+// derive records the headline ratios the docs and acceptance criteria cite.
+// Each entry is a percentage speedup of the second benchmark over the first,
+// computed from ns/op.
+func derive(doc *Document) {
+	byName := map[string]Benchmark{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	ratios := [][3]string{
+		{"encode_batch_over_single_ref_pct", "BenchmarkEncodeBatch/single-ref", "BenchmarkEncodeBatch/batch"},
+		{"encode_pool_full_block_over_single_ref_pct", "BenchmarkEncodeBatch/single-ref", "BenchmarkEncodeBatch/pool-full-block"},
+		{"table_wide_over_scalar_k4096_pct", "BenchmarkMulAddLadder/table-scalar/k=4096", "BenchmarkMulAddLadder/table-wide/k=4096"},
+		{"fused4x2_over_scalar_k4096_pct", "BenchmarkMulAddLadder/table-scalar/k=4096", "BenchmarkMulAddLadder/fused4x2/k=4096"},
+	}
+	for _, r := range ratios {
+		base, okB := byName[r[1]]
+		next, okN := byName[r[2]]
+		if !okB || !okN || next.NsPerOp == 0 {
+			continue
+		}
+		var pct float64
+		if base.MBPerS > 0 && next.MBPerS > 0 {
+			// Throughput-based where available: fused rungs process more
+			// bytes per op, so ns/op alone would mislead.
+			pct = (next.MBPerS/base.MBPerS - 1) * 100
+		} else {
+			pct = (base.NsPerOp/next.NsPerOp - 1) * 100
+		}
+		if doc.Derived == nil {
+			doc.Derived = map[string]float64{}
+		}
+		doc.Derived[r[0]] = pct
+	}
+}

@@ -114,6 +114,14 @@ func ReassembleSegments(segs []*Segment, length int, p Params) ([]byte, error) {
 	return rlnc.ReassembleSegments(segs, length, p)
 }
 
+// EncodeBatchInto computes dsts[b] = Σᵢ coeffs[b][i]·seg.Block(i) for every
+// b in one cache-tiled pass over the source blocks — the batch-shaped encode
+// primitive behind the parallel workers. Producing many payloads per sweep
+// amortizes source-block memory traffic across the whole batch.
+func EncodeBatchInto(dsts [][]byte, seg *Segment, coeffs [][]byte) error {
+	return rlnc.EncodeBatchInto(dsts, seg, coeffs)
+}
+
 // NewParallelEncoder returns a goroutine-parallel host encoder.
 func NewParallelEncoder(workers int, mode EncodeMode) (*rlnc.ParallelEncoder, error) {
 	return rlnc.NewParallelEncoder(workers, mode)

@@ -124,10 +124,14 @@ func (e *CPUEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*Re
 
 // HostEncoder measures the real machine this library runs on: it encodes
 // with the goroutine-parallel host codec and reports wall-clock time. This
-// is the engine a downstream adopter actually deploys.
+// is the engine a downstream adopter actually deploys. The underlying
+// ParallelEncoder (and with it the process-wide worker pool and per-worker
+// scratch) is created once at construction and reused across EncodeBlocks
+// calls, so steady-state serving pays no per-call setup.
 type HostEncoder struct {
 	workers int
 	mode    rlnc.EncodeMode
+	pe      *rlnc.ParallelEncoder
 }
 
 var _ Encoder = (*HostEncoder)(nil)
@@ -137,10 +141,11 @@ func NewHostEncoder(workers int, mode rlnc.EncodeMode) (*HostEncoder, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if mode != rlnc.PartitionedBlock && mode != rlnc.FullBlock {
-		return nil, fmt.Errorf("core: unknown encode mode %d", int(mode))
+	pe, err := rlnc.NewParallelEncoder(workers, mode)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &HostEncoder{workers: workers, mode: mode}, nil
+	return &HostEncoder{workers: workers, mode: mode, pe: pe}, nil
 }
 
 // Name implements Encoder.
@@ -153,12 +158,8 @@ func (e *HostEncoder) EncodeBlocks(seg *rlnc.Segment, count int, seed int64) (*R
 	if err := validateEncodeArgs(seg, count); err != nil {
 		return nil, err
 	}
-	pe, err := rlnc.NewParallelEncoder(e.workers, e.mode)
-	if err != nil {
-		return nil, err
-	}
 	start := time.Now()
-	blocks, err := pe.Encode(seg, count, seed)
+	blocks, err := e.pe.Encode(seg, count, seed)
 	if err != nil {
 		return nil, err
 	}

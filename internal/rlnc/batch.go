@@ -71,19 +71,20 @@ func (d *BatchDecoder) Decode() (*Segment, error) {
 		return nil, fmt.Errorf("rlnc: %w", err)
 	}
 
-	// Stage 2: b = C⁻¹ · x, an encode-like dense multiplication.
+	// Stage 2: b = C⁻¹ · x, an encode-like dense multiplication — run
+	// through the tiled batch kernel so all n source blocks materialize in
+	// one fused pass over the received payloads.
 	seg, err := NewSegment(d.segID, d.params)
 	if err != nil {
 		return nil, err
 	}
+	payloads := make([][]byte, n)
+	crows := make([][]byte, n)
 	for i := 0; i < n; i++ {
-		out := seg.Block(i)
-		for j, f := range inv.Row(i) {
-			if f != 0 {
-				gf256.MulAddSlice(out[:k], rows[j].Payload, f)
-			}
-		}
+		payloads[i] = rows[i].Payload
+		crows[i] = inv.Row(i)
 	}
+	encodeBatchRange(seg.Blocks(), payloads, crows, 0, k)
 	return seg, nil
 }
 

@@ -86,15 +86,12 @@ func (e *Encoder) BlockFor(coeffs []byte) (*CodedBlock, error) {
 
 // EncodeInto computes Σ c_i·b_i over the segment's source blocks into dst
 // (len ≥ BlockSize). It is the primitive shared by the encoder, the parallel
-// workers and the simulators' reference checks.
+// workers and the simulators' reference checks. Internally it is the
+// batch-size-1 case of the tiled batch kernel, so the zero-coefficient skip
+// and fused source grouping live in one place (see encodebatch.go).
 func EncodeInto(dst []byte, seg *Segment, coeffs []byte) {
 	k := seg.params.BlockSize
-	clear(dst[:k])
-	for i, c := range coeffs {
-		if c != 0 {
-			gf256.MulAddSlice(dst[:k], seg.Block(i), c)
-		}
-	}
+	gf256.DotProduct(dst[:k], coeffs, seg.Blocks())
 }
 
 // Recoder regenerates fresh coded blocks from previously received ones
@@ -183,15 +180,23 @@ func (r *Recoder) NextBlock(rng *rand.Rand) (*CodedBlock, error) {
 	if len(r.received) == 0 {
 		return nil, fmt.Errorf("rlnc: recoder has no input blocks")
 	}
+	// Draw the recombination coefficients first, then apply them through the
+	// fused dot-product kernel: both the coefficient and payload rows are
+	// consumed four sources per destination pass.
+	cs := make([]byte, len(r.received))
+	crows := make([][]byte, len(r.received))
+	prows := make([][]byte, len(r.received))
+	for i, in := range r.received {
+		cs[i] = byte(1 + rng.Intn(255))
+		crows[i] = in.Coeffs
+		prows[i] = in.Payload
+	}
 	out := &CodedBlock{
 		SegmentID: r.segID,
 		Coeffs:    make([]byte, r.params.BlockCount),
 		Payload:   make([]byte, r.params.BlockSize),
 	}
-	for _, in := range r.received {
-		c := byte(1 + rng.Intn(255))
-		gf256.MulAddSlice(out.Coeffs, in.Coeffs, c)
-		gf256.MulAddSlice(out.Payload, in.Payload, c)
-	}
+	gf256.DotProduct(out.Coeffs, cs, crows)
+	gf256.DotProduct(out.Payload, cs, prows)
 	return out, nil
 }

@@ -61,6 +61,59 @@ func FuzzCodedBlockUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzEncodeBatchVsSingle drives the tiled batch kernel against the
+// single-block reference over fuzzer-chosen shapes: any divergence between
+// EncodeBatchInto and the per-row Σ cᵢ·bᵢ loop is a kernel bug.
+func FuzzEncodeBatchVsSingle(f *testing.F) {
+	f.Add(int64(1), 4, 64, 3)
+	f.Add(int64(2), 1, 1, 1)
+	f.Add(int64(3), 7, 257, 5)
+	f.Add(int64(4), 16, 4099, 17)
+	f.Fuzz(func(t *testing.T, seed int64, n, k, batch int) {
+		n = 1 + abs(n)%32
+		k = 1 + abs(k)%600
+		batch = 1 + abs(batch)%(encodeBatchGroup+3)
+		p := Params{BlockCount: n, BlockSize: k}
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, p.SegmentSize())
+		rng.Read(data)
+		seg, err := SegmentFromData(1, p, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coeffs := make([][]byte, batch)
+		dsts := make([][]byte, batch)
+		for b := range coeffs {
+			coeffs[b] = make([]byte, n)
+			rng.Read(coeffs[b])
+			if b%2 == 0 {
+				coeffs[b][rng.Intn(n)] = 0
+			}
+			dsts[b] = make([]byte, k)
+		}
+		if err := EncodeBatchInto(dsts, seg, coeffs); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, k)
+		for b := range coeffs {
+			encodeSingleRef(want, seg, coeffs[b])
+			if !bytes.Equal(dsts[b], want) {
+				t.Fatalf("n=%d k=%d batch=%d: row %d diverges from single-block encode", n, k, batch, b)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // math.MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}
+
 func FuzzSeededBlockUnmarshal(f *testing.F) {
 	seedWire(f, true)
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -106,14 +106,28 @@ func (d *GaussianDecoder) Segment() (*Segment, error) {
 		return nil, fmt.Errorf("%w: rank %d of %d", ErrNotReady, d.rank, d.params.BlockCount)
 	}
 	n := d.params.BlockCount
-	// Back-substitute from the last pivot upwards: once processed, column c
-	// is zero in every other row.
-	for c := n - 1; c >= 0; c-- {
-		pc := d.rowForPivot[c]
-		for r := 0; r < c; r++ {
-			row := d.rowForPivot[r]
+	// Back-substitute from the last row upwards. Processing rows in
+	// descending order means every pivot row below the current one is
+	// already final, so row r can absorb all of its trailing eliminations in
+	// one sweep — four pivot rows at a time through the fused kernel. Within
+	// a descending group the factor positions sit left of every applied
+	// pivot's support (pivot row c is zero left of column c), so reading the
+	// four factors up front is exact.
+	for r := n - 1; r >= 0; r-- {
+		row := d.rowForPivot[r]
+		c := n - 1
+		for ; c-3 > r; c -= 4 {
+			f1, f2, f3, f4 := row[c], row[c-1], row[c-2], row[c-3]
+			if f1|f2|f3|f4 == 0 {
+				continue
+			}
+			gf256.MulAddSlice4(row,
+				d.rowForPivot[c], d.rowForPivot[c-1], d.rowForPivot[c-2], d.rowForPivot[c-3],
+				f1, f2, f3, f4)
+		}
+		for ; c > r; c-- {
 			if f := row[c]; f != 0 {
-				gf256.MulAddSlice(row, pc, f)
+				gf256.MulAddSlice(row, d.rowForPivot[c], f)
 			}
 		}
 	}

@@ -3,9 +3,6 @@ package rlnc
 import (
 	"fmt"
 	"math/rand"
-	"sync"
-
-	"extremenc/internal/gf256"
 )
 
 // EncodeMode selects how a multi-worker encoder partitions work — the
@@ -14,8 +11,10 @@ type EncodeMode int
 
 const (
 	// PartitionedBlock splits every coded block's payload across all
-	// workers, so each single block materializes as fast as possible (the
-	// original IWQoS'07 scheme: on-demand generation).
+	// workers, so each worker owns a contiguous column stripe (the original
+	// IWQoS'07 scheme: on-demand generation). The stripe work for the whole
+	// batch runs under a single dispatch: worker w computes its columns of
+	// every coded block in one tiled pass.
 	PartitionedBlock EncodeMode = iota + 1
 	// FullBlock assigns whole coded blocks to workers (the paper's new
 	// streaming-server scheme: generate many, buffer, deliver on demand).
@@ -33,17 +32,19 @@ func (m EncodeMode) String() string {
 	}
 }
 
-// ParallelEncoder produces batches of coded blocks with a pool of workers.
-// Output is deterministic for a given seed regardless of worker count or
-// scheduling: the coefficient matrix is drawn up front and workers write
-// disjoint regions.
+// ParallelEncoder produces batches of coded blocks with the persistent
+// worker pool. Output is deterministic for a given seed regardless of worker
+// count or scheduling: the coefficient matrix is drawn up front and workers
+// write disjoint regions.
 type ParallelEncoder struct {
 	workers int
 	mode    EncodeMode
+	pool    *Pool
 }
 
 // NewParallelEncoder returns an encoder with the given worker count and
-// partitioning mode.
+// partitioning mode. Work executes on the process-wide SharedPool; workers
+// only bounds how many concurrent stripes this encoder dispatches.
 func NewParallelEncoder(workers int, mode EncodeMode) (*ParallelEncoder, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
@@ -51,7 +52,7 @@ func NewParallelEncoder(workers int, mode EncodeMode) (*ParallelEncoder, error) 
 	if mode != PartitionedBlock && mode != FullBlock {
 		return nil, fmt.Errorf("rlnc: unknown encode mode %d", int(mode))
 	}
-	return &ParallelEncoder{workers: workers, mode: mode}, nil
+	return &ParallelEncoder{workers: workers, mode: mode, pool: SharedPool()}, nil
 }
 
 // Encode produces count coded blocks from seg using coefficients drawn from
@@ -81,90 +82,87 @@ func (pe *ParallelEncoder) Encode(seg *Segment, count int, seed int64) ([]*Coded
 	return blocks, nil
 }
 
-// encodeFullBlock hands whole coded blocks to workers round-robin.
+// encodeFullBlock hands whole coded blocks to workers round-robin; each
+// worker batch-encodes all of its blocks in one tiled pass using its scratch
+// row views.
 func (pe *ParallelEncoder) encodeFullBlock(seg *Segment, blocks []*CodedBlock) {
-	var wg sync.WaitGroup
-	for w := 0; w < pe.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(blocks); i += pe.workers {
-				EncodeInto(blocks[i].Payload, seg, blocks[i].Coeffs)
-			}
-		}(w)
-	}
-	wg.Wait()
+	srcs := seg.Blocks()
+	k := seg.Params().BlockSize
+	stride := pe.workers
+	pe.pool.Dispatch(stride, func(w int, s *Scratch) {
+		cnt := 0
+		for i := w; i < len(blocks); i += stride {
+			cnt++
+		}
+		if cnt == 0 {
+			return
+		}
+		dsts, coeffs := s.rowViews(cnt)
+		j := 0
+		for i := w; i < len(blocks); i += stride {
+			dsts[j] = blocks[i].Payload
+			coeffs[j] = blocks[i].Coeffs
+			j++
+		}
+		encodeBatchRange(dsts, srcs, coeffs, 0, k)
+	})
 }
 
-// encodePartitioned generates blocks one at a time, splitting each payload
-// into contiguous per-worker stripes.
+// encodePartitioned gives every worker a contiguous column stripe of all
+// coded blocks. Unlike the seed implementation — which launched a fresh
+// goroutine set per coded block — the whole batch runs under one dispatch:
+// worker w clears and accumulates columns [w·stripe, (w+1)·stripe) of every
+// payload in a single tiled pass.
 func (pe *ParallelEncoder) encodePartitioned(seg *Segment, blocks []*CodedBlock) {
+	srcs := seg.Blocks()
 	k := seg.Params().BlockSize
 	stripe := (k + pe.workers - 1) / pe.workers
-	for _, b := range blocks {
-		var wg sync.WaitGroup
-		for w := 0; w < pe.workers; w++ {
-			lo := w * stripe
-			if lo >= k {
-				break
-			}
-			hi := min(lo+stripe, k)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				encodeStripe(b.Payload[lo:hi], seg, b.Coeffs, lo)
-			}(lo, hi)
-		}
-		wg.Wait()
+	dsts := make([][]byte, len(blocks))
+	coeffs := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		dsts[i] = b.Payload
+		coeffs[i] = b.Coeffs
 	}
-}
-
-// encodeStripe computes the [off, off+len(dst)) byte range of Σ c_i·b_i.
-func encodeStripe(dst []byte, seg *Segment, coeffs []byte, off int) {
-	clear(dst)
-	for i, c := range coeffs {
-		if c != 0 {
-			src := seg.Block(i)[off : off+len(dst)]
-			gf256.MulAddSlice(dst, src, c)
+	pe.pool.Dispatch(pe.workers, func(w int, _ *Scratch) {
+		lo := w * stripe
+		if lo >= k {
+			return
 		}
-	}
+		hi := min(lo+stripe, k)
+		encodeBatchRange(dsts, srcs, coeffs, lo, hi)
+	})
 }
 
 // DecodeSegmentsParallel batch-decodes independent segments with the given
 // worker count — the paper's parallel multi-segment decoding (Sec. 5.2):
 // each worker owns whole segments, so no cross-worker synchronization is
-// needed. blocksPerSegment[i] must span segment i.
+// needed. blocksPerSegment[i] must span segment i. Work executes on the
+// process-wide SharedPool.
 func DecodeSegmentsParallel(p Params, blocksPerSegment [][]*CodedBlock, workers int) ([]*Segment, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
 	}
 	segs := make([]*Segment, len(blocksPerSegment))
 	errs := make([]error, len(blocksPerSegment))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(blocksPerSegment); i += workers {
-				dec, err := NewBatchDecoder(p)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				for _, b := range blocksPerSegment[i] {
-					if err := dec.Add(b); err != nil {
-						errs[i] = err
-						break
-					}
-				}
-				if errs[i] != nil {
-					continue
-				}
-				segs[i], errs[i] = dec.Decode()
+	SharedPool().Dispatch(workers, func(w int, _ *Scratch) {
+		for i := w; i < len(blocksPerSegment); i += workers {
+			dec, err := NewBatchDecoder(p)
+			if err != nil {
+				errs[i] = err
+				continue
 			}
-		}(w)
-	}
-	wg.Wait()
+			for _, b := range blocksPerSegment[i] {
+				if err := dec.Add(b); err != nil {
+					errs[i] = err
+					break
+				}
+			}
+			if errs[i] != nil {
+				continue
+			}
+			segs[i], errs[i] = dec.Decode()
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("rlnc: segment %d: %w", i, err)

@@ -10,7 +10,8 @@ import (
 type Segment struct {
 	id     uint32
 	params Params
-	data   []byte // length params.SegmentSize()
+	data   []byte   // length params.SegmentSize()
+	rows   [][]byte // per-block views into data, built by the constructors
 }
 
 // NewSegment returns a zero-filled segment.
@@ -18,7 +19,9 @@ func NewSegment(id uint32, p Params) (*Segment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}, nil
+	s := &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}
+	s.blockRows()
+	return s, nil
 }
 
 // SegmentFromData builds a segment from up to SegmentSize bytes, copying the
@@ -33,6 +36,7 @@ func SegmentFromData(id uint32, p Params, data []byte) (*Segment, error) {
 	}
 	s := &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}
 	copy(s.data, data)
+	s.blockRows()
 	return s, nil
 }
 
@@ -48,13 +52,27 @@ func (s *Segment) Block(i int) []byte {
 	return s.data[i*k : (i+1)*k : (i+1)*k]
 }
 
-// Blocks returns all source blocks as aliasing slices.
+// Blocks returns all source blocks as aliasing slices. The slice is built
+// once at construction time (the encode hot path calls this per coded
+// block), so it is safe to call concurrently; callers must not modify the
+// slice itself, only the block contents.
 func (s *Segment) Blocks() [][]byte {
+	if s.rows != nil {
+		return s.rows
+	}
 	rows := make([][]byte, s.params.BlockCount)
 	for i := range rows {
 		rows[i] = s.Block(i)
 	}
 	return rows
+}
+
+// blockRows builds the cached per-block views; called by the constructors.
+func (s *Segment) blockRows() {
+	s.rows = make([][]byte, s.params.BlockCount)
+	for i := range s.rows {
+		s.rows[i] = s.Block(i)
+	}
 }
 
 // Data returns the full contiguous payload (aliased, not copied).
