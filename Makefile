@@ -2,24 +2,39 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-host figures examples clean
+# Packages covered by the race detector: the codec hot paths (worker pool,
+# gf256 kernels, decode pipelines) plus everything that moves blocks across
+# goroutines. One list, shared by `vet`'s quick pass and the `race` target,
+# and mirrored by the CI workflow.
+RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
+
+.PHONY: all build fmt-check vet test race fuzz-regress bench bench-host bench-smoke ci figures figures-csv examples clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
-# Static checks plus a race pass over the codec packages the host-kernel
-# ladder touches (the worker pool and the gf256 kernels).
+# Fail when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static checks. The race pass lives in the `race` target (over RACE_PKGS)
+# so `ci` runs it exactly once.
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/rlnc/ ./internal/gf256/
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Replay the committed fuzz seed corpora as regression tests (no fuzzing
+# time budget — just every F.Add case plus any checked-in corpus files).
+fuzz-regress:
+	$(GO) test -run 'Fuzz' -count=1 ./internal/rlnc/
 
 # Regenerate every paper table and figure as aligned text tables.
 figures:
@@ -35,12 +50,28 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Host-codec optimization-ladder benchmarks, captured as a committed JSON
-# artifact (kernel rungs + batch-vs-single encode at n=128, k=4096).
+# artifact: kernel rungs, batch-vs-single encode, and the decode ladder
+# (progressive scalar / batched absorb / two-stage), all at n=128, k=4096.
+# The kernel rungs are microsecond-scale, so they get a high iteration count
+# for stable timings; the macro encode/decode benches are tens of
+# milliseconds per op and keep a modest one.
 bench-host:
-	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch' \
-		-benchtime 100x -count 1 ./internal/gf256/ ./internal/rlnc/ \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder' \
+		-benchtime 3000x -count 1 ./internal/gf256/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
+		-benchtime 100x -count 1 ./internal/rlnc/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_host.json
 	@cat BENCH_host.json
+
+# One-iteration pass over the ladder benchmarks, piped through benchjson: a
+# cheap CI check that every rung still runs and parses.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
+		-benchtime 1x -count 1 ./internal/gf256/ ./internal/rlnc/ \
+		| $(GO) run ./cmd/benchjson > /dev/null
+
+# Everything the CI workflow runs, reproducible locally with one command.
+ci: build fmt-check vet test race fuzz-regress bench-smoke
 
 # Run every example program.
 examples:

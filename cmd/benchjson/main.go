@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch' \
+//	go test -run '^$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
 //	    -benchtime 100x ./internal/gf256/ ./internal/rlnc/ | go run ./cmd/benchjson
 package main
 
@@ -129,6 +129,8 @@ func derive(doc *Document) {
 		{"encode_pool_full_block_over_single_ref_pct", "BenchmarkEncodeBatch/single-ref", "BenchmarkEncodeBatch/pool-full-block"},
 		{"table_wide_over_scalar_k4096_pct", "BenchmarkMulAddLadder/table-scalar/k=4096", "BenchmarkMulAddLadder/table-wide/k=4096"},
 		{"fused4x2_over_scalar_k4096_pct", "BenchmarkMulAddLadder/table-scalar/k=4096", "BenchmarkMulAddLadder/fused4x2/k=4096"},
+		{"decode_batched_over_progressive_pct", "BenchmarkDecodeLadder/progressive-scalar", "BenchmarkDecodeLadder/progressive-batched/b=8"},
+		{"decode_two_stage_over_progressive_pct", "BenchmarkDecodeLadder/progressive-scalar", "BenchmarkDecodeLadder/two-stage"},
 	}
 	for _, r := range ratios {
 		base, okB := byName[r[1]]

@@ -128,9 +128,17 @@ func NewParallelEncoder(workers int, mode EncodeMode) (*rlnc.ParallelEncoder, er
 }
 
 // DecodeSegmentsParallel batch-decodes independent segments with worker
-// goroutines.
+// goroutines; each worker runs the two-stage pipeline.
 func DecodeSegmentsParallel(p Params, sets [][]*CodedBlock, workers int) ([]*Segment, error) {
 	return rlnc.DecodeSegmentsParallel(p, sets, workers)
+}
+
+// DecodeTwoStage recovers one segment with the paper's explicit two-stage
+// pipeline (Sec. 5.2): invert the n×n coefficient matrix on [C | I] — no
+// payload bytes drag through the elimination — then recover all source
+// blocks in one tiled b = C⁻¹·x multiply.
+func DecodeTwoStage(p Params, blocks []*CodedBlock) (*Segment, error) {
+	return rlnc.DecodeTwoStage(p, blocks)
 }
 
 // Simulated hardware (see internal/gpu and internal/cpusim).

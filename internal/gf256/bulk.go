@@ -328,6 +328,67 @@ func MulAddSlice4(dst, s1, s2, s3, s4 []byte, c1, c2, c3, c4 byte) {
 	}
 }
 
+// MulAddSlice1x2 applies one source to two destinations at once:
+//
+//	d1[i] ^= c1·src[i]
+//	d2[i] ^= c2·src[i]
+//
+// Each source word is loaded and byte-extracted once for both destinations —
+// the shape of Gauss–Jordan elimination, where one pivot row is eliminated
+// out of many rows with per-row factors. Both destinations must be the same
+// length; src must be at least that long. A zero coefficient drops to the
+// single-destination kernel.
+func MulAddSlice1x2(d1, d2, src []byte, c1, c2 byte) {
+	if c1 == 0 {
+		MulAddSlice(d2, src[:len(d2)], c2)
+		return
+	}
+	if c2 == 0 {
+		MulAddSlice(d1, src[:len(d1)], c1)
+		return
+	}
+	r1 := &_tables.mul[c1]
+	r2 := &_tables.mul[c2]
+	n := len(d1)
+	d2 = d2[:n]   // equal lengths: the first in-loop bounds check
+	src = src[:n] // proves away the rest
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		x := byte(s)
+		v := uint64(r1[x])
+		u := uint64(r2[x])
+		x = byte(s >> 8)
+		v |= uint64(r1[x]) << 8
+		u |= uint64(r2[x]) << 8
+		x = byte(s >> 16)
+		v |= uint64(r1[x]) << 16
+		u |= uint64(r2[x]) << 16
+		x = byte(s >> 24)
+		v |= uint64(r1[x]) << 24
+		u |= uint64(r2[x]) << 24
+		x = byte(s >> 32)
+		v |= uint64(r1[x]) << 32
+		u |= uint64(r2[x]) << 32
+		x = byte(s >> 40)
+		v |= uint64(r1[x]) << 40
+		u |= uint64(r2[x]) << 40
+		x = byte(s >> 48)
+		v |= uint64(r1[x]) << 48
+		u |= uint64(r2[x]) << 48
+		x = byte(s >> 56)
+		v |= uint64(r1[x]) << 56
+		u |= uint64(r2[x]) << 56
+		binary.LittleEndian.PutUint64(d1[i:], binary.LittleEndian.Uint64(d1[i:])^v)
+		binary.LittleEndian.PutUint64(d2[i:], binary.LittleEndian.Uint64(d2[i:])^u)
+	}
+	for ; i < n; i++ {
+		x := src[i]
+		d1[i] ^= r1[x]
+		d2[i] ^= r2[x]
+	}
+}
+
 // MulAddSlice4x2 applies the same four sources to two destinations at once:
 //
 //	d1[i] ^= ca[0]·s1[i] ^ ca[1]·s2[i] ^ ca[2]·s3[i] ^ ca[3]·s4[i]
@@ -361,6 +422,71 @@ func MulAddSlice4x2(d1, d2, s1, s2, s3, s4 []byte, ca, cb [4]byte) {
 	s3 = s3[:n]
 	s4 = s4[:n]
 	i := 0
+	// Two destination words per iteration: the second word's gathers are
+	// independent of the first's accumulation chain, so the out-of-order core
+	// overlaps their table lookups instead of serializing on v/u.
+	for ; i+16 <= n; i += 16 {
+		a := binary.LittleEndian.Uint64(s1[i:])
+		b := binary.LittleEndian.Uint64(s2[i:])
+		c := binary.LittleEndian.Uint64(s3[i:])
+		d := binary.LittleEndian.Uint64(s4[i:])
+		a2 := binary.LittleEndian.Uint64(s1[i+8:])
+		b2 := binary.LittleEndian.Uint64(s2[i+8:])
+		c2 := binary.LittleEndian.Uint64(s3[i+8:])
+		d2w := binary.LittleEndian.Uint64(s4[i+8:])
+		x, y, z, w := byte(a), byte(b), byte(c), byte(d)
+		v := uint64(ra1[x] ^ ra2[y] ^ ra3[z] ^ ra4[w])
+		u := uint64(rb1[x] ^ rb2[y] ^ rb3[z] ^ rb4[w])
+		x, y, z, w = byte(a2), byte(b2), byte(c2), byte(d2w)
+		v2 := uint64(ra1[x] ^ ra2[y] ^ ra3[z] ^ ra4[w])
+		u2 := uint64(rb1[x] ^ rb2[y] ^ rb3[z] ^ rb4[w])
+		x, y, z, w = byte(a>>8), byte(b>>8), byte(c>>8), byte(d>>8)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 8
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 8
+		x, y, z, w = byte(a2>>8), byte(b2>>8), byte(c2>>8), byte(d2w>>8)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 8
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 8
+		x, y, z, w = byte(a>>16), byte(b>>16), byte(c>>16), byte(d>>16)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 16
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 16
+		x, y, z, w = byte(a2>>16), byte(b2>>16), byte(c2>>16), byte(d2w>>16)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 16
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 16
+		x, y, z, w = byte(a>>24), byte(b>>24), byte(c>>24), byte(d>>24)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 24
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 24
+		x, y, z, w = byte(a2>>24), byte(b2>>24), byte(c2>>24), byte(d2w>>24)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 24
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 24
+		x, y, z, w = byte(a>>32), byte(b>>32), byte(c>>32), byte(d>>32)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 32
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 32
+		x, y, z, w = byte(a2>>32), byte(b2>>32), byte(c2>>32), byte(d2w>>32)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 32
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 32
+		x, y, z, w = byte(a>>40), byte(b>>40), byte(c>>40), byte(d>>40)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 40
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 40
+		x, y, z, w = byte(a2>>40), byte(b2>>40), byte(c2>>40), byte(d2w>>40)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 40
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 40
+		x, y, z, w = byte(a>>48), byte(b>>48), byte(c>>48), byte(d>>48)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 48
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 48
+		x, y, z, w = byte(a2>>48), byte(b2>>48), byte(c2>>48), byte(d2w>>48)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 48
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 48
+		x, y, z, w = byte(a>>56), byte(b>>56), byte(c>>56), byte(d>>56)
+		v |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 56
+		u |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 56
+		x, y, z, w = byte(a2>>56), byte(b2>>56), byte(c2>>56), byte(d2w>>56)
+		v2 |= uint64(ra1[x]^ra2[y]^ra3[z]^ra4[w]) << 56
+		u2 |= uint64(rb1[x]^rb2[y]^rb3[z]^rb4[w]) << 56
+		binary.LittleEndian.PutUint64(d1[i:], binary.LittleEndian.Uint64(d1[i:])^v)
+		binary.LittleEndian.PutUint64(d2[i:], binary.LittleEndian.Uint64(d2[i:])^u)
+		binary.LittleEndian.PutUint64(d1[i+8:], binary.LittleEndian.Uint64(d1[i+8:])^v2)
+		binary.LittleEndian.PutUint64(d2[i+8:], binary.LittleEndian.Uint64(d2[i+8:])^u2)
+	}
 	for ; i+8 <= n; i += 8 {
 		a := binary.LittleEndian.Uint64(s1[i:])
 		b := binary.LittleEndian.Uint64(s2[i:])

@@ -101,6 +101,38 @@ func TestMulAddSlice4MatchesReference(t *testing.T) {
 	}
 }
 
+func TestMulAddSlice1x2MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	coeffPairs := [][2]byte{{2, 3}, {0, 0x57}, {0x57, 0}, {1, 0xFF}, {0xA7, 0x1D}, {0, 0}, {1, 1}}
+	for n := 0; n <= 257; n++ {
+		src := randomBytes(rng, n)
+		base1 := randomBytes(rng, n)
+		base2 := randomBytes(rng, n)
+		for _, cp := range coeffPairs {
+			c1, c2 := cp[0], cp[1]
+			want1 := append([]byte(nil), base1...)
+			want2 := append([]byte(nil), base2...)
+			for i := range want1 {
+				want1[i] ^= mulSlow(src[i], c1)
+				want2[i] ^= mulSlow(src[i], c2)
+			}
+			got1 := append([]byte(nil), base1...)
+			got2 := append([]byte(nil), base2...)
+			MulAddSlice1x2(got1, got2, src, c1, c2)
+			for i := range want1 {
+				if got1[i] != want1[i] {
+					t.Fatalf("MulAddSlice1x2 len %d c=(%#x,%#x) d1 mismatch at %d: got %#x want %#x",
+						n, c1, c2, i, got1[i], want1[i])
+				}
+				if got2[i] != want2[i] {
+					t.Fatalf("MulAddSlice1x2 len %d c=(%#x,%#x) d2 mismatch at %d: got %#x want %#x",
+						n, c1, c2, i, got2[i], want2[i])
+				}
+			}
+		}
+	}
+}
+
 func TestMulAddSlice4x2MatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(18))
 	coeffSets := [][2][4]byte{
@@ -262,6 +294,15 @@ func BenchmarkMulAddLadder(b *testing.B) {
 			b.SetBytes(int64(k))
 			for i := 0; i < b.N; i++ {
 				mulAddTable(dst, s1, 0xA7)
+			}
+		})
+		dst1x2 := randomBytes(rng, k)
+		b.Run(fmt.Sprintf("fused1x2/k=%d", k), func(b *testing.B) {
+			// Two source·destination lanes per call (one source row feeding
+			// two rows under elimination — the Gauss–Jordan shape).
+			b.SetBytes(int64(2 * k))
+			for i := 0; i < b.N; i++ {
+				MulAddSlice1x2(dst, dst1x2, s1, 0xA7, 0x1D)
 			}
 		})
 		b.Run(fmt.Sprintf("fused2/k=%d", k), func(b *testing.B) {

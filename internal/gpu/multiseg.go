@@ -90,19 +90,12 @@ func (d *Device) DecodeMultiSegment(sets [][]*rlnc.CodedBlock, p rlnc.Params, op
 		materialize = o.MaterializeSegments
 	}
 
-	// ---- Functional execution: batch (invert-then-multiply) decode ----
+	// ---- Functional execution: the host codec's explicit two-stage decode
+	// ([C | I] inversion, then one tiled b = C⁻¹·x multiply) — the same
+	// pipeline whose cost the charge functions below account for. ----
 	segments := make([]*rlnc.Segment, 0, materialize)
 	for i := 0; i < materialize; i++ {
-		bd, err := rlnc.NewBatchDecoder(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, b := range sets[i] {
-			if err := bd.Add(b); err != nil {
-				return nil, fmt.Errorf("gpu: segment %d: %w", i, err)
-			}
-		}
-		seg, err := bd.Decode()
+		seg, err := rlnc.DecodeTwoStage(p, sets[i])
 		if err != nil {
 			return nil, fmt.Errorf("gpu: segment %d: %w", i, err)
 		}

@@ -1,0 +1,210 @@
+package rlnc
+
+import (
+	"extremenc/internal/gf256"
+)
+
+// Batched absorb for the progressive Gauss–Jordan decoder. AddBlock reduces
+// one arrival at a time with scalar row operations; AddBlocks stages a whole
+// batch of arrivals and eliminates them in three fused sweeps, which is the
+// decode-side analogue of the tiled batch encoder:
+//
+//	A. every staged row sheds the existing pivot columns — pairs of staged
+//	   rows × quadruples of pivot rows through MulAddSlice4x2;
+//	B. the staged rows are absorbed in arrival order against the pivots the
+//	   batch itself creates (quadruple gathers via MulAddSlice4, pivot
+//	   back-substitution within the batch via MulAddSlice1x2);
+//	C. the new pivot columns are eliminated from the pre-existing rows in
+//	   one deferred sweep, again pairs × quadruples.
+//
+// The gathers are exact because stored pivot rows are in full reduced
+// row-echelon form: a pivot row is zero at every other pivot column, so the
+// factors a row holds at the pivot columns cannot change while those columns
+// are eliminated — they can all be read up front and applied fused.
+//
+// The staged rows live in per-decoder reusable scratch drawn from the shared
+// pool (pool.go); only rows that turn out innovative are copied to permanent
+// storage, so dependent arrivals cost no allocation at all.
+
+// AddBlocks absorbs a batch of coded blocks and returns how many of them
+// were innovative (increased rank). The result — rank, stored rows, and
+// recovered segment — is byte-identical to calling AddBlock on each block in
+// order; only the row-operation schedule differs. The batch is validated up
+// front and rejected as a whole on the first invalid or wrong-segment block,
+// absorbing nothing.
+func (d *Decoder) AddBlocks(blocks []*CodedBlock) (innovative int, err error) {
+	if len(blocks) == 0 {
+		return 0, nil
+	}
+	segID, haveSeg := d.segID, d.haveSeg
+	if !haveSeg {
+		segID = blocks[0].SegmentID
+	}
+	for _, b := range blocks {
+		if err := b.Validate(d.params); err != nil {
+			return 0, err
+		}
+		if b.SegmentID != segID {
+			return 0, wrongSegmentError(segID, b.SegmentID)
+		}
+	}
+	d.segID, d.haveSeg = segID, true
+	d.received += len(blocks)
+
+	n, k := d.params.BlockCount, d.params.BlockSize
+	w := n + k
+	s := d.scratch()
+
+	// Stage the batch: rows of [C | x] in one reusable backing buffer.
+	buf := s.Bytes(len(blocks) * w)
+	staged, _ := s.rowViews(len(blocks))
+	for i, b := range blocks {
+		row := buf[i*w : (i+1)*w : (i+1)*w]
+		copy(row, b.Coeffs)
+		copy(row[n:], b.Payload)
+		staged[i] = row
+	}
+
+	// Existing pivot columns and rows, gathered once for phases A and C.
+	oldCols := s.colBuf(n)
+	for c := 0; c < n; c++ {
+		if d.rowForPivot[c] != nil {
+			oldCols = append(oldCols, c)
+		}
+	}
+
+	// Phase A: one fused sweep eliminates every existing pivot column from
+	// every staged row.
+	eliminateColsFused(staged, d.rowForPivot, oldCols)
+
+	// Phase B: absorb staged rows in arrival order. Each row first sheds the
+	// pivots created earlier in this batch (their columns are stable for the
+	// same RREF reason), then the first remaining non-zero column becomes its
+	// pivot. Back-substitution into old rows is deferred to phase C; within
+	// the batch it runs immediately so the new pivot set stays mutually
+	// reduced.
+	newCols := make([]int, 0, len(blocks))
+	for _, row := range staged {
+		eliminateColsRow(row, d.rowForPivot, newCols)
+		pivot := -1
+		for c := 0; c < n; c++ {
+			if row[c] != 0 {
+				pivot = c
+				break
+			}
+		}
+		if pivot < 0 {
+			d.dependent++
+			continue
+		}
+		if pv := row[pivot]; pv != 1 {
+			gf256.ScaleSlice(row, gf256.Inv(pv))
+		}
+		// Promote the scratch row to permanent storage.
+		perm := make([]byte, w)
+		copy(perm, row)
+		backSubPivot(d.rowForPivot, newCols, perm, pivot)
+		d.rowForPivot[pivot] = perm
+		newCols = append(newCols, pivot)
+		d.rank++
+		innovative++
+	}
+
+	// Phase C: eliminate the batch's pivot columns from every pre-existing
+	// row in one fused sweep.
+	if len(newCols) > 0 && len(oldCols) > 0 {
+		oldRows, _ := s.rowViews(len(oldCols))
+		for i, c := range oldCols {
+			oldRows[i] = d.rowForPivot[c]
+		}
+		eliminateColsFused(oldRows, d.rowForPivot, newCols)
+	}
+	return innovative, nil
+}
+
+// eliminateColsFused cancels the given pivot columns out of every dst row.
+// pivotByCol[c] must hold the pivot row for each c in cols, each pivot row
+// zero at every other listed column (full RREF), so all factors are read up
+// front. Rows are processed in pairs and columns in quadruples through the
+// dual-destination fused kernel.
+func eliminateColsFused(dsts [][]byte, pivotByCol [][]byte, cols []int) {
+	if len(cols) == 0 {
+		return
+	}
+	di := 0
+	for ; di+2 <= len(dsts); di += 2 {
+		a, b := dsts[di], dsts[di+1]
+		i := 0
+		for ; i+4 <= len(cols); i += 4 {
+			c1, c2, c3, c4 := cols[i], cols[i+1], cols[i+2], cols[i+3]
+			ca := [4]byte{a[c1], a[c2], a[c3], a[c4]}
+			cb := [4]byte{b[c1], b[c2], b[c3], b[c4]}
+			if ca[0]|ca[1]|ca[2]|ca[3] == 0 && cb[0]|cb[1]|cb[2]|cb[3] == 0 {
+				continue
+			}
+			gf256.MulAddSlice4x2(a, b,
+				pivotByCol[c1], pivotByCol[c2], pivotByCol[c3], pivotByCol[c4], ca, cb)
+		}
+		for ; i < len(cols); i++ {
+			c := cols[i]
+			if fa, fb := a[c], b[c]; fa|fb != 0 {
+				gf256.MulAddSlice1x2(a, b, pivotByCol[c], fa, fb)
+			}
+		}
+	}
+	if di < len(dsts) {
+		eliminateColsRow(dsts[di], pivotByCol, cols)
+	}
+}
+
+// eliminateColsRow is the single-destination form: quadruple column gathers
+// through MulAddSlice4, pair and scalar tails.
+func eliminateColsRow(row []byte, pivotByCol [][]byte, cols []int) {
+	i := 0
+	for ; i+4 <= len(cols); i += 4 {
+		c1, c2, c3, c4 := cols[i], cols[i+1], cols[i+2], cols[i+3]
+		f1, f2, f3, f4 := row[c1], row[c2], row[c3], row[c4]
+		if f1|f2|f3|f4 == 0 {
+			continue
+		}
+		gf256.MulAddSlice4(row,
+			pivotByCol[c1], pivotByCol[c2], pivotByCol[c3], pivotByCol[c4], f1, f2, f3, f4)
+	}
+	if i+2 <= len(cols) {
+		c1, c2 := cols[i], cols[i+1]
+		if f1, f2 := row[c1], row[c2]; f1|f2 != 0 {
+			gf256.MulAddSlice2(row, pivotByCol[c1], pivotByCol[c2], f1, f2)
+		}
+		i += 2
+	}
+	for ; i < len(cols); i++ {
+		c := cols[i]
+		if f := row[c]; f != 0 {
+			gf256.MulAddSlice(row, pivotByCol[c], f)
+		}
+	}
+}
+
+// backSubPivot eliminates the freshly created pivot column out of the rows
+// this batch created earlier (listed by column in cols), two rows per source
+// pass through the dual-destination kernel.
+func backSubPivot(rowForPivot [][]byte, cols []int, pivotRow []byte, pivot int) {
+	var pending []byte
+	var pendingF byte
+	for _, c := range cols {
+		pr := rowForPivot[c]
+		f := pr[pivot]
+		if f == 0 {
+			continue
+		}
+		if pending == nil {
+			pending, pendingF = pr, f
+			continue
+		}
+		gf256.MulAddSlice1x2(pending, pr, pivotRow, pendingF, f)
+		pending = nil
+	}
+	if pending != nil {
+		gf256.MulAddSlice(pending, pivotRow, pendingF)
+	}
+}

@@ -1,12 +1,6 @@
 package rlnc
 
-import (
-	"errors"
-	"fmt"
-
-	"extremenc/internal/gf256"
-	"extremenc/internal/matrix"
-)
+import "errors"
 
 // ErrRankDeficient reports that a batch of coded blocks does not span the
 // segment.
@@ -17,7 +11,8 @@ var ErrRankDeficient = errors.New("rlnc: coded blocks are rank deficient")
 // Gauss–Jordan elimination on [C | I] (stage 1), then recover the source
 // blocks with a dense GF multiplication b = C⁻¹·x (stage 2). Compared to
 // the progressive Decoder it defers all work to Decode, which is the shape
-// that parallelizes across segments.
+// that parallelizes across segments. Decode routes through DecodeTwoStage
+// (twostage.go), so all stage work runs on the fused kernels.
 type BatchDecoder struct {
 	params  Params
 	segID   uint32
@@ -41,7 +36,7 @@ func (d *BatchDecoder) Add(b *CodedBlock) error {
 		return err
 	}
 	if d.haveSeg && b.SegmentID != d.segID {
-		return fmt.Errorf("%w: have %d, got %d", ErrWrongSegment, d.segID, b.SegmentID)
+		return wrongSegmentError(d.segID, b.SegmentID)
 	}
 	d.segID, d.haveSeg = b.SegmentID, true
 	d.blocks = append(d.blocks, b)
@@ -52,75 +47,8 @@ func (d *BatchDecoder) Add(b *CodedBlock) error {
 func (d *BatchDecoder) Count() int { return len(d.blocks) }
 
 // Decode recovers the segment, or ErrRankDeficient when the stored blocks
-// do not span it.
+// do not span it. Subset selection (the first spanning subset in arrival
+// order) happens inside the two-stage pipeline's forward sweep.
 func (d *BatchDecoder) Decode() (*Segment, error) {
-	n, k := d.params.BlockCount, d.params.BlockSize
-	rows := d.spanningSubset()
-	if len(rows) < n {
-		return nil, fmt.Errorf("%w: rank %d of %d from %d blocks",
-			ErrRankDeficient, len(rows), n, len(d.blocks))
-	}
-
-	// Stage 1: invert the coefficient matrix via [C | I].
-	c := matrix.New(n, n)
-	for i, b := range rows {
-		copy(c.Row(i), b.Coeffs)
-	}
-	inv, err := c.Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("rlnc: %w", err)
-	}
-
-	// Stage 2: b = C⁻¹ · x, an encode-like dense multiplication — run
-	// through the tiled batch kernel so all n source blocks materialize in
-	// one fused pass over the received payloads.
-	seg, err := NewSegment(d.segID, d.params)
-	if err != nil {
-		return nil, err
-	}
-	payloads := make([][]byte, n)
-	crows := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		payloads[i] = rows[i].Payload
-		crows[i] = inv.Row(i)
-	}
-	encodeBatchRange(seg.Blocks(), payloads, crows, 0, k)
-	return seg, nil
-}
-
-// spanningSubset selects up to n stored blocks with linearly independent
-// coefficient vectors, in arrival order, using an incremental elimination
-// probe (one O(n²) pass over all stored blocks).
-func (d *BatchDecoder) spanningSubset() []*CodedBlock {
-	n := d.params.BlockCount
-	pivotRows := make([][]byte, n)
-	subset := make([]*CodedBlock, 0, n)
-	for _, b := range d.blocks {
-		if len(subset) == n {
-			break
-		}
-		row := append([]byte(nil), b.Coeffs...)
-		pivot := -1
-		for c := 0; c < n; c++ {
-			f := row[c]
-			if f == 0 {
-				continue
-			}
-			if pr := pivotRows[c]; pr != nil {
-				gf256.MulAddSlice(row, pr, f)
-				continue
-			}
-			pivot = c
-			break
-		}
-		if pivot < 0 {
-			continue
-		}
-		if pv := row[pivot]; pv != 1 {
-			gf256.ScaleSlice(row, gf256.Inv(pv))
-		}
-		pivotRows[pivot] = row
-		subset = append(subset, b)
-	}
-	return subset
+	return DecodeTwoStage(d.params, d.blocks)
 }

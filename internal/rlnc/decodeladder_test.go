@@ -1,0 +1,313 @@
+package rlnc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extremenc/internal/gf256"
+)
+
+// Differential coverage for the decode ladder: the batched absorb path and
+// the two-stage pipeline must recover byte-identical segments to the
+// progressive scalar Decoder for any arrival order, with dependent arrivals
+// injected, across degenerate and paper-sized shapes.
+
+// dependentMix returns a coded block that is a random GF combination of two
+// already-sent blocks — linearly dependent by construction.
+func dependentMix(rng *rand.Rand, a, b *CodedBlock) *CodedBlock {
+	fa, fb := byte(1+rng.Intn(255)), byte(rng.Intn(256))
+	out := &CodedBlock{
+		SegmentID: a.SegmentID,
+		Coeffs:    make([]byte, len(a.Coeffs)),
+		Payload:   make([]byte, len(a.Payload)),
+	}
+	gf256.MulAddSlice(out.Coeffs, a.Coeffs, fa)
+	gf256.MulAddSlice(out.Payload, a.Payload, fa)
+	gf256.MulAddSlice(out.Coeffs, b.Coeffs, fb)
+	gf256.MulAddSlice(out.Payload, b.Payload, fb)
+	return out
+}
+
+// ladderArrivals builds a shuffled arrival stream for one segment: n+extra
+// encoder blocks plus injected dependent combinations.
+func ladderArrivals(rng *rand.Rand, seg *Segment, extra, dependents int) []*CodedBlock {
+	enc := NewEncoder(seg, rng)
+	n := seg.Params().BlockCount
+	blocks := make([]*CodedBlock, 0, n+extra+dependents)
+	for i := 0; i < n+extra; i++ {
+		blocks = append(blocks, enc.NextBlock())
+	}
+	for i := 0; i < dependents; i++ {
+		a := blocks[rng.Intn(len(blocks))]
+		b := blocks[rng.Intn(len(blocks))]
+		blocks = append(blocks, dependentMix(rng, a, b))
+	}
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	return blocks
+}
+
+// TestDecodeLadderDifferential drives every decode rung over the same
+// arrival streams and demands byte-identical recovered segments — and, for
+// the two progressive paths, identical internal RREF state and dependence
+// accounting.
+func TestDecodeLadderDifferential(t *testing.T) {
+	for _, n := range []int{1, 2, 60, 128} {
+		for trial := 0; trial < 3; trial++ {
+			p := Params{BlockCount: n, BlockSize: 72 + trial}
+			rng := rand.New(rand.NewSource(int64(1000*n + trial)))
+			data := make([]byte, p.SegmentSize())
+			rng.Read(data)
+			seg, err := SegmentFromData(7, p, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks := ladderArrivals(rng, seg, 2, 1+n/16)
+
+			// Reference: progressive scalar AddBlock, one arrival at a time.
+			ref, err := NewDecoder(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refInnov := 0
+			for _, b := range blocks {
+				innov, err := ref.AddBlock(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if innov {
+					refInnov++
+				}
+			}
+			refSeg, err := ref.Segment()
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: reference decode: %v", n, trial, err)
+			}
+			if !refSeg.Equal(seg) {
+				t.Fatalf("n=%d trial=%d: reference decoded corrupt segment", n, trial)
+			}
+
+			// Batched absorb at several chunk sizes, including chunks larger
+			// than the remaining stream.
+			for _, chunk := range []int{1, 2, 5, len(blocks)} {
+				dec, err := NewDecoder(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotInnov := 0
+				for lo := 0; lo < len(blocks); lo += chunk {
+					hi := min(lo+chunk, len(blocks))
+					innov, err := dec.AddBlocks(blocks[lo:hi])
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotInnov += innov
+				}
+				if gotInnov != refInnov || dec.Rank() != ref.Rank() ||
+					dec.Dependent() != ref.Dependent() || dec.Received() != ref.Received() {
+					t.Fatalf("n=%d trial=%d chunk=%d: accounting diverges: innovative %d/%d rank %d/%d dependent %d/%d received %d/%d",
+						n, trial, chunk, gotInnov, refInnov, dec.Rank(), ref.Rank(),
+						dec.Dependent(), ref.Dependent(), dec.Received(), ref.Received())
+				}
+				// The batched schedule must land on the exact same RREF rows,
+				// not merely an equivalent basis.
+				for c := 0; c < n; c++ {
+					if !bytes.Equal(dec.rowForPivot[c], ref.rowForPivot[c]) {
+						t.Fatalf("n=%d trial=%d chunk=%d: RREF row %d diverges from scalar path", n, trial, chunk, c)
+					}
+				}
+				got, err := dec.Segment()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(refSeg) {
+					t.Fatalf("n=%d trial=%d chunk=%d: batched absorb segment diverges", n, trial, chunk)
+				}
+			}
+
+			// Two-stage pipeline, directly and through BatchDecoder.
+			twoStage, err := DecodeTwoStage(p, blocks)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: two-stage decode: %v", n, trial, err)
+			}
+			if !twoStage.Equal(refSeg) {
+				t.Fatalf("n=%d trial=%d: two-stage segment diverges", n, trial)
+			}
+			bd, err := NewBatchDecoder(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range blocks {
+				if err := bd.Add(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			bdSeg, err := bd.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bdSeg.Equal(refSeg) {
+				t.Fatalf("n=%d trial=%d: BatchDecoder segment diverges", n, trial)
+			}
+		}
+	}
+}
+
+// TestAddBlocksRejectsBatchAtomically pins the transactional contract: a
+// batch containing an invalid or wrong-segment block absorbs nothing.
+func TestAddBlocksRejectsBatchAtomically(t *testing.T) {
+	p := Params{BlockCount: 4, BlockSize: 32}
+	rng := rand.New(rand.NewSource(41))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(3, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(seg, rng)
+	good := []*CodedBlock{enc.NextBlock(), enc.NextBlock()}
+
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := enc.NextBlock()
+	bad.Coeffs = bad.Coeffs[:3]
+	if _, err := dec.AddBlocks([]*CodedBlock{good[0], bad}); err == nil {
+		t.Fatal("batch with malformed block accepted")
+	}
+	wrongSeg := enc.NextBlock()
+	wrongSeg.SegmentID = 9
+	if _, err := dec.AddBlocks([]*CodedBlock{good[0], wrongSeg}); err == nil {
+		t.Fatal("batch with wrong-segment block accepted before any absorb")
+	}
+	if dec.Rank() != 0 || dec.Received() != 0 {
+		t.Fatalf("rejected batches mutated decoder state: rank %d received %d", dec.Rank(), dec.Received())
+	}
+	if _, err := dec.AddBlocks(good); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rank() != 2 || dec.Received() != 2 {
+		t.Fatalf("valid batch misabsorbed: rank %d received %d", dec.Rank(), dec.Received())
+	}
+	// Wrong-segment rejection must also hold against the established stream.
+	if _, err := dec.AddBlocks([]*CodedBlock{wrongSeg}); err == nil {
+		t.Fatal("wrong-segment batch accepted after absorb")
+	}
+}
+
+// TestDecodeTwoStageRankDeficient pins the error path when blocks cannot
+// span the segment.
+func TestDecodeTwoStageRankDeficient(t *testing.T) {
+	p := Params{BlockCount: 8, BlockSize: 16}
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(1, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(seg, rng)
+	blocks := []*CodedBlock{enc.NextBlock(), enc.NextBlock()}
+	blocks = append(blocks, dependentMix(rng, blocks[0], blocks[1]))
+	if _, err := DecodeTwoStage(p, blocks); err == nil {
+		t.Fatal("rank-deficient block set decoded")
+	}
+}
+
+// BenchmarkDecodeLadder measures the decode-side optimization ladder at the
+// paper's streaming configuration (n=128, k=4096): the progressive scalar
+// decoder (seed shape), the batched fused absorb, the Gaussian decoder with
+// deferred back-substitution, and the two-stage invert-then-multiply
+// pipeline. Throughput is decoded source bytes per second, so rungs are
+// directly comparable.
+func BenchmarkDecodeLadder(b *testing.B) {
+	p := Params{BlockCount: 128, BlockSize: 4096}
+	rng := rand.New(rand.NewSource(51))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(1, p, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := ladderArrivals(rng, seg, 2, 0)
+	segBytes := int64(p.SegmentSize())
+
+	check := func(b *testing.B, got *Segment, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Equal(seg) {
+			b.Fatal("decoded segment diverges from source")
+		}
+	}
+
+	b.Run("progressive-scalar", func(b *testing.B) {
+		b.SetBytes(segBytes)
+		for i := 0; i < b.N; i++ {
+			dec, err := NewDecoder(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, blk := range blocks {
+				if _, err := dec.AddBlock(blk); err != nil {
+					b.Fatal(err)
+				}
+				if dec.Ready() {
+					break
+				}
+			}
+			got, err := dec.Segment()
+			check(b, got, err)
+		}
+	})
+	for _, chunk := range []int{8, 32} {
+		// Named b=<chunk> (not a -<chunk> suffix): benchjson strips a trailing
+		// -<int> as the GOMAXPROCS tag.
+		b.Run(fmt.Sprintf("progressive-batched/b=%d", chunk), func(b *testing.B) {
+			b.SetBytes(segBytes)
+			for i := 0; i < b.N; i++ {
+				dec, err := NewDecoder(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for lo := 0; lo < len(blocks) && !dec.Ready(); lo += chunk {
+					hi := min(lo+chunk, len(blocks))
+					if _, err := dec.AddBlocks(blocks[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				got, err := dec.Segment()
+				check(b, got, err)
+			}
+		})
+	}
+	b.Run("gaussian-deferred", func(b *testing.B) {
+		b.SetBytes(segBytes)
+		for i := 0; i < b.N; i++ {
+			dec, err := NewGaussianDecoder(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, blk := range blocks {
+				if _, err := dec.AddBlock(blk); err != nil {
+					b.Fatal(err)
+				}
+				if dec.Ready() {
+					break
+				}
+			}
+			got, err := dec.Segment()
+			check(b, got, err)
+		}
+	})
+	b.Run("two-stage", func(b *testing.B) {
+		b.SetBytes(segBytes)
+		for i := 0; i < b.N; i++ {
+			got, err := DecodeTwoStage(p, blocks)
+			check(b, got, err)
+		}
+	})
+}

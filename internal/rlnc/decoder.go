@@ -31,6 +31,10 @@ type Decoder struct {
 
 	received  int
 	dependent int
+
+	// scr is the decoder's reusable workspace for the batched absorb path,
+	// drawn lazily from the shared scratch pool.
+	scr *Scratch
 }
 
 // NewDecoder returns an empty decoder for the given configuration.
@@ -43,6 +47,20 @@ func NewDecoder(p Params) (*Decoder, error) {
 
 // Params returns the coding configuration.
 func (d *Decoder) Params() Params { return d.params }
+
+// scratch returns the decoder's workspace, drawing one from the shared pool
+// on first use. It is held for the decoder's lifetime, so repeated AddBlocks
+// calls reuse the same staging storage.
+func (d *Decoder) scratch() *Scratch {
+	if d.scr == nil {
+		d.scr = GetScratch()
+	}
+	return d.scr
+}
+
+func wrongSegmentError(have, got uint32) error {
+	return fmt.Errorf("%w: have %d, got %d", ErrWrongSegment, have, got)
+}
 
 // Rank returns the number of linearly independent blocks absorbed so far.
 func (d *Decoder) Rank() int { return d.rank }
@@ -64,7 +82,7 @@ func (d *Decoder) AddBlock(b *CodedBlock) (innovative bool, err error) {
 		return false, err
 	}
 	if d.haveSeg && b.SegmentID != d.segID {
-		return false, fmt.Errorf("%w: have %d, got %d", ErrWrongSegment, d.segID, b.SegmentID)
+		return false, wrongSegmentError(d.segID, b.SegmentID)
 	}
 	d.segID, d.haveSeg = b.SegmentID, true
 	d.received++
@@ -104,7 +122,10 @@ func (d *Decoder) AddBlock(b *CodedBlock) (innovative bool, err error) {
 		gf256.ScaleSlice(row, gf256.Inv(pv))
 	}
 	// Back-substitute the new pivot out of every existing row to maintain
-	// full reduced row-echelon form.
+	// full reduced row-echelon form, one scalar row operation per stored row.
+	// This per-arrival path is deliberately kept in the seed's unfused shape:
+	// it is the "progressive scalar" rung of the decode ladder that the fused
+	// batched path (AddBlocks) is measured against.
 	for c := 0; c < n; c++ {
 		pr := d.rowForPivot[c]
 		if pr == nil {

@@ -136,31 +136,21 @@ func (pe *ParallelEncoder) encodePartitioned(seg *Segment, blocks []*CodedBlock)
 // DecodeSegmentsParallel batch-decodes independent segments with the given
 // worker count — the paper's parallel multi-segment decoding (Sec. 5.2):
 // each worker owns whole segments, so no cross-worker synchronization is
-// needed. blocksPerSegment[i] must span segment i. Work executes on the
-// process-wide SharedPool.
+// needed, and runs the explicit two-stage pipeline (twostage.go) against its
+// own warm scratch. blocksPerSegment[i] must span segment i. Work executes
+// on the process-wide SharedPool.
 func DecodeSegmentsParallel(p Params, blocksPerSegment [][]*CodedBlock, workers int) ([]*Segment, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
 	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	segs := make([]*Segment, len(blocksPerSegment))
 	errs := make([]error, len(blocksPerSegment))
-	SharedPool().Dispatch(workers, func(w int, _ *Scratch) {
+	SharedPool().Dispatch(workers, func(w int, s *Scratch) {
 		for i := w; i < len(blocksPerSegment); i += workers {
-			dec, err := NewBatchDecoder(p)
-			if err != nil {
-				errs[i] = err
-				continue
-			}
-			for _, b := range blocksPerSegment[i] {
-				if err := dec.Add(b); err != nil {
-					errs[i] = err
-					break
-				}
-			}
-			if errs[i] != nil {
-				continue
-			}
-			segs[i], errs[i] = dec.Decode()
+			segs[i], errs[i] = decodeTwoStageWith(s, p, blocksPerSegment[i])
 		}
 	})
 	for i, err := range errs {

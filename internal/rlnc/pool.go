@@ -26,13 +26,16 @@ type poolJob struct {
 	wg *sync.WaitGroup
 }
 
-// Scratch is per-worker reusable storage. Each worker goroutine owns exactly
-// one Scratch for its lifetime, so tasks may use it freely without
-// synchronization; contents are undefined at task entry.
+// Scratch is reusable codec workspace. Each pool worker goroutine owns
+// exactly one Scratch for its lifetime, and decoders draw one from the
+// process-wide scratch pool (see GetScratch), so holders may use it freely
+// without synchronization; contents are undefined at task entry.
 type Scratch struct {
 	buf    []byte
 	dsts   [][]byte
 	coeffs [][]byte
+	aug    [][]byte // matrix row views for the two-stage inverter
+	cols   []int    // pivot-column gather list for the batched absorb
 }
 
 // Bytes returns an n-byte workspace, growing the backing array as needed.
@@ -52,6 +55,24 @@ func (s *Scratch) rowViews(n int) (dsts, coeffs [][]byte) {
 		s.coeffs = make([][]byte, n)
 	}
 	return s.dsts[:n], s.coeffs[:n]
+}
+
+// augRows returns a third reusable row-header slice of length n, used by the
+// two-stage decoder for its [C | I] working matrix alongside rowViews.
+func (s *Scratch) augRows(n int) [][]byte {
+	if cap(s.aug) < n {
+		s.aug = make([][]byte, n)
+	}
+	return s.aug[:n]
+}
+
+// colBuf returns a reusable int slice of capacity ≥ n, length 0 — the
+// pivot-column gather list of the batched absorb path.
+func (s *Scratch) colBuf(n int) []int {
+	if cap(s.cols) < n {
+		s.cols = make([]int, 0, n)
+	}
+	return s.cols[:0]
 }
 
 // NewPool starts a pool with the given worker count; workers ≤ 0 selects
@@ -116,3 +137,17 @@ func SharedPool() *Pool {
 	sharedPoolOnce.Do(func() { sharedPool = NewPool(0) })
 	return sharedPool
 }
+
+// scratchPool recycles Scratch values across decoders and the one-shot
+// decode entry points, complementing the per-worker Scratch that pool
+// workers own: a decoder absorbing batches between pool dispatches reuses a
+// warm workspace instead of growing a fresh one.
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch draws a reusable workspace from the process-wide scratch pool.
+// Contents are undefined.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a workspace to the pool. The caller must not retain
+// any slice obtained from it afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }

@@ -1,0 +1,155 @@
+package rlnc
+
+import (
+	"fmt"
+
+	"extremenc/internal/gf256"
+)
+
+// Two-stage decode — the paper's multi-segment scheme (Sec. 5.2) as an
+// explicit host-codec pipeline. Stage 1 inverts the n×n coefficient matrix
+// by Gauss–Jordan elimination on the augmented [C | I] form only: rows are
+// 2n bytes, so the whole elimination runs over an L1-resident working set
+// instead of dragging k-byte payloads through every row operation the way
+// progressive decoding does. Stage 2 recovers all n source blocks with a
+// single encode-shaped dense multiplication b = C⁻¹·x through the tiled
+// batch kernel (encodebatch.go). Both stages draw their working storage from
+// the shared scratch pool.
+
+// DecodeTwoStage recovers one segment from coded blocks using the two-stage
+// (invert-then-multiply) pipeline. It selects the first spanning subset of
+// the given blocks in arrival order and fails with ErrRankDeficient when the
+// blocks do not span the segment. Extra blocks beyond rank n are ignored, so
+// over-collection is harmless.
+func DecodeTwoStage(p Params, blocks []*CodedBlock) (*Segment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	return decodeTwoStageWith(s, p, blocks)
+}
+
+// decodeTwoStageWith is DecodeTwoStage against caller-owned scratch — the
+// form the pool workers use so each worker's warm workspace is reused across
+// segments.
+func decodeTwoStageWith(s *Scratch, p Params, blocks []*CodedBlock) (*Segment, error) {
+	var segID uint32
+	haveSeg := false
+	for _, b := range blocks {
+		if err := b.Validate(p); err != nil {
+			return nil, err
+		}
+		if haveSeg && b.SegmentID != segID {
+			return nil, wrongSegmentError(segID, b.SegmentID)
+		}
+		segID, haveSeg = b.SegmentID, true
+	}
+	n, k := p.BlockCount, p.BlockSize
+	payloads, inv := s.rowViews(n)
+
+	// Stage 1: C⁻¹ via [C | I], payload-free. Subset selection is folded into
+	// the inversion — the forward sweep IS the rank probe.
+	aug, err := invertCoeffs(s, p, blocks, payloads)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: b = C⁻¹ · x as one tiled batch multiply over the received
+	// payloads.
+	seg, err := NewSegment(segID, p)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < n; c++ {
+		inv[c] = aug[c][n : 2*n : 2*n]
+	}
+	encodeBatchRange(seg.Blocks(), payloads, inv, 0, k)
+	return seg, nil
+}
+
+// invertCoeffs selects the first spanning subset of blocks in arrival order
+// while building [C | I] in scratch storage and reducing it to [I | C⁻¹].
+// Candidates are absorbed row-incrementally into echelon form, so the forward
+// sweep doubles as the rank probe — a block that reduces to zero is dependent
+// and skipped, and the identity seed of accepted row i is e_i. Row operations
+// run over the live column span only: a pivot row is zero left of its pivot,
+// and after acc acceptances the right half is populated no further than
+// column n+acc. The deferred bottom-up back-substitution then sweeps four
+// pivot rows at a time — the same fused shape as the Gaussian decoder's final
+// pass — again span-trimmed, since a finished pivot row c is e_c on the left.
+//
+// On success aug[c] is the augmented row with pivot column c (so
+// aug[c][n:2n] is row c of C⁻¹) and payloads[i] holds the payload of the
+// i-th accepted block.
+func invertCoeffs(s *Scratch, p Params, blocks []*CodedBlock, payloads [][]byte) ([][]byte, error) {
+	n := p.BlockCount
+	w := 2 * n
+	buf := s.Bytes(n * w)
+	aug := s.augRows(n) // indexed by pivot column once a row is accepted
+	for c := range aug {
+		aug[c] = nil
+	}
+	acc := 0
+	for _, b := range blocks {
+		if acc == n {
+			break
+		}
+		row := buf[acc*w : (acc+1)*w : (acc+1)*w]
+		copy(row, b.Coeffs)
+		clear(row[n:])
+		row[n+acc] = 1
+		// Live columns: the left half plus right-half seeds placed so far.
+		rhs := n + acc + 1
+		pivot := -1
+		for c := 0; c < n; c++ {
+			f := row[c]
+			if f == 0 {
+				continue
+			}
+			if pr := aug[c]; pr != nil {
+				gf256.MulAddSlice(row[c:rhs], pr[c:rhs], f)
+				continue
+			}
+			pivot = c
+			break
+		}
+		if pivot < 0 {
+			continue // linearly dependent arrival; keep probing
+		}
+		if pv := row[pivot]; pv != 1 {
+			gf256.ScaleSlice(row[pivot:rhs], gf256.Inv(pv))
+		}
+		aug[pivot] = row
+		payloads[acc] = b.Payload
+		acc++
+	}
+	if acc < n {
+		return nil, fmt.Errorf("%w: rank %d of %d from %d blocks",
+			ErrRankDeficient, acc, n, len(blocks))
+	}
+
+	// Deferred back-substitution, bottom-up: every pivot row below the
+	// current one is already final ([e_c | row c of C⁻¹]), and pivot row c is
+	// zero left of column c, so a descending quadruple's factors can be read
+	// up front and every operand sliced to the quadruple's lowest column.
+	for r := n - 1; r >= 0; r-- {
+		row := aug[r]
+		c := n - 1
+		for ; c-3 > r; c -= 4 {
+			f1, f2, f3, f4 := row[c], row[c-1], row[c-2], row[c-3]
+			if f1|f2|f3|f4 == 0 {
+				continue
+			}
+			lo := c - 3
+			gf256.MulAddSlice4(row[lo:], aug[c][lo:], aug[c-1][lo:], aug[c-2][lo:], aug[c-3][lo:],
+				f1, f2, f3, f4)
+		}
+		for ; c > r; c-- {
+			if f := row[c]; f != 0 {
+				gf256.MulAddSlice(row[c:], aug[c][c:], f)
+			}
+		}
+	}
+	return aug, nil
+}

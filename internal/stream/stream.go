@@ -192,13 +192,10 @@ func (s *Server) verifySampleClient(seed int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	for _, b := range rep.Blocks {
-		if _, err := dec.AddBlock(b); err != nil {
-			return false, err
-		}
-		if dec.Ready() {
-			break
-		}
+	// The sample client holds its whole download, so the batched absorb path
+	// eliminates all arrivals in one fused sweep.
+	if _, err := dec.AddBlocks(rep.Blocks); err != nil {
+		return false, err
 	}
 	got, err := dec.Segment()
 	if err != nil {
