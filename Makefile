@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress bench bench-host bench-smoke ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress staticcheck serve-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -35,6 +35,22 @@ race:
 # time budget — just every F.Add case plus any checked-in corpus files).
 fuzz-regress:
 	$(GO) test -run 'Fuzz' -count=1 ./internal/rlnc/
+
+# Deep static analysis. Skips gracefully when the staticcheck binary is not
+# installed (we never install dependencies from a build target); CI installs
+# it explicitly and runs this same target.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# End-to-end serving gate: boot the session server against a loopback
+# listener, fetch with concurrent clients, and check payloads and metrics
+# accounting.
+serve-smoke:
+	$(GO) run ./cmd/ncserve smoke -clients 4
 
 # Regenerate every paper table and figure as aligned text tables.
 figures:
@@ -71,7 +87,7 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet test race fuzz-regress bench-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress bench-smoke serve-smoke
 
 # Run every example program.
 examples:

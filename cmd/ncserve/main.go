@@ -4,17 +4,33 @@
 // segments and the client simply hangs up once it can decode everything;
 // there are no ACKs, retransmissions, or block-scheduling maps.
 //
+// The server multiplexes every connection over one shared encoder with
+// bounded per-session queues (slow clients shed blocks instead of stalling
+// the encoder), per-record write deadlines, and an optional HTTP endpoint
+// exposing the live metrics snapshot as JSON.
+//
 // Usage:
 //
-//	ncserve serve -listen 127.0.0.1:9099 -in media.bin -n 32 -k 4096
-//	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin
+//	ncserve serve -listen 127.0.0.1:9099 -in media.bin -n 32 -k 4096 \
+//	    -queue 64 -deadline 5s -metrics 127.0.0.1:9100
+//	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin -timeout 30s
+//	ncserve smoke -clients 4
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"extremenc/internal/netio"
 	"extremenc/internal/rlnc"
@@ -29,15 +45,44 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: ncserve serve|fetch [flags]")
+		return fmt.Errorf("usage: ncserve serve|fetch|smoke [flags]")
 	}
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:])
 	case "fetch":
 		return runFetch(args[1:])
+	case "smoke":
+		return runSmoke(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// serveFlags are the session-layer tunables shared by serve and smoke.
+type serveFlags struct {
+	n, k     int
+	queue    int
+	deadline time.Duration
+	retries  int
+	maxSess  int
+}
+
+func (sf *serveFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&sf.n, "n", 32, "blocks per segment")
+	fs.IntVar(&sf.k, "k", 4096, "bytes per block")
+	fs.IntVar(&sf.queue, "queue", 64, "per-session send queue depth (records)")
+	fs.DurationVar(&sf.deadline, "deadline", 5*time.Second, "per-record write deadline (0 disables)")
+	fs.IntVar(&sf.retries, "retries", 1, "extra deadline windows before a timed-out session is dropped")
+	fs.IntVar(&sf.maxSess, "max-sessions", 0, "concurrent session cap (0 = unlimited)")
+}
+
+func (sf *serveFlags) options() []netio.ServerOption {
+	return []netio.ServerOption{
+		netio.WithQueueDepth(sf.queue),
+		netio.WithWriteDeadline(sf.deadline),
+		netio.WithWriteRetries(sf.retries),
+		netio.WithMaxSessions(sf.maxSess),
 	}
 }
 
@@ -45,8 +90,9 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("ncserve serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:9099", "listen address")
 	inPath := fs.String("in", "", "media file to serve")
-	n := fs.Int("n", 32, "blocks per segment")
-	k := fs.Int("k", 4096, "bytes per block")
+	metricsAddr := fs.String("metrics", "", "HTTP address serving the metrics snapshot as JSON (empty = off)")
+	var sf serveFlags
+	sf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +103,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: *n, BlockSize: *k})
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, sf.options()...)
 	if err != nil {
 		return err
 	}
@@ -66,26 +112,93 @@ func runServe(args []string) error {
 		return err
 	}
 	defer l.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		go http.Serve(ml, metricsHandler(srv)) //nolint:errcheck — exits with the process
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+	}
+
 	fmt.Printf("serving %d bytes as %d segments (n=%d, k=%d) on %s\n",
-		len(media), srv.Segments(), *n, *k, l.Addr())
-	return srv.Serve(l)
+		len(media), srv.Segments(), sf.n, sf.k, l.Addr())
+	err = srv.Serve(ctx, l)
+	if ctx.Err() != nil {
+		// Interrupted: the server already shut down cleanly.
+		snap := srv.Snapshot()
+		fmt.Printf("shutdown: %d sessions served, %d blocks sent, %d shed, %d bytes\n",
+			snap.SessionsTotal, snap.BlocksSent, snap.BlocksShed, snap.BytesSent)
+		return nil
+	}
+	return err
+}
+
+// metricsHandler serves the server snapshot as indented JSON on every path.
+func metricsHandler(srv *netio.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshotJSON(srv.Snapshot())) //nolint:errcheck — best-effort metrics
+	})
+}
+
+// snapshotJSON flattens a netio.Snapshot for stable JSON field names.
+func snapshotJSON(s netio.Snapshot) map[string]any {
+	per := make([]map[string]any, 0, len(s.PerSession))
+	for _, ss := range s.PerSession {
+		per = append(per, map[string]any{
+			"id": ss.ID, "addr": ss.Addr,
+			"queue_len": ss.QueueLen, "queue_cap": ss.QueueCap,
+			"offered": ss.Offered, "sent": ss.Sent, "shed": ss.Shed,
+			"bytes": ss.Bytes, "duration_s": ss.Duration.Seconds(),
+		})
+	}
+	return map[string]any{
+		"sessions":          s.Sessions,
+		"sessions_total":    s.SessionsTotal,
+		"sessions_rejected": s.SessionsRejected,
+		"session_seconds":   s.SessionSeconds,
+		"blocks_encoded":    s.BlocksEncoded,
+		"blocks_offered":    s.BlocksOffered,
+		"blocks_sent":       s.BlocksSent,
+		"blocks_shed":       s.BlocksShed,
+		"bytes_sent":        s.BytesSent,
+		"encode_stall_s":    s.EncodeStall.Seconds(),
+		"max_stall_s":       s.MaxEncodeStall.Seconds(),
+		"per_session":       per,
+	}
 }
 
 func runFetch(args []string) error {
 	fs := flag.NewFlagSet("ncserve fetch", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9099", "server address")
 	outPath := fs.String("out", "", "output file")
+	timeout := fs.Duration("timeout", 0, "overall fetch timeout (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *outPath == "" {
 		return fmt.Errorf("fetch requires -out")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	payload, stats, err := netio.Fetch(conn)
+	payload, stats, err := netio.Fetch(ctx, conn)
 	if err != nil {
 		return err
 	}
@@ -95,5 +208,80 @@ func runFetch(args []string) error {
 	fmt.Printf("fetched %d bytes from %d records (%d dependent, %d corrupt, %.1f%% wire overhead)\n",
 		len(payload), stats.Records, stats.Dependent, stats.Corrupt,
 		(float64(stats.Bytes)/float64(len(payload))-1)*100)
+	return nil
+}
+
+// runSmoke boots a server on a loopback listener, fetches the object back
+// with several concurrent clients, and checks both the payloads and the
+// metrics accounting — the CI end-to-end gate (`make serve-smoke`).
+func runSmoke(args []string) error {
+	fs := flag.NewFlagSet("ncserve smoke", flag.ContinueOnError)
+	clients := fs.Int("clients", 4, "concurrent fetchers")
+	size := fs.Int("size", 200_000, "media bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	var sf serveFlags
+	sf.n, sf.k = 16, 1024
+	fs.IntVar(&sf.queue, "queue", 64, "per-session send queue depth (records)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	media := make([]byte, *size)
+	rand.New(rand.NewSource(42)).Read(media)
+	sf.deadline, sf.retries = 2*time.Second, 1
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, sf.options()...)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l) }()
+
+	var wg sync.WaitGroup
+	errs := make([]error, *clients)
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			payload, _, err := netio.Fetch(ctx, conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(payload, media) {
+				errs[i] = fmt.Errorf("client %d: payload differs", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	srv.Shutdown()
+	l.Close()
+	<-serveDone
+
+	snap := srv.Snapshot()
+	if snap.BlocksOffered != snap.BlocksSent+snap.BlocksShed {
+		return fmt.Errorf("accounting mismatch: offered %d != sent %d + shed %d",
+			snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed)
+	}
+	if snap.SessionsTotal != int64(*clients) {
+		return fmt.Errorf("sessions_total = %d, want %d", snap.SessionsTotal, *clients)
+	}
+	fmt.Printf("smoke ok: %d clients, %d blocks sent, %d shed, %d bytes, stall %s\n",
+		*clients, snap.BlocksSent, snap.BlocksShed, snap.BytesSent, snap.EncodeStall)
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net"
 	"os"
@@ -26,6 +27,9 @@ func TestUsageErrors(t *testing.T) {
 	if err := run([]string{"fetch"}); err == nil {
 		t.Fatal("fetch without -out accepted")
 	}
+	if err := run([]string{"smoke", "-bogus"}); err == nil {
+		t.Fatal("bad smoke flag accepted")
+	}
 	if err := run([]string{"serve", "-in", "/nonexistent"}); err == nil {
 		t.Fatal("missing media accepted")
 	}
@@ -45,7 +49,7 @@ func TestFetchAgainstInProcessServer(t *testing.T) {
 	if err != nil {
 		t.Skipf("loopback listen unavailable: %v", err)
 	}
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 	defer func() {
 		srv.Shutdown()
 		l.Close()
@@ -70,5 +74,12 @@ func TestFetchAgainstInProcessServer(t *testing.T) {
 	}
 	if !bytes.Equal(got, media) {
 		t.Fatal("fetched media differs")
+	}
+}
+
+// TestSmokeSubcommand runs the CI smoke gate end to end in-process.
+func TestSmokeSubcommand(t *testing.T) {
+	if err := run([]string{"smoke", "-clients", "3", "-size", "60000"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -36,6 +36,7 @@
 package extremenc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -97,14 +98,28 @@ func NewEncoder(seg *Segment, rng *rand.Rand, opts ...rlnc.EncoderOption) *Encod
 // WithDensity makes the encoder draw sparse coefficient vectors.
 func WithDensity(d float64) rlnc.EncoderOption { return rlnc.WithDensity(d) }
 
+// CodecOption configures the block-consuming codec constructors
+// (NewDecoder, NewBatchDecoder, NewRecoder); see rlnc.Option.
+type CodecOption = rlnc.Option
+
+// WithScratch pins a codec to a caller-owned workspace.
+func WithScratch(s *rlnc.Scratch) CodecOption { return rlnc.WithScratch(s) }
+
+// WithSeed gives a codec a private deterministic random source (Recoder.Emit).
+func WithSeed(seed int64) CodecOption { return rlnc.WithSeed(seed) }
+
 // NewDecoder returns a progressive Gauss–Jordan decoder.
-func NewDecoder(p Params) (*Decoder, error) { return rlnc.NewDecoder(p) }
+func NewDecoder(p Params, opts ...CodecOption) (*Decoder, error) { return rlnc.NewDecoder(p, opts...) }
 
 // NewBatchDecoder returns an invert-then-multiply decoder.
-func NewBatchDecoder(p Params) (*BatchDecoder, error) { return rlnc.NewBatchDecoder(p) }
+func NewBatchDecoder(p Params, opts ...CodecOption) (*BatchDecoder, error) {
+	return rlnc.NewBatchDecoder(p, opts...)
+}
 
 // NewRecoder returns a recoder for intermediate nodes.
-func NewRecoder(p Params) (*Recoder, error) { return rlnc.NewRecoder(p) }
+func NewRecoder(p Params, opts ...CodecOption) (*Recoder, error) {
+	return rlnc.NewRecoder(p, opts...)
+}
 
 // Split divides data into coding segments.
 func Split(data []byte, p Params) (*Object, error) { return rlnc.Split(data, p) }
@@ -128,9 +143,10 @@ func NewParallelEncoder(workers int, mode EncodeMode) (*rlnc.ParallelEncoder, er
 }
 
 // DecodeSegmentsParallel batch-decodes independent segments with worker
-// goroutines; each worker runs the two-stage pipeline.
-func DecodeSegmentsParallel(p Params, sets [][]*CodedBlock, workers int) ([]*Segment, error) {
-	return rlnc.DecodeSegmentsParallel(p, sets, workers)
+// goroutines; each worker runs the two-stage pipeline. Cancelling ctx stops
+// the sweep at segment granularity and returns ctx.Err().
+func DecodeSegmentsParallel(ctx context.Context, p Params, sets [][]*CodedBlock, workers int) ([]*Segment, error) {
+	return rlnc.DecodeSegmentsParallel(ctx, p, sets, workers)
 }
 
 // DecodeTwoStage recovers one segment with the paper's explicit two-stage
@@ -318,19 +334,51 @@ func CoeffsFromSeed(seed int64, n int) []byte { return rlnc.CoeffsFromSeed(seed,
 
 // Network transport (see internal/netio).
 type (
-	// NetServer streams coded blocks to TCP (or any net.Conn) clients.
+	// NetServer streams coded blocks to TCP (or any net.Conn) clients:
+	// concurrent sessions fed from one shared encoder, bounded per-client
+	// queues with shedding, write deadlines, and a metrics snapshot.
 	NetServer = netio.Server
+	// NetServerOption configures a NetServer.
+	NetServerOption = netio.ServerOption
+	// NetSnapshot is the server-wide observability surface.
+	NetSnapshot = netio.Snapshot
+	// NetSessionSnapshot describes one live serving session.
+	NetSessionSnapshot = netio.SessionSnapshot
+	// NetCounters is the shared atomic serving-counter set (also used by
+	// the stream.Server engine driver).
+	NetCounters = netio.Counters
 	// FetchStats reports a network download.
 	FetchStats = netio.FetchStats
 )
 
 // NewNetServer builds a push-streaming server over media split at p.
-func NewNetServer(media []byte, p Params) (*NetServer, error) {
-	return netio.NewServer(media, p)
+func NewNetServer(media []byte, p Params, opts ...NetServerOption) (*NetServer, error) {
+	return netio.NewServer(media, p, opts...)
 }
 
-// Fetch downloads and decodes a served object from conn.
-func Fetch(conn net.Conn) ([]byte, *FetchStats, error) { return netio.Fetch(conn) }
+// NetServer options (see internal/netio for full documentation).
+var (
+	// WithQueueDepth bounds each session's send queue.
+	WithQueueDepth = netio.WithQueueDepth
+	// WithWriteDeadline bounds every record write.
+	WithWriteDeadline = netio.WithWriteDeadline
+	// WithWriteRetries sets the retry budget of a timed-out write.
+	WithWriteRetries = netio.WithWriteRetries
+	// WithEncodeBatch sets blocks encoded per segment per pump round.
+	WithEncodeBatch = netio.WithEncodeBatch
+	// WithMaxSessions caps concurrent sessions.
+	WithMaxSessions = netio.WithMaxSessions
+	// WithEncoderWorkers sets the shared encoder's worker count.
+	WithEncoderWorkers = netio.WithEncoderWorkers
+	// WithServerSeed fixes the pump's coefficient-stream seed.
+	WithServerSeed = netio.WithServerSeed
+)
+
+// Fetch downloads and decodes a served object from conn. Cancelling ctx
+// unblocks any pending read and returns ctx.Err().
+func Fetch(ctx context.Context, conn net.Conn) ([]byte, *FetchStats, error) {
+	return netio.Fetch(ctx, conn)
+}
 
 // Coded file containers (see internal/ncfile).
 type (
@@ -399,3 +447,46 @@ func SimulatePlayback(cfg PlaybackConfig) (*PlaybackMetrics, error) {
 func MaxSmoothPeers(s StreamScenario, encodeMBps float64) int {
 	return stream.MaxSmoothPeers(s, encodeMBps)
 }
+
+// Sentinel errors, re-exported from the codec and transport layers so
+// callers can branch with errors.Is against the facade alone.
+var (
+	// ErrInvalidParams reports an unusable coding configuration.
+	ErrInvalidParams = rlnc.ErrInvalidParams
+	// ErrNotReady reports a Segment call before full rank.
+	ErrNotReady = rlnc.ErrNotReady
+	// ErrWrongSegment reports a block for a different segment.
+	ErrWrongSegment = rlnc.ErrWrongSegment
+	// ErrRankDeficient reports blocks that do not span the segment.
+	ErrRankDeficient = rlnc.ErrRankDeficient
+	// ErrWorkerCount reports a non-positive worker count.
+	ErrWorkerCount = rlnc.ErrWorkerCount
+	// ErrEncodeMode reports an unknown parallel-encode mode.
+	ErrEncodeMode = rlnc.ErrEncodeMode
+	// ErrBlockCountInvalid reports a non-positive coded-block request.
+	ErrBlockCountInvalid = rlnc.ErrBlockCountInvalid
+	// ErrCoeffsMismatch reports a mis-sized coefficient vector.
+	ErrCoeffsMismatch = rlnc.ErrCoeffsMismatch
+	// ErrBlockShape reports a mis-shaped coded block.
+	ErrBlockShape = rlnc.ErrBlockShape
+	// ErrBatchShape reports inconsistent batch-encode shapes.
+	ErrBatchShape = rlnc.ErrBatchShape
+	// ErrNoBlocks reports a recombination request with no input.
+	ErrNoBlocks = rlnc.ErrNoBlocks
+	// ErrNoSeed reports Recoder.Emit without WithSeed.
+	ErrNoSeed = rlnc.ErrNoSeed
+	// ErrDataTooLarge reports payload bytes exceeding the segment size.
+	ErrDataTooLarge = rlnc.ErrDataTooLarge
+	// ErrParamsMismatch reports segments with disagreeing parameters.
+	ErrParamsMismatch = rlnc.ErrParamsMismatch
+	// ErrBadHandshake reports a malformed transport session header.
+	ErrBadHandshake = netio.ErrBadHandshake
+	// ErrRecordLength reports an implausible record length prefix.
+	ErrRecordLength = netio.ErrRecordLength
+	// ErrStreamTruncated reports a coded stream that ended early.
+	ErrStreamTruncated = netio.ErrStreamTruncated
+	// ErrServerClosed reports an operation on a shut-down server.
+	ErrServerClosed = netio.ErrServerClosed
+	// ErrShortWrite reports a record write that missed its deadline budget.
+	ErrShortWrite = netio.ErrShortWrite
+)

@@ -2,10 +2,13 @@ package extremenc_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"extremenc"
 )
@@ -234,7 +237,7 @@ func TestFileAndNetFacade(t *testing.T) {
 	}
 	client, server := net.Pipe()
 	go srv.ServeConn(server)
-	got, stats, err := extremenc.Fetch(client)
+	got, stats, err := extremenc.Fetch(context.Background(), client)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,5 +276,171 @@ func TestPlaybackFacade(t *testing.T) {
 	}
 	if extremenc.MaxSmoothPeers(s, 294) <= 0 {
 		t.Fatal("smooth-peer limit not positive")
+	}
+}
+
+// TestSentinelErrorsFacade branches on re-exported sentinels via errors.Is.
+func TestSentinelErrorsFacade(t *testing.T) {
+	if _, err := extremenc.NewDecoder(extremenc.Params{}); !errors.Is(err, extremenc.ErrInvalidParams) {
+		t.Fatalf("NewDecoder: %v, want ErrInvalidParams", err)
+	}
+	if _, err := extremenc.NewParallelEncoder(0, extremenc.FullBlock); !errors.Is(err, extremenc.ErrWorkerCount) {
+		t.Fatalf("NewParallelEncoder: %v, want ErrWorkerCount", err)
+	}
+	if _, err := extremenc.NewParallelEncoder(1, extremenc.EncodeMode(99)); !errors.Is(err, extremenc.ErrEncodeMode) {
+		t.Fatalf("NewParallelEncoder: %v, want ErrEncodeMode", err)
+	}
+	p := extremenc.Params{BlockCount: 4, BlockSize: 16}
+	if _, err := extremenc.SegmentFromData(0, p, make([]byte, p.SegmentSize()+1)); !errors.Is(err, extremenc.ErrDataTooLarge) {
+		t.Fatalf("SegmentFromData: %v, want ErrDataTooLarge", err)
+	}
+	seg, err := extremenc.SegmentFromData(0, p, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := extremenc.NewEncoder(seg, rand.New(rand.NewSource(7)))
+	if _, err := enc.BlockFor(make([]byte, p.BlockCount+1)); !errors.Is(err, extremenc.ErrCoeffsMismatch) {
+		t.Fatalf("BlockFor: %v, want ErrCoeffsMismatch", err)
+	}
+	dec, err := extremenc.NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Segment(); !errors.Is(err, extremenc.ErrNotReady) {
+		t.Fatalf("Segment: %v, want ErrNotReady", err)
+	}
+	if _, err := dec.AddBlock(&extremenc.CodedBlock{}); !errors.Is(err, extremenc.ErrBlockShape) {
+		t.Fatalf("AddBlock: %v, want ErrBlockShape", err)
+	}
+	rec, err := extremenc.NewRecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Emit(); !errors.Is(err, extremenc.ErrNoSeed) {
+		t.Fatalf("Emit without seed: %v, want ErrNoSeed", err)
+	}
+	seeded, err := extremenc.NewRecoder(p, extremenc.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seeded.Emit(); !errors.Is(err, extremenc.ErrNoBlocks) {
+		t.Fatalf("Emit without input: %v, want ErrNoBlocks", err)
+	}
+}
+
+// TestCodecOptionsFacade exercises the unified constructor options.
+func TestCodecOptionsFacade(t *testing.T) {
+	p := extremenc.Params{BlockCount: 8, BlockSize: 64}
+	payload := make([]byte, p.SegmentSize())
+	rng := rand.New(rand.NewSource(11))
+	rng.Read(payload)
+	seg, err := extremenc.SegmentFromData(0, p, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := extremenc.NewEncoder(seg, rng)
+
+	// A recoder with its own seed emits decodable recombinations via Emit.
+	rec, err := extremenc.NewRecoder(p, extremenc.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.BlockCount; i++ {
+		if err := rec.Add(enc.NextBlock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := extremenc.NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Ready() {
+		blk, err := rec.Emit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("recoded segment differs")
+	}
+}
+
+// TestServingFacade runs the session server end to end through the facade:
+// ctx-driven Serve, options, Fetch with context, and the metrics snapshot.
+func TestServingFacade(t *testing.T) {
+	p := extremenc.Params{BlockCount: 8, BlockSize: 256}
+	payload := make([]byte, 2*p.SegmentSize()-31)
+	rand.New(rand.NewSource(23)).Read(payload)
+	srv, err := extremenc.NewNetServer(payload, p,
+		extremenc.WithQueueDepth(32),
+		extremenc.WithWriteDeadline(2*time.Second),
+		extremenc.WithServerSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := extremenc.Fetch(context.Background(), conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("served payload differs")
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	snap := srv.Snapshot()
+	if snap.SessionsTotal != 1 || snap.BlocksSent == 0 {
+		t.Fatalf("snapshot = %+v, want 1 session with traffic", snap)
+	}
+	if snap.BlocksOffered != snap.BlocksSent+snap.BlocksShed {
+		t.Fatalf("accounting: offered %d != sent %d + shed %d",
+			snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed)
+	}
+}
+
+// TestFetchCancelledFacade: a cancelled context unblocks a pending fetch.
+func TestFetchCancelledFacade(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := extremenc.Fetch(ctx, client)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fetch did not unblock on cancel")
 	}
 }

@@ -1,13 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"extremenc/internal/cpusim"
 	"extremenc/internal/gpu"
 	"extremenc/internal/rlnc"
-	"runtime"
 )
 
 // GPUSingleDecoder decodes segments one at a time on the simulated GPU
@@ -202,7 +203,7 @@ func (d *HostDecoder) Name() string {
 // DecodeSegments implements Decoder.
 func (d *HostDecoder) DecodeSegments(sets [][]*rlnc.CodedBlock, p rlnc.Params) (*DecodeReport, error) {
 	start := time.Now()
-	segs, err := rlnc.DecodeSegmentsParallel(p, sets, d.workers)
+	segs, err := rlnc.DecodeSegmentsParallel(context.Background(), p, sets, d.workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,107 @@
+package netio
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counters is a lock-free set of serving counters. The session server
+// (server.go) increments one per Server, and stream.Server routes its modeled
+// serving totals through the same type, so every serving surface in the
+// repository reports traffic in one vocabulary. All methods are safe for
+// concurrent use; reads through View are monotonic but not mutually atomic
+// (a snapshot taken mid-increment can be off by the blocks in flight).
+type Counters struct {
+	blocksEncoded atomic.Int64
+	blocksOffered atomic.Int64
+	blocksSent    atomic.Int64
+	blocksShed    atomic.Int64
+	bytesSent     atomic.Int64
+	encodeStallNs atomic.Int64
+	maxStallNs    atomic.Int64
+}
+
+// AddEncoded records n freshly encoded coded blocks.
+func (c *Counters) AddEncoded(n int64) { c.blocksEncoded.Add(n) }
+
+// AddOffered records n blocks offered to a delivery queue.
+func (c *Counters) AddOffered(n int64) { c.blocksOffered.Add(n) }
+
+// AddSent records n blocks (bytes wire bytes) fully written to a peer.
+func (c *Counters) AddSent(n, bytes int64) {
+	c.blocksSent.Add(n)
+	c.bytesSent.Add(bytes)
+}
+
+// AddShed records n blocks dropped instead of delivered — a full queue, a
+// failed write, or a queue residue at session teardown. Shedding is the
+// backpressure mechanism, not an error: RLNC streams lose nothing but time
+// when blocks vanish.
+func (c *Counters) AddShed(n int64) { c.blocksShed.Add(n) }
+
+// AddEncodeStall records one interval the encoder pump spent blocked because
+// no session could accept a block.
+func (c *Counters) AddEncodeStall(d time.Duration) {
+	ns := d.Nanoseconds()
+	c.encodeStallNs.Add(ns)
+	for {
+		cur := c.maxStallNs.Load()
+		if ns <= cur || c.maxStallNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// CounterView is a point-in-time copy of a Counters.
+type CounterView struct {
+	BlocksEncoded  int64
+	BlocksOffered  int64
+	BlocksSent     int64
+	BlocksShed     int64
+	BytesSent      int64
+	EncodeStall    time.Duration
+	MaxEncodeStall time.Duration
+}
+
+// View copies the counters.
+func (c *Counters) View() CounterView {
+	return CounterView{
+		BlocksEncoded:  c.blocksEncoded.Load(),
+		BlocksOffered:  c.blocksOffered.Load(),
+		BlocksSent:     c.blocksSent.Load(),
+		BlocksShed:     c.blocksShed.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		EncodeStall:    time.Duration(c.encodeStallNs.Load()),
+		MaxEncodeStall: time.Duration(c.maxStallNs.Load()),
+	}
+}
+
+// SessionSnapshot describes one live session.
+type SessionSnapshot struct {
+	ID       int64
+	Addr     string
+	QueueLen int
+	QueueCap int
+	Offered  int64
+	Sent     int64
+	Shed     int64
+	Bytes    int64
+	Duration time.Duration
+}
+
+// Snapshot is the server-wide observability surface: aggregate counters plus
+// one entry per live session. Counters for finished sessions remain in the
+// aggregates. Once every session has ended, Offered == Sent + Shed holds
+// exactly — each offered block was either fully written or explicitly shed
+// (full queue, failed write, or teardown residue) — which the serving tests
+// assert block-for-block.
+type Snapshot struct {
+	Sessions         int
+	SessionsTotal    int64
+	SessionsRejected int64
+	SessionSeconds   float64 // summed wall-clock duration of finished sessions
+
+	CounterView
+
+	PerSession []SessionSnapshot
+}

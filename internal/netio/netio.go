@@ -4,17 +4,21 @@
 // for every segment of an object; a client decodes progressively and hangs
 // up as soon as it holds full rank for everything — no acknowledgements,
 // retransmissions, or block scheduling needed, because any blocks work.
+//
+// The Server (server.go) multiplexes many concurrent sessions over one
+// shared encoder with bounded per-client queues, write deadlines, and a
+// metrics snapshot; this file holds the wire protocol and the client side.
 package netio
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math/rand"
 	"net"
-	"sync"
+	"time"
 
 	"extremenc/internal/rlnc"
 )
@@ -29,10 +33,21 @@ const (
 	protoMagic     = "XNCP"
 	protoVersion   = 1
 	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4
+
+	// maxRecordLen bounds a record claim before allocation.
+	maxRecordLen = 64 << 20
 )
 
-// ErrBadHandshake reports a malformed session header.
-var ErrBadHandshake = errors.New("netio: bad session header")
+// Client-side protocol errors.
+var (
+	// ErrBadHandshake reports a malformed session header.
+	ErrBadHandshake = errors.New("netio: bad session header")
+	// ErrRecordLength reports an implausible record length prefix.
+	ErrRecordLength = errors.New("netio: implausible record length")
+	// ErrStreamTruncated reports a stream that ended before the client
+	// reached full rank.
+	ErrStreamTruncated = errors.New("netio: stream ended early")
+)
 
 // sessionHeader describes the stream.
 type sessionHeader struct {
@@ -85,125 +100,6 @@ func readSessionHeader(r io.Reader) (sessionHeader, error) {
 	return h, nil
 }
 
-// Server pushes coded blocks for one object to every connection.
-type Server struct {
-	object *rlnc.Object
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-	nextID int64
-}
-
-// NewServer builds a server over media split at p.
-func NewServer(media []byte, p rlnc.Params) (*Server, error) {
-	obj, err := rlnc.Split(media, p)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{object: obj, conns: make(map[net.Conn]struct{})}, nil
-}
-
-// Segments returns the number of media segments served.
-func (s *Server) Segments() int { return len(s.object.Segments) }
-
-// Serve accepts connections from l until the listener or the server is
-// closed, handling each in its own goroutine. It returns nil after a clean
-// Shutdown.
-func (s *Server) Serve(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return err
-		}
-		if !s.track(conn) {
-			conn.Close()
-			return nil
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer s.untrack(conn)
-			s.ServeConn(conn)
-		}()
-	}
-}
-
-func (s *Server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[conn] = struct{}{}
-	s.nextID++
-	return true
-}
-
-func (s *Server) untrack(conn net.Conn) {
-	s.mu.Lock()
-	delete(s.conns, conn)
-	s.mu.Unlock()
-}
-
-// Shutdown stops accepting, closes every live connection and waits for the
-// handlers to exit. The caller closes the listener.
-func (s *Server) Shutdown() {
-	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-}
-
-// ServeConn streams to a single connection until the peer closes (the
-// normal end: the client has decoded) or a write fails. Each connection
-// gets its own coefficient stream.
-func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
-
-	s.mu.Lock()
-	seed := s.nextID*int64(0x5851F42D4C957F2D) + 1
-	s.mu.Unlock()
-
-	h := sessionHeader{
-		params:   s.object.Params,
-		segments: len(s.object.Segments),
-		length:   int64(s.object.Length),
-	}
-	if err := writeSessionHeader(conn, h); err != nil {
-		return
-	}
-	rng := rand.New(rand.NewSource(seed))
-	encoders := make([]*rlnc.Encoder, len(s.object.Segments))
-	for i, seg := range s.object.Segments {
-		encoders[i] = rlnc.NewEncoder(seg, rng)
-	}
-	var lenBuf [4]byte
-	for i := 0; ; i = (i + 1) % len(encoders) {
-		rec, err := encoders[i].NextBlock().MarshalBinary()
-		if err != nil {
-			return
-		}
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
-		if _, err := conn.Write(lenBuf[:]); err != nil {
-			return // client hung up: done
-		}
-		if _, err := conn.Write(rec); err != nil {
-			return
-		}
-	}
-}
-
 // FetchStats reports a client download.
 type FetchStats struct {
 	Records   int
@@ -214,12 +110,27 @@ type FetchStats struct {
 
 // Fetch downloads and decodes the served object from conn, closing it once
 // every segment reaches full rank. Records that fail their checksum are
-// skipped — coded streams need no retransmission.
-func Fetch(conn net.Conn) ([]byte, *FetchStats, error) {
+// skipped — coded streams need no retransmission. Cancelling ctx (or its
+// deadline expiring) unblocks any pending read and returns ctx.Err().
+func Fetch(ctx context.Context, conn net.Conn) ([]byte, *FetchStats, error) {
 	defer conn.Close()
+
+	// A cancelled context forces every blocked and future read to fail
+	// immediately by moving the read deadline into the past.
+	unhook := context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Unix(1, 0))
+	})
+	defer unhook()
+	ctxErr := func(err error) error {
+		if ctx.Err() != nil {
+			return fmt.Errorf("netio: fetch cancelled: %w", ctx.Err())
+		}
+		return err
+	}
+
 	h, err := readSessionHeader(conn)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(err)
 	}
 	decoders := make(map[uint32]*rlnc.Decoder, h.segments)
 	remaining := h.segments
@@ -228,15 +139,15 @@ func Fetch(conn net.Conn) ([]byte, *FetchStats, error) {
 	var lenBuf [4]byte
 	for remaining > 0 {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return nil, nil, fmt.Errorf("netio: stream ended early: %w", err)
+			return nil, nil, ctxErr(fmt.Errorf("%w: %v", ErrStreamTruncated, err))
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == 0 || n > 64<<20 {
-			return nil, nil, fmt.Errorf("netio: implausible record length %d", n)
+		if n == 0 || n > maxRecordLen {
+			return nil, nil, fmt.Errorf("%w: %d", ErrRecordLength, n)
 		}
 		rec := make([]byte, n)
 		if _, err := io.ReadFull(conn, rec); err != nil {
-			return nil, nil, fmt.Errorf("netio: truncated record: %w", err)
+			return nil, nil, ctxErr(fmt.Errorf("%w: truncated record: %v", ErrStreamTruncated, err))
 		}
 		stats.Records++
 		stats.Bytes += int64(len(rec)) + 4

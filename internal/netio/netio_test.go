@@ -2,6 +2,7 @@ package netio
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -39,7 +40,7 @@ func TestFetchOverPipe(t *testing.T) {
 		srv.ServeConn(server)
 	}()
 
-	payload, stats, err := Fetch(client)
+	payload, stats, err := Fetch(context.Background(), client)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFetchOverTCP(t *testing.T) {
 		t.Skipf("loopback listen unavailable: %v", err)
 	}
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(l) }()
+	go func() { serveDone <- srv.Serve(context.Background(), l) }()
 
 	const clients = 4
 	var wg sync.WaitGroup
@@ -83,7 +84,7 @@ func TestFetchOverTCP(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			payload, _, err := Fetch(conn)
+			payload, _, err := Fetch(context.Background(), conn)
 			if err != nil {
 				errs[i] = err
 				return
@@ -119,7 +120,7 @@ func TestFetchBadHandshake(t *testing.T) {
 		server.Write(bytes.Repeat([]byte{0xAB}, protoHeaderLen))
 		server.Close()
 	}()
-	if _, _, err := Fetch(client); !errors.Is(err, ErrBadHandshake) {
+	if _, _, err := Fetch(context.Background(), client); !errors.Is(err, ErrBadHandshake) {
 		t.Fatalf("err = %v, want ErrBadHandshake", err)
 	}
 }
@@ -177,7 +178,7 @@ func TestFetchSkipsCorruptRecords(t *testing.T) {
 		}
 	}()
 
-	payload, stats, err := Fetch(client)
+	payload, stats, err := Fetch(context.Background(), client)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func BenchmarkFetchPipe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		client, server := net.Pipe()
 		go srv.ServeConn(server)
-		payload, _, err := Fetch(client)
+		payload, _, err := Fetch(context.Background(), client)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,616 @@
+package netio
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extremenc/internal/rlnc"
+)
+
+// Serving errors.
+var (
+	// ErrServerClosed reports an operation on a server after Shutdown.
+	ErrServerClosed = errors.New("netio: server closed")
+	// ErrShortWrite reports a record write that could not be completed
+	// within the session's deadline budget.
+	ErrShortWrite = errors.New("netio: short record write")
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	queueDepth    int
+	writeDeadline time.Duration
+	writeRetries  int
+	batchBlocks   int
+	maxSessions   int
+	workers       int
+	seed          int64
+}
+
+// WithQueueDepth bounds each session's send queue to n coded-block records.
+// When a client drains slower than the encoder produces, records beyond the
+// bound are shed instead of stalling the shared encoder — RLNC makes the
+// loss harmless, the peer only needs *enough* blocks, not specific ones.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) { c.queueDepth = n }
+}
+
+// WithWriteDeadline bounds every record write to d. A write that misses the
+// deadline is retried (resuming at the byte where it stopped) up to the
+// configured retry count and the session is then dropped — slow clients cost
+// bounded writer time, never unbounded blocking. Zero disables deadlines.
+func WithWriteDeadline(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.writeDeadline = d }
+}
+
+// WithWriteRetries sets how many extra deadline windows a timed-out record
+// write gets before the session is dropped (default 1: retry once, then
+// drop).
+func WithWriteRetries(n int) ServerOption {
+	return func(c *serverConfig) { c.writeRetries = n }
+}
+
+// WithEncodeBatch sets how many coded blocks the pump generates per segment
+// per round. Larger batches amortize encoder dispatch; smaller ones tighten
+// the round-robin interleave across segments. The default adapts to the
+// segment's block count.
+func WithEncodeBatch(n int) ServerOption {
+	return func(c *serverConfig) { c.batchBlocks = n }
+}
+
+// WithMaxSessions caps concurrent sessions; connections beyond the cap are
+// closed immediately and counted in Snapshot.SessionsRejected. Zero (the
+// default) means unlimited.
+func WithMaxSessions(n int) ServerOption {
+	return func(c *serverConfig) { c.maxSessions = n }
+}
+
+// WithEncoderWorkers sets the worker count of the shared parallel encoder
+// the pump dispatches on (default: the SharedPool's worker count).
+func WithEncoderWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// WithServerSeed fixes the base seed of the pump's coefficient stream, making
+// the served block sequence reproducible.
+func WithServerSeed(seed int64) ServerOption {
+	return func(c *serverConfig) { c.seed = seed }
+}
+
+// Server pushes coded blocks for one object to every connection.
+//
+// Two serving paths share the Server:
+//
+//   - The session path (Serve): one goroutine per accepted connection, all
+//     fed from a single shared encoder pump. The pump batch-encodes through
+//     a rlnc.ParallelEncoder on the process-wide worker pool and fans each
+//     framed record out to every session's bounded queue without blocking;
+//     a full queue sheds the record for that session only. Per-connection
+//     write deadlines with retry-then-drop semantics bound the cost of a
+//     stuck peer.
+//
+//   - The one-shot path (ServeConn): the original single-connection blocking
+//     push loop, kept for direct pipe/test use. Deprecated for servers: it
+//     encodes per connection and a slow peer stalls its goroutine.
+//
+// Metrics for both paths accumulate in the same counters, exposed via
+// Snapshot.
+type Server struct {
+	object *rlnc.Object
+	cfg    serverConfig
+	penc   *rlnc.ParallelEncoder
+
+	counters         Counters
+	sessionsTotal    atomic.Int64
+	sessionsRejected atomic.Int64
+	sessionSecs      atomic.Int64 // summed finished-session durations, in ns
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	conns    map[net.Conn]struct{} // one-shot ServeConn connections
+	closed   bool
+	nextID   int64
+
+	wake     chan struct{} // pump wake-up: a session arrived
+	consumed chan struct{} // pump wake-up: a session drained a record
+	stop     chan struct{} // closed by Shutdown
+	pumpOnce sync.Once
+	pumpDone chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over media split at p.
+func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, error) {
+	obj, err := rlnc.Split(media, p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := serverConfig{
+		queueDepth:    64,
+		writeDeadline: 5 * time.Second,
+		writeRetries:  1,
+		seed:          1,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 1
+	}
+	if cfg.batchBlocks <= 0 {
+		// Default: a quarter generation per round, so late-joining clients
+		// wait at most a short interleave for every segment, but at least 4
+		// to amortize dispatch.
+		cfg.batchBlocks = max(4, p.BlockCount/4)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = rlnc.SharedPool().Workers()
+	}
+	penc, err := rlnc.NewParallelEncoder(workers, rlnc.FullBlock)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		object:   obj,
+		cfg:      cfg,
+		penc:     penc,
+		sessions: make(map[*session]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		wake:     make(chan struct{}, 1),
+		consumed: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
+	}, nil
+}
+
+// Segments returns the number of media segments served.
+func (s *Server) Segments() int { return len(s.object.Segments) }
+
+// session is one connected client on the session path.
+type session struct {
+	id      int64
+	conn    net.Conn
+	q       chan []byte
+	started time.Time
+
+	offered atomic.Int64
+	sent    atomic.Int64
+	shed    atomic.Int64
+	bytes   atomic.Int64
+
+	mu       sync.Mutex
+	draining bool // no further offers may enter q
+
+	stop chan struct{} // closed on server shutdown
+}
+
+// offer hands one framed record to the session without blocking. It reports
+// whether the record was enqueued; a full queue or a draining session sheds
+// it instead.
+func (ss *session) offer(rec []byte, agg *Counters) bool {
+	ss.offered.Add(1)
+	agg.AddOffered(1)
+	ss.mu.Lock()
+	if ss.draining {
+		ss.mu.Unlock()
+		ss.shed.Add(1)
+		agg.AddShed(1)
+		return false
+	}
+	ok := false
+	select {
+	case ss.q <- rec:
+		ok = true
+	default:
+	}
+	ss.mu.Unlock()
+	if !ok {
+		ss.shed.Add(1)
+		agg.AddShed(1)
+	}
+	return ok
+}
+
+// drain marks the session closed to offers and sheds whatever is still
+// queued, so offered == sent + shed holds exactly at teardown.
+func (ss *session) drain(agg *Counters) {
+	ss.mu.Lock()
+	ss.draining = true
+	ss.mu.Unlock()
+	for {
+		select {
+		case <-ss.q:
+			ss.shed.Add(1)
+			agg.AddShed(1)
+		default:
+			return
+		}
+	}
+}
+
+// Serve accepts connections from l until ctx is cancelled, the listener
+// fails, or the server is shut down. Every accepted connection becomes a
+// session fed from the shared encoder pump. It returns nil after a clean
+// Shutdown and ctx.Err() after cancellation (which also shuts the server
+// down).
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.mu.Unlock()
+	s.startPump()
+
+	unhook := context.AfterFunc(ctx, func() { l.Close() })
+	defer unhook()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				s.Shutdown()
+				return ctx.Err()
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !s.startSession(conn) {
+			conn.Close()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			// Session cap: reject and keep accepting.
+		}
+	}
+}
+
+// startSession registers a session for conn and spawns its writer. It
+// reports false when the server is closed or at its session cap.
+func (s *Server) startSession(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.cfg.maxSessions > 0 && len(s.sessions) >= s.cfg.maxSessions {
+		s.mu.Unlock()
+		s.sessionsRejected.Add(1)
+		return false
+	}
+	s.nextID++
+	ss := &session{
+		id:      s.nextID,
+		conn:    conn,
+		q:       make(chan []byte, s.cfg.queueDepth),
+		started: time.Now(),
+		stop:    s.stop,
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.sessionsTotal.Add(1)
+	go s.runSession(ss)
+	return true
+}
+
+// runSession writes the handshake, joins the fan-out set, and streams queued
+// records until the peer hangs up, a write fails its deadline budget, or the
+// server shuts down.
+func (s *Server) runSession(ss *session) {
+	defer s.wg.Done()
+	defer ss.conn.Close()
+
+	h := sessionHeader{
+		params:   s.object.Params,
+		segments: len(s.object.Segments),
+		length:   int64(s.object.Length),
+	}
+	// The handshake gets one deadline window and no retry: a peer that
+	// connects and never reads must not pin the session goroutine.
+	if s.cfg.writeDeadline > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline))
+	}
+	if err := writeSessionHeader(ss.conn, h); err == nil {
+		s.mu.Lock()
+		joined := !s.closed
+		if joined {
+			s.sessions[ss] = struct{}{}
+		}
+		s.mu.Unlock()
+		if joined {
+			s.signalWake()
+			s.writeLoop(ss)
+			s.mu.Lock()
+			delete(s.sessions, ss)
+			s.mu.Unlock()
+		}
+	}
+	ss.drain(&s.counters)
+	s.sessionSecs.Add(int64(time.Since(ss.started)))
+}
+
+// writeLoop drains the session queue onto the connection.
+func (s *Server) writeLoop(ss *session) {
+	for {
+		select {
+		case rec := <-ss.q:
+			s.signalConsumed()
+			if err := s.writeRecord(ss, rec); err != nil {
+				ss.shed.Add(1)
+				s.counters.AddShed(1)
+				return
+			}
+			ss.sent.Add(1)
+			ss.bytes.Add(int64(len(rec)))
+			s.counters.AddSent(1, int64(len(rec)))
+		case <-ss.stop:
+			return
+		}
+	}
+}
+
+// writeRecord writes one framed record under the session's write deadline,
+// resuming partial writes. A write that times out gets writeRetries extra
+// deadline windows (retry-then-drop); any other error, or exhausting the
+// budget, fails the session.
+func (s *Server) writeRecord(ss *session, rec []byte) error {
+	retries := s.cfg.writeRetries
+	off := 0
+	for off < len(rec) {
+		if s.cfg.writeDeadline > 0 {
+			ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline))
+		}
+		n, err := ss.conn.Write(rec[off:])
+		off += n
+		if err == nil {
+			continue
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && retries > 0 {
+			retries--
+			continue
+		}
+		if off > 0 && off < len(rec) {
+			return fmt.Errorf("%w: %d of %d bytes: %v", ErrShortWrite, off, len(rec), err)
+		}
+		return err
+	}
+	return nil
+}
+
+func (s *Server) signalWake() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) signalConsumed() {
+	select {
+	case s.consumed <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) startPump() {
+	s.pumpOnce.Do(func() { go s.pump() })
+}
+
+// pump is the shared encoder loop: it batch-encodes each segment in turn on
+// the parallel encoder and fans the framed records out to every session's
+// queue without ever blocking on a client. When no session can take a block
+// (every queue full) the pump parks briefly and the wait is charged to the
+// encode-stall counters; when no session exists at all it sleeps until one
+// arrives, with nothing charged.
+func (s *Server) pump() {
+	defer close(s.pumpDone)
+	seed := s.cfg.seed
+	segIdx := 0
+	live := make([]*session, 0, 16)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+
+		s.mu.Lock()
+		live = live[:0]
+		for ss := range s.sessions {
+			live = append(live, ss)
+		}
+		s.mu.Unlock()
+		if len(live) == 0 {
+			select {
+			case <-s.wake:
+			case <-s.stop:
+				return
+			}
+			continue
+		}
+
+		seg := s.object.Segments[segIdx]
+		segIdx = (segIdx + 1) % len(s.object.Segments)
+		blocks, err := s.penc.Encode(seg, s.cfg.batchBlocks, seed)
+		seed++
+		if err != nil {
+			// Unreachable for a validated object; drop the batch.
+			continue
+		}
+		s.counters.AddEncoded(int64(len(blocks)))
+
+		delivered := false
+		for _, blk := range blocks {
+			rec, err := frameRecord(blk)
+			if err != nil {
+				continue
+			}
+			for _, ss := range live {
+				if ss.offer(rec, &s.counters) {
+					delivered = true
+				}
+			}
+		}
+		if !delivered {
+			// Backpressure: every queue is full. Park until a writer drains
+			// a record (or briefly, as a backstop) and charge the wait as
+			// encoder stall time.
+			t0 := time.Now()
+			select {
+			case <-s.consumed:
+			case <-s.stop:
+				s.counters.AddEncodeStall(time.Since(t0))
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			s.counters.AddEncodeStall(time.Since(t0))
+		}
+	}
+}
+
+// frameRecord marshals a coded block with its length prefix.
+func frameRecord(b *rlnc.CodedBlock) ([]byte, error) {
+	body, err := b.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(rec, uint32(len(body)))
+	copy(rec[4:], body)
+	return rec, nil
+}
+
+// Snapshot copies the server's aggregate counters and the state of every
+// live session.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{
+		SessionsTotal:    s.sessionsTotal.Load(),
+		SessionsRejected: s.sessionsRejected.Load(),
+		SessionSeconds:   time.Duration(s.sessionSecs.Load()).Seconds(),
+		CounterView:      s.counters.View(),
+	}
+	s.mu.Lock()
+	snap.Sessions = len(s.sessions)
+	snap.PerSession = make([]SessionSnapshot, 0, len(s.sessions))
+	for ss := range s.sessions {
+		snap.PerSession = append(snap.PerSession, SessionSnapshot{
+			ID:       ss.id,
+			Addr:     remoteAddr(ss.conn),
+			QueueLen: len(ss.q),
+			QueueCap: cap(ss.q),
+			Offered:  ss.offered.Load(),
+			Sent:     ss.sent.Load(),
+			Shed:     ss.shed.Load(),
+			Bytes:    ss.bytes.Load(),
+			Duration: time.Since(ss.started),
+		})
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+func remoteAddr(c net.Conn) string {
+	if a := c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// Shutdown stops accepting, closes every live connection and waits for the
+// sessions and the pump to exit. The caller closes the listener.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	for ss := range s.sessions {
+		ss.conn.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.stop)
+	}
+	// Stop the pump even if Serve was never called (startPump not run).
+	s.pumpOnce.Do(func() { close(s.pumpDone) })
+	<-s.pumpDone
+	s.wg.Wait()
+}
+
+// ServeConn streams to a single connection until the peer closes (the
+// normal end: the client has decoded) or a write fails. Each connection
+// gets its own coefficient stream and its own encoder.
+//
+// Deprecated: this is the one-shot single-connection path kept for direct
+// use over pipes and for backward compatibility; a slow peer blocks its
+// goroutine indefinitely. Servers should use Serve, which multiplexes the
+// shared encoder with backpressure and deadlines. Traffic still lands in
+// the same counters.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.nextID++
+	seed := s.nextID*int64(0x5851F42D4C957F2D) + 1
+	s.mu.Unlock()
+	s.sessionsTotal.Add(1)
+	start := time.Now()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.sessionSecs.Add(int64(time.Since(start)))
+	}()
+
+	h := sessionHeader{
+		params:   s.object.Params,
+		segments: len(s.object.Segments),
+		length:   int64(s.object.Length),
+	}
+	if err := writeSessionHeader(conn, h); err != nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	encoders := make([]*rlnc.Encoder, len(s.object.Segments))
+	for i, seg := range s.object.Segments {
+		encoders[i] = rlnc.NewEncoder(seg, rng)
+	}
+	for i := 0; ; i = (i + 1) % len(encoders) {
+		rec, err := frameRecord(encoders[i].NextBlock())
+		if err != nil {
+			return
+		}
+		s.counters.AddEncoded(1)
+		s.counters.AddOffered(1)
+		if _, err := conn.Write(rec); err != nil {
+			s.counters.AddShed(1)
+			return // client hung up: done
+		}
+		s.counters.AddSent(1, int64(len(rec)))
+	}
+}

@@ -18,14 +18,21 @@ type BatchDecoder struct {
 	segID   uint32
 	haveSeg bool
 	blocks  []*CodedBlock
+
+	// scr, when set via WithScratch, is the workspace Decode runs the
+	// two-stage pipeline against; otherwise one is drawn from the shared
+	// scratch pool per Decode call.
+	scr *Scratch
 }
 
-// NewBatchDecoder returns an empty batch decoder.
-func NewBatchDecoder(p Params) (*BatchDecoder, error) {
+// NewBatchDecoder returns an empty batch decoder. WithScratch makes Decode
+// run against a caller-owned workspace.
+func NewBatchDecoder(p Params, opts ...DecoderOption) (*BatchDecoder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &BatchDecoder{params: p}, nil
+	cfg := applyOptions(opts)
+	return &BatchDecoder{params: p, scr: cfg.scratch}, nil
 }
 
 // Add stores one coded block for later decoding. Blocks beyond the first n
@@ -50,5 +57,8 @@ func (d *BatchDecoder) Count() int { return len(d.blocks) }
 // do not span it. Subset selection (the first spanning subset in arrival
 // order) happens inside the two-stage pipeline's forward sweep.
 func (d *BatchDecoder) Decode() (*Segment, error) {
+	if d.scr != nil {
+		return decodeTwoStageWith(d.scr, d.params, d.blocks)
+	}
 	return DecodeTwoStage(d.params, d.blocks)
 }

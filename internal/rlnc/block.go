@@ -52,10 +52,10 @@ func (b *CodedBlock) Params() Params {
 // Validate checks the block against an expected configuration.
 func (b *CodedBlock) Validate(p Params) error {
 	if len(b.Coeffs) != p.BlockCount {
-		return fmt.Errorf("rlnc: coded block has %d coefficients, want %d", len(b.Coeffs), p.BlockCount)
+		return fmt.Errorf("%w: %d coefficients, want %d", ErrBlockShape, len(b.Coeffs), p.BlockCount)
 	}
 	if len(b.Payload) != p.BlockSize {
-		return fmt.Errorf("rlnc: coded block has %d payload bytes, want %d", len(b.Payload), p.BlockSize)
+		return fmt.Errorf("%w: %d payload bytes, want %d", ErrBlockShape, len(b.Payload), p.BlockSize)
 	}
 	return nil
 }

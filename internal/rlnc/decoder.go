@@ -37,12 +37,19 @@ type Decoder struct {
 	scr *Scratch
 }
 
-// NewDecoder returns an empty decoder for the given configuration.
-func NewDecoder(p Params) (*Decoder, error) {
+// NewDecoder returns an empty decoder for the given configuration. Options
+// follow the unified constructor-option shape: WithScratch pins the batched
+// absorb path to a caller-owned workspace instead of the shared pool.
+func NewDecoder(p Params, opts ...DecoderOption) (*Decoder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Decoder{params: p, rowForPivot: make([][]byte, p.BlockCount)}, nil
+	cfg := applyOptions(opts)
+	return &Decoder{
+		params:      p,
+		rowForPivot: make([][]byte, p.BlockCount),
+		scr:         cfg.scratch,
+	}, nil
 }
 
 // Params returns the coding configuration.

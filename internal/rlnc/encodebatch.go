@@ -35,14 +35,14 @@ const (
 func EncodeBatchInto(dsts [][]byte, seg *Segment, coeffs [][]byte) error {
 	p := seg.params
 	if len(dsts) != len(coeffs) {
-		return fmt.Errorf("rlnc: %d destinations for %d coefficient vectors", len(dsts), len(coeffs))
+		return fmt.Errorf("%w: %d destinations for %d coefficient vectors", ErrBatchShape, len(dsts), len(coeffs))
 	}
 	for b := range dsts {
 		if len(coeffs[b]) != p.BlockCount {
-			return fmt.Errorf("rlnc: batch row %d has %d coefficients, want %d", b, len(coeffs[b]), p.BlockCount)
+			return fmt.Errorf("%w: batch row %d has %d coefficients, want %d", ErrBatchShape, b, len(coeffs[b]), p.BlockCount)
 		}
 		if len(dsts[b]) < p.BlockSize {
-			return fmt.Errorf("rlnc: batch row %d destination %d bytes, want ≥ %d", b, len(dsts[b]), p.BlockSize)
+			return fmt.Errorf("%w: batch row %d destination %d bytes, want ≥ %d", ErrBatchShape, b, len(dsts[b]), p.BlockSize)
 		}
 	}
 	encodeBatchRange(dsts, seg.Blocks(), coeffs, 0, p.BlockSize)

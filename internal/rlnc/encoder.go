@@ -73,7 +73,7 @@ func (e *Encoder) NextBlock() *CodedBlock {
 func (e *Encoder) BlockFor(coeffs []byte) (*CodedBlock, error) {
 	p := e.seg.params
 	if len(coeffs) != p.BlockCount {
-		return nil, fmt.Errorf("rlnc: %d coefficients, want %d", len(coeffs), p.BlockCount)
+		return nil, fmt.Errorf("%w: %d coefficients, want %d", ErrCoeffsMismatch, len(coeffs), p.BlockCount)
 	}
 	payload := make([]byte, p.BlockSize)
 	EncodeInto(payload, e.seg, coeffs)
@@ -111,14 +111,21 @@ type Recoder struct {
 	// subspace.
 	probe [][]byte
 	rank  int
+
+	// rng, when set via WithSeed, drives Emit so the caller does not have
+	// to thread a random source through every recombination.
+	rng *rand.Rand
 }
 
-// NewRecoder returns a recoder for the given configuration.
-func NewRecoder(p Params) (*Recoder, error) {
+// NewRecoder returns a recoder for the given configuration. WithSeed gives
+// it a private deterministic source so Emit can draw recombination
+// coefficients without a caller-supplied rng.
+func NewRecoder(p Params, opts ...Option) (*Recoder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Recoder{params: p, probe: make([][]byte, p.BlockCount)}, nil
+	cfg := applyOptions(opts)
+	return &Recoder{params: p, probe: make([][]byte, p.BlockCount), rng: cfg.rng}, nil
 }
 
 // Add registers a received coded block as recoding input. Blocks that are
@@ -129,7 +136,7 @@ func (r *Recoder) Add(b *CodedBlock) error {
 		return err
 	}
 	if len(r.received) > 0 && b.SegmentID != r.segID {
-		return fmt.Errorf("rlnc: recoder holds segment %d, got block for %d", r.segID, b.SegmentID)
+		return wrongSegmentError(r.segID, b.SegmentID)
 	}
 	if !r.absorb(b.Coeffs) {
 		return nil
@@ -174,11 +181,21 @@ func (r *Recoder) Count() int { return len(r.received) }
 // Rank returns the dimension of the subspace the recoder can emit from.
 func (r *Recoder) Rank() int { return r.rank }
 
+// Emit is NextBlock against the recoder's own random source (set with
+// WithSeed). It fails with ErrNoBlocks when nothing has been received and
+// with ErrNoSeed when the recoder was built without one.
+func (r *Recoder) Emit() (*CodedBlock, error) {
+	if r.rng == nil {
+		return nil, fmt.Errorf("%w: build the recoder with WithSeed or call NextBlock", ErrNoSeed)
+	}
+	return r.NextBlock(r.rng)
+}
+
 // NextBlock emits a random linear recombination of everything received.
-// It returns an error when no input blocks are available.
+// It fails with ErrNoBlocks when no input blocks are available.
 func (r *Recoder) NextBlock(rng *rand.Rand) (*CodedBlock, error) {
 	if len(r.received) == 0 {
-		return nil, fmt.Errorf("rlnc: recoder has no input blocks")
+		return nil, fmt.Errorf("%w: recoder received nothing", ErrNoBlocks)
 	}
 	// Draw the recombination coefficients first, then apply them through the
 	// fused dot-product kernel: both the coefficient and payload rows are

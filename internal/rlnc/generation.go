@@ -65,7 +65,7 @@ func ReassembleSegments(segs []*Segment, length int, p Params) ([]byte, error) {
 	byID := make(map[uint32]*Segment, len(segs))
 	for _, s := range segs {
 		if s.Params() != p {
-			return nil, fmt.Errorf("rlnc: segment %d has params %v, want %v", s.ID(), s.Params(), p)
+			return nil, fmt.Errorf("%w: segment %d has params %v, want %v", ErrParamsMismatch, s.ID(), s.Params(), p)
 		}
 		byID[s.ID()] = s
 	}

@@ -1,0 +1,43 @@
+package rlnc
+
+import "math/rand"
+
+// Option configures the codec constructors that consume blocks — NewDecoder,
+// NewBatchDecoder and NewRecoder — mirroring the variadic EncoderOption shape
+// NewEncoder already has. Zero-option calls are unchanged, so existing code
+// keeps compiling; options that do not apply to a constructor are ignored
+// (e.g. a seed on the deterministic progressive decoder).
+type Option func(*config)
+
+// DecoderOption is Option under the name the decoder constructors document.
+type DecoderOption = Option
+
+// config collects the settings an Option can carry.
+type config struct {
+	scratch *Scratch
+	rng     *rand.Rand
+}
+
+func applyOptions(opts []Option) config {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// WithScratch makes the constructed codec use the caller-provided workspace
+// instead of drawing one from the process-wide scratch pool on first use.
+// Useful when the caller manages scratch lifetimes itself (e.g. one warm
+// Scratch per worker goroutine); the caller must not share s concurrently.
+func WithScratch(s *Scratch) Option {
+	return func(c *config) { c.scratch = s }
+}
+
+// WithSeed gives the constructed codec a private deterministic random source.
+// A Recoder built with a seed can emit recombinations via Emit without the
+// caller threading an rng through every call; decoders, which are fully
+// deterministic, ignore it.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.rng = rand.New(rand.NewSource(seed)) }
+}

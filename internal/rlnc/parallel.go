@@ -1,6 +1,7 @@
 package rlnc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -47,10 +48,10 @@ type ParallelEncoder struct {
 // only bounds how many concurrent stripes this encoder dispatches.
 func NewParallelEncoder(workers int, mode EncodeMode) (*ParallelEncoder, error) {
 	if workers <= 0 {
-		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
+		return nil, fmt.Errorf("%w: got %d", ErrWorkerCount, workers)
 	}
 	if mode != PartitionedBlock && mode != FullBlock {
-		return nil, fmt.Errorf("rlnc: unknown encode mode %d", int(mode))
+		return nil, fmt.Errorf("%w: %d", ErrEncodeMode, int(mode))
 	}
 	return &ParallelEncoder{workers: workers, mode: mode, pool: SharedPool()}, nil
 }
@@ -59,7 +60,7 @@ func NewParallelEncoder(workers int, mode EncodeMode) (*ParallelEncoder, error) 
 // a rand source seeded with seed.
 func (pe *ParallelEncoder) Encode(seg *Segment, count int, seed int64) ([]*CodedBlock, error) {
 	if count <= 0 {
-		return nil, fmt.Errorf("rlnc: block count %d must be positive", count)
+		return nil, fmt.Errorf("%w: got %d", ErrBlockCountInvalid, count)
 	}
 	p := seg.Params()
 	rng := rand.New(rand.NewSource(seed))
@@ -139,9 +140,13 @@ func (pe *ParallelEncoder) encodePartitioned(seg *Segment, blocks []*CodedBlock)
 // needed, and runs the explicit two-stage pipeline (twostage.go) against its
 // own warm scratch. blocksPerSegment[i] must span segment i. Work executes
 // on the process-wide SharedPool.
-func DecodeSegmentsParallel(p Params, blocksPerSegment [][]*CodedBlock, workers int) ([]*Segment, error) {
+//
+// Cancelling ctx stops the sweep at segment granularity: workers finish the
+// segment in hand, remaining segments are skipped, and the call returns
+// ctx.Err(). Pass context.Background() when cancellation is not needed.
+func DecodeSegmentsParallel(ctx context.Context, p Params, blocksPerSegment [][]*CodedBlock, workers int) ([]*Segment, error) {
 	if workers <= 0 {
-		return nil, fmt.Errorf("rlnc: worker count %d must be positive", workers)
+		return nil, fmt.Errorf("%w: got %d", ErrWorkerCount, workers)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -150,9 +155,15 @@ func DecodeSegmentsParallel(p Params, blocksPerSegment [][]*CodedBlock, workers 
 	errs := make([]error, len(blocksPerSegment))
 	SharedPool().Dispatch(workers, func(w int, s *Scratch) {
 		for i := w; i < len(blocksPerSegment); i += workers {
+			if ctx.Err() != nil {
+				return
+			}
 			segs[i], errs[i] = decodeTwoStageWith(s, p, blocksPerSegment[i])
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("rlnc: segment %d: %w", i, err)

@@ -2,6 +2,7 @@ package rlnc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -614,7 +615,7 @@ func TestDecodeSegmentsParallel(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{1, 4, 16} {
-		got, err := DecodeSegmentsParallel(p, blocks, workers)
+		got, err := DecodeSegmentsParallel(context.Background(), p, blocks, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -624,8 +625,13 @@ func TestDecodeSegmentsParallel(t *testing.T) {
 			}
 		}
 	}
-	if _, err := DecodeSegmentsParallel(p, blocks, 0); err == nil {
-		t.Fatal("zero workers accepted")
+	if _, err := DecodeSegmentsParallel(context.Background(), p, blocks, 0); !errors.Is(err, ErrWorkerCount) {
+		t.Fatalf("zero workers: err = %v, want ErrWorkerCount", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecodeSegmentsParallel(cancelled, p, blocks, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
 

@@ -52,7 +52,7 @@ func CoeffsFromSeed(seed int64, n int) []byte {
 // the corresponding seeded block.
 func (e *Encoder) NextSeededBlock() (*SeededBlock, error) {
 	if e.density < 1 {
-		return nil, fmt.Errorf("rlnc: seeded blocks require dense coefficients (density %.2f)", e.density)
+		return nil, fmt.Errorf("%w: density %.2f", ErrSeededDense, e.density)
 	}
 	seed := e.rng.Int63()
 	p := e.seg.params

@@ -32,7 +32,7 @@ func SegmentFromData(id uint32, p Params, data []byte) (*Segment, error) {
 		return nil, err
 	}
 	if len(data) > p.SegmentSize() {
-		return nil, fmt.Errorf("rlnc: %d bytes exceed segment size %d", len(data), p.SegmentSize())
+		return nil, fmt.Errorf("%w: %d bytes exceed segment size %d", ErrDataTooLarge, len(data), p.SegmentSize())
 	}
 	s := &Segment{id: id, params: p, data: make([]byte, p.SegmentSize())}
 	copy(s.data, data)

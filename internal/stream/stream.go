@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"extremenc/internal/core"
+	"extremenc/internal/netio"
 	"extremenc/internal/rlnc"
 )
 
@@ -26,6 +27,11 @@ type Server struct {
 	scenario core.StreamScenario
 	encoder  core.Encoder
 	object   *rlnc.Object
+
+	// counters accumulate modeled serving traffic across runs in the same
+	// vocabulary as the netio session server, so one observability surface
+	// covers both the real-socket and the engine-driven serving paths.
+	counters netio.Counters
 }
 
 // NewServer splits media into scenario-sized segments and prepares the
@@ -46,6 +52,19 @@ func NewServer(scenario core.StreamScenario, enc core.Encoder, media []byte) (*S
 
 // Segments returns the number of media segments the server holds.
 func (s *Server) Segments() int { return len(s.object.Segments) }
+
+// Counters reports the server's cumulative serving traffic (across every
+// ServeLive/ServeVoD run) as a netio counter view: blocks encoded by the
+// engine and blocks/bytes offered to and delivered into the modeled peer
+// streams.
+func (s *Server) Counters() netio.CounterView { return s.counters.View() }
+
+// account records one engine run's traffic in the shared counters.
+func (s *Server) account(blocks int64) {
+	s.counters.AddEncoded(blocks)
+	s.counters.AddOffered(blocks)
+	s.counters.AddSent(blocks, blocks*int64(s.scenario.Params.BlockSize))
+}
 
 // Metrics reports one serving run.
 type Metrics struct {
@@ -103,6 +122,7 @@ func (s *Server) ServeLive(peers int, seed int64) (*Metrics, error) {
 		}
 		totalSeconds += rep.Seconds
 		m.BlocksTotal += int64(blocksPerSegment)
+		s.account(int64(blocksPerSegment))
 	}
 	totalBytes := m.BlocksTotal * int64(s.scenario.Params.BlockSize)
 	if totalSeconds > 0 {
@@ -153,6 +173,7 @@ func (s *Server) ServeVoD(clients int, seed int64) (*Metrics, error) {
 		totalSeconds += rep.Seconds
 		m.BlocksTotal += int64(n)
 		m.SegmentsServed++
+		s.account(int64(n))
 	}
 	totalBytes := m.BlocksTotal * int64(s.scenario.Params.BlockSize)
 	if totalSeconds > 0 {
