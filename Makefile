@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress staticcheck serve-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -34,7 +34,13 @@ race:
 # Replay the committed fuzz seed corpora as regression tests (no fuzzing
 # time budget — just every F.Add case plus any checked-in corpus files).
 fuzz-regress:
-	$(GO) test -run 'Fuzz' -count=1 ./internal/rlnc/
+	$(GO) test -run 'Fuzz' -count=1 ./internal/rlnc/ ./internal/netio/
+
+# Chaos acceptance gate: a full fetch through the deterministic
+# fault-injection link (corruption, stalls, repeated resets) must complete
+# byte-identical under the race detector without losing decoder rank.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/netio/
 
 # Deep static analysis. Skips gracefully when the staticcheck binary is not
 # installed (we never install dependencies from a build target); CI installs
@@ -87,7 +93,7 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress bench-smoke serve-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke
 
 # Run every example program.
 examples:

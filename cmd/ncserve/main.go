@@ -13,8 +13,14 @@
 //
 //	ncserve serve -listen 127.0.0.1:9099 -in media.bin -n 32 -k 4096 \
 //	    -queue 64 -deadline 5s -metrics 127.0.0.1:9100
-//	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin -timeout 30s
+//	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin -timeout 30s \
+//	    -attempts 10 -backoff 50ms -backoff-max 2s -resume fetch.state
 //	ncserve smoke -clients 4
+//
+// The fetch client reconnects on resets and framing loss with capped
+// exponential backoff, carrying decoder rank across connections; -resume
+// persists that rank to disk when the attempt budget runs out so a later
+// invocation continues where this one stopped.
 package main
 
 import (
@@ -181,6 +187,10 @@ func runFetch(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:9099", "server address")
 	outPath := fs.String("out", "", "output file")
 	timeout := fs.Duration("timeout", 0, "overall fetch timeout (0 = none)")
+	attempts := fs.Int("attempts", 10, "connection attempt budget, including the first (0 = unlimited)")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "initial reconnect backoff (doubles per retry)")
+	backoffMax := fs.Duration("backoff-max", 2*time.Second, "reconnect backoff cap")
+	resumePath := fs.String("resume", "", "resume-state file: loaded if present, written when the budget runs out, removed on success")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,20 +204,54 @@ func runFetch(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	conn, err := net.Dial("tcp", *addr)
+	opts := []netio.FetcherOption{
+		netio.WithMaxAttempts(*attempts),
+		netio.WithBackoff(*backoff, *backoffMax),
+	}
+	if *resumePath != "" {
+		if state, err := os.ReadFile(*resumePath); err == nil {
+			opts = append(opts, netio.WithResumeState(state))
+			fmt.Printf("resuming from %s (%d bytes of saved rank)\n", *resumePath, len(state))
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	f := netio.NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", *addr)
+	}, opts...)
+	res, err := f.Fetch(ctx)
+	stats := res.Stats
 	if err != nil {
+		// Degrade gracefully: report the rank already earned and, with
+		// -resume, persist it so the next invocation picks up from here.
+		total := 0
+		for _, r := range res.Ranks {
+			total += r
+		}
+		fmt.Fprintf(os.Stderr, "fetch failed after %d attempts: %d/%d segments decoded, total rank %d\n",
+			stats.Attempts, len(res.Segments), len(res.Ranks), total)
+		if *resumePath != "" && total > 0 {
+			if state, serr := f.State(); serr == nil {
+				if werr := os.WriteFile(*resumePath, state, 0o644); werr == nil {
+					fmt.Fprintf(os.Stderr, "progress saved to %s; rerun to resume\n", *resumePath)
+				}
+			}
+		}
 		return err
 	}
-	payload, stats, err := netio.Fetch(ctx, conn)
-	if err != nil {
+	if err := os.WriteFile(*outPath, res.Payload, 0o644); err != nil {
 		return err
 	}
-	if err := os.WriteFile(*outPath, payload, 0o644); err != nil {
-		return err
+	if *resumePath != "" {
+		os.Remove(*resumePath)
 	}
-	fmt.Printf("fetched %d bytes from %d records (%d dependent, %d corrupt, %.1f%% wire overhead)\n",
-		len(payload), stats.Records, stats.Dependent, stats.Corrupt,
-		(float64(stats.Bytes)/float64(len(payload))-1)*100)
+	fmt.Printf("fetched %d bytes from %d records (%d dependent, %.1f%% wire overhead)\n",
+		len(res.Payload), stats.Records, stats.Dependent,
+		(float64(stats.Bytes)/float64(len(res.Payload))-1)*100)
+	fmt.Printf("faults: %d reconnects, %d framing resyncs, %d corrupt, %d malformed, %d bad-segment, %d resumed rank, %d bytes discarded\n",
+		stats.Reconnects, stats.FramingResyncs, stats.Corrupt, stats.Malformed,
+		stats.BadSegment, stats.ResumedRank, stats.BytesDiscarded)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"extremenc/internal/faultnet"
 	"extremenc/internal/netio"
 	"extremenc/internal/rlnc"
 )
@@ -74,6 +75,67 @@ func TestFetchAgainstInProcessServer(t *testing.T) {
 	}
 	if !bytes.Equal(got, media) {
 		t.Fatal("fetched media differs")
+	}
+}
+
+// TestFetchResumeFlow exercises the fetch subcommand's degradation path: a
+// single-attempt fetch through a resetting link fails but saves its decoder
+// rank to the -resume file, and a second unlimited-attempt invocation loads
+// it, finishes, and removes it.
+func TestFetchResumeFlow(t *testing.T) {
+	media := make([]byte, 50000)
+	rand.New(rand.NewSource(4)).Read(media)
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: 8, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	// Reset every server session after ~20–40KB: less than the object, so a
+	// one-attempt fetch can never finish.
+	l := faultnet.NewListener(inner, faultnet.Config{Seed: 13, ResetEvery: 20000})
+	go srv.Serve(context.Background(), l)
+	defer func() {
+		srv.Shutdown()
+		l.Close()
+	}()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.bin")
+	state := filepath.Join(dir, "fetch.state")
+	err = run([]string{"fetch", "-addr", inner.Addr().String(), "-out", out,
+		"-attempts", "1", "-resume", state})
+	if err == nil {
+		t.Fatal("one-attempt fetch through a resetting link succeeded")
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("failed fetch saved no resume state: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"fetch", "-addr", inner.Addr().String(), "-out", out,
+			"-attempts", "0", "-backoff", "1ms", "-resume", state})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("resumed fetch did not complete")
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, media) {
+		t.Fatal("resumed fetch media differs")
+	}
+	if _, err := os.Stat(state); !os.IsNotExist(err) {
+		t.Fatal("resume state not removed after success")
 	}
 }
 

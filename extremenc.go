@@ -45,6 +45,7 @@ import (
 	"extremenc/internal/core"
 	"extremenc/internal/cpusim"
 	"extremenc/internal/experiments"
+	"extremenc/internal/faultnet"
 	"extremenc/internal/gpu"
 	"extremenc/internal/ncfile"
 	"extremenc/internal/netio"
@@ -375,9 +376,82 @@ var (
 )
 
 // Fetch downloads and decodes a served object from conn. Cancelling ctx
-// unblocks any pending read and returns ctx.Err().
+// unblocks any pending read and returns ctx.Err(). Fetch is the one-shot
+// path: any stream failure is final. For a client that survives resets,
+// framing loss, and server restarts without losing decoder rank, use a
+// Fetcher.
 func Fetch(ctx context.Context, conn net.Conn) ([]byte, *FetchStats, error) {
 	return netio.Fetch(ctx, conn)
+}
+
+// Resilient fetch client (see internal/netio).
+type (
+	// Fetcher is a reconnecting download client: it owns a dial function
+	// rather than a connection and carries per-segment decoders across
+	// reconnects, so a reset or server restart costs only the bytes in
+	// flight, never accumulated rank.
+	Fetcher = netio.Fetcher
+	// FetcherOption configures a Fetcher.
+	FetcherOption = netio.FetcherOption
+	// FetchResult carries a fetch's payload, decoded segments, per-segment
+	// ranks, and stats — returned even when the fetch failed.
+	FetchResult = netio.FetchResult
+	// DialFunc opens one connection to the serving peer.
+	DialFunc = netio.DialFunc
+)
+
+// NewFetcher returns a resilient Fetcher that downloads through dial.
+func NewFetcher(dial DialFunc, opts ...FetcherOption) *Fetcher {
+	return netio.NewFetcher(dial, opts...)
+}
+
+// Fetcher options (see internal/netio for full documentation).
+var (
+	// WithMaxAttempts caps total connection attempts (0 = unlimited).
+	WithMaxAttempts = netio.WithMaxAttempts
+	// WithBackoff sets the reconnect backoff base and cap.
+	WithBackoff = netio.WithBackoff
+	// WithBackoffJitter sets the backoff jitter fraction in [0, 1].
+	WithBackoffJitter = netio.WithBackoffJitter
+	// WithBackoffSeed makes the backoff schedule reproducible.
+	WithBackoffSeed = netio.WithBackoffSeed
+	// WithReconnectHook observes every reconnect and the ranks carried.
+	WithReconnectHook = netio.WithReconnectHook
+	// WithResumeState preloads decoders from a Fetcher.State blob.
+	WithResumeState = netio.WithResumeState
+)
+
+// Deterministic fault injection (see internal/faultnet): a seeded chaos
+// net.Conn layer for testing transports under byte corruption, short
+// reads/writes, read stalls, and mid-stream resets on a reproducible
+// schedule.
+type (
+	// FaultConfig schedules the injected faults for one seed.
+	FaultConfig = faultnet.Config
+	// FaultCounters aggregates injected-fault counts across connections.
+	FaultCounters = faultnet.Counters
+	// FaultCounterView is a consistent snapshot of FaultCounters.
+	FaultCounterView = faultnet.CounterView
+	// FaultConn is a net.Conn with scheduled fault injection.
+	FaultConn = faultnet.Conn
+	// FaultListener wraps every accepted conn in fault injection.
+	FaultListener = faultnet.Listener
+)
+
+// WrapFaulty wraps conn in a deterministic fault-injection layer.
+func WrapFaulty(conn net.Conn, cfg FaultConfig) *FaultConn { return faultnet.Wrap(conn, cfg) }
+
+// NewFaultListener wraps l so every accepted conn injects faults on a
+// per-connection deterministic schedule.
+func NewFaultListener(l net.Listener, cfg FaultConfig) *FaultListener {
+	return faultnet.NewListener(l, cfg)
+}
+
+// FaultyDialer wraps dial so every dialed conn injects faults on a
+// per-connection deterministic schedule, sharing the returned counters.
+func FaultyDialer(cfg FaultConfig, dial DialFunc) (DialFunc, *FaultCounters) {
+	d, ctr := faultnet.Dialer(cfg, dial)
+	return d, ctr
 }
 
 // Coded file containers (see internal/ncfile).
@@ -485,6 +559,18 @@ var (
 	ErrRecordLength = netio.ErrRecordLength
 	// ErrStreamTruncated reports a coded stream that ended early.
 	ErrStreamTruncated = netio.ErrStreamTruncated
+	// ErrFetchBudget reports a Fetcher that ran out of attempts; the
+	// FetchResult alongside it still carries all accumulated progress.
+	ErrFetchBudget = netio.ErrFetchBudget
+	// ErrHeaderMismatch reports a reconnect answered with a different
+	// session header.
+	ErrHeaderMismatch = netio.ErrHeaderMismatch
+	// ErrBadResumeState reports an unusable WithResumeState blob.
+	ErrBadResumeState = netio.ErrBadResumeState
+	// ErrBadDecoderState reports an unusable serialized decoder.
+	ErrBadDecoderState = rlnc.ErrBadDecoderState
+	// ErrInjectedReset reports a fault-injected connection reset.
+	ErrInjectedReset = faultnet.ErrInjectedReset
 	// ErrServerClosed reports an operation on a shut-down server.
 	ErrServerClosed = netio.ErrServerClosed
 	// ErrShortWrite reports a record write that missed its deadline budget.

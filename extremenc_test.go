@@ -424,6 +424,59 @@ func TestServingFacade(t *testing.T) {
 	}
 }
 
+// TestResilientFetchFacade drives a Fetcher through a fault-injected link
+// via the public API: the fetch must survive injected resets without losing
+// decoder rank and deliver a byte-identical payload.
+func TestResilientFetchFacade(t *testing.T) {
+	p := extremenc.Params{BlockCount: 8, BlockSize: 64}
+	payload := make([]byte, 3*p.SegmentSize()-5)
+	rand.New(rand.NewSource(31)).Read(payload)
+	srv, err := extremenc.NewNetServer(payload, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx, l)
+	defer srv.Shutdown()
+
+	dial, faults := extremenc.FaultyDialer(extremenc.FaultConfig{
+		Seed:       77,
+		ResetEvery: 700,
+	}, func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	})
+	f := extremenc.NewFetcher(dial,
+		extremenc.WithBackoff(time.Millisecond, 5*time.Millisecond),
+		extremenc.WithBackoffSeed(1))
+	fetchCtx, cancelFetch := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelFetch()
+	res, err := f.Fetch(fetchCtx)
+	if err != nil {
+		t.Fatalf("resilient fetch: %v (faults %+v)", err, faults.View())
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("resilient fetch payload differs")
+	}
+	if faults.View().Resets == 0 {
+		t.Fatal("fault layer injected no resets")
+	}
+	if res.Stats.Reconnects == 0 || res.Stats.ResumedRank == 0 {
+		t.Fatalf("no rank carried across reconnects: %+v", res.Stats)
+	}
+
+	// A damaged resume blob is rejected with the facade sentinel.
+	if _, err := extremenc.NewFetcher(dial,
+		extremenc.WithResumeState([]byte("junk"))).Fetch(context.Background()); !errors.Is(err, extremenc.ErrBadResumeState) {
+		t.Fatalf("err = %v, want ErrBadResumeState", err)
+	}
+}
+
 // TestFetchCancelledFacade: a cancelled context unblocks a pending fetch.
 func TestFetchCancelledFacade(t *testing.T) {
 	client, server := net.Pipe()

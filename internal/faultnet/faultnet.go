@@ -1,0 +1,335 @@
+// Package faultnet is a deterministic fault-injection layer for net.Conn
+// streams: the chaos harness behind the transport's robustness tests. A
+// wrapped connection injects byte corruption, short reads, partial writes,
+// read stalls, and mid-stream connection resets on a schedule derived
+// entirely from a seed and the number of bytes moved — never from wall-clock
+// time or call segmentation — so a given seed always produces the same
+// faults at the same byte offsets, no matter how the kernel slices reads.
+//
+// The paper's transport needs no retransmission protocol because every
+// coded block is fungible (Sec. 5.1); faultnet exists to prove that claim
+// mechanically: a fetch through a faulty link must still converge, and the
+// per-fault counters say exactly what it survived.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset reports a scheduled mid-stream connection reset. The
+// underlying connection is closed when the reset fires, so the remote peer
+// observes a real teardown too.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Config schedules the faults of one chaos link. Every "Every" field is a
+// mean gap in stream bytes between injections (the actual gaps are drawn
+// uniformly from [1, 2·mean] by the seeded schedule); zero disables that
+// fault. Corruption and stalls apply to the read path; resets trigger on
+// total traffic in either direction; chunk bounds shorten individual
+// Read/Write calls without losing bytes.
+type Config struct {
+	// Seed fixes the fault schedule. Two links with equal Config produce
+	// byte-identical fault sequences.
+	Seed int64
+
+	// CorruptEvery is the mean gap in read bytes between single-byte XOR
+	// corruptions (the mask is drawn from the schedule and never zero).
+	CorruptEvery int64
+
+	// ResetEvery is the mean traffic bytes before the connection is reset:
+	// the underlying conn is closed and every later call fails with
+	// ErrInjectedReset. Each wrapped conn resets at most once.
+	ResetEvery int64
+
+	// StallEvery and Stall inject a Stall-long sleep before the read that
+	// crosses each scheduled offset.
+	StallEvery int64
+	Stall      time.Duration
+
+	// MaxReadChunk bounds the bytes returned by a single Read (short
+	// reads); MaxWriteChunk splits writes into bounded underlying writes
+	// (partial writes). Zero leaves the caller's sizes alone.
+	MaxReadChunk  int
+	MaxWriteChunk int
+}
+
+// Counters accumulates per-fault totals across every conn attached to it.
+// All methods are safe for concurrent use.
+type Counters struct {
+	corruptions   atomic.Int64
+	resets        atomic.Int64
+	stalls        atomic.Int64
+	shortReads    atomic.Int64
+	partialWrites atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	conns         atomic.Int64
+}
+
+// CounterView is a point-in-time copy of a Counters.
+type CounterView struct {
+	Corruptions   int64
+	Resets        int64
+	Stalls        int64
+	ShortReads    int64
+	PartialWrites int64
+	BytesRead     int64
+	BytesWritten  int64
+	Conns         int64
+}
+
+// View copies the counters.
+func (c *Counters) View() CounterView {
+	return CounterView{
+		Corruptions:   c.corruptions.Load(),
+		Resets:        c.resets.Load(),
+		Stalls:        c.stalls.Load(),
+		ShortReads:    c.shortReads.Load(),
+		PartialWrites: c.partialWrites.Load(),
+		BytesRead:     c.bytesRead.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+		Conns:         c.conns.Load(),
+	}
+}
+
+// Conn is a chaos net.Conn. Faults fire at byte offsets drawn once from the
+// seeded schedule, so the same seed over the same byte stream yields the
+// same corrupted bytes, the same stall points, and the same reset offset.
+type Conn struct {
+	inner net.Conn
+	cfg   Config
+	ctr   *Counters
+
+	mu          sync.Mutex
+	corruptRng  *rand.Rand // corruption offsets and masks
+	stallRng    *rand.Rand // stall offsets
+	chunk       *rand.Rand // per-call chunk sizing (segmentation-dependent)
+	rdOff       int64
+	wrOff       int64
+	nextCorrupt int64
+	nextStall   int64
+	resetAt     int64 // absolute traffic offset, -1 when disabled
+	isReset     bool
+}
+
+// Wrap puts a chaos layer with its own counters around c.
+func Wrap(c net.Conn, cfg Config) *Conn { return WrapWith(c, cfg, &Counters{}) }
+
+// WrapWith is Wrap with the counters aggregated into ctr.
+func WrapWith(c net.Conn, cfg Config, ctr *Counters) *Conn {
+	// Each fault type draws from its own sub-stream, so the corruption and
+	// reset offsets depend only on the seed and bytes moved — stall timing
+	// and call chunking, which do vary with read segmentation, cannot
+	// perturb them.
+	fc := &Conn{
+		inner:      c,
+		cfg:        cfg,
+		ctr:        ctr,
+		corruptRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		stallRng:   rand.New(rand.NewSource(cfg.Seed ^ 0x3C6EF372FE94F82B)),
+		chunk:      rand.New(rand.NewSource(cfg.Seed ^ 0x2545F4914F6CDD1D)),
+	}
+	fc.nextCorrupt = drawGap(fc.corruptRng, cfg.CorruptEvery)
+	fc.nextStall = drawGap(fc.stallRng, cfg.StallEvery)
+	fc.resetAt = drawGap(rand.New(rand.NewSource(cfg.Seed^0x1F83D9ABFB41BD6B)), cfg.ResetEvery)
+	ctr.conns.Add(1)
+	return fc
+}
+
+// drawGap returns the first offset at mean gap from zero, or -1 when the
+// fault is disabled.
+func drawGap(rng *rand.Rand, mean int64) int64 {
+	if mean <= 0 {
+		return -1
+	}
+	return 1 + rng.Int63n(2*mean)
+}
+
+// advance moves a schedule offset past off by one mean gap.
+func advance(rng *rand.Rand, off, mean int64) int64 {
+	return off + 1 + rng.Int63n(2*mean)
+}
+
+func (c *Conn) traffic() int64 { return c.rdOff + c.wrOff }
+
+// fireReset marks the conn reset and tears down the underlying connection.
+// Callers must hold c.mu.
+func (c *Conn) fireReset() error {
+	c.isReset = true
+	c.ctr.resets.Add(1)
+	c.inner.Close()
+	return ErrInjectedReset
+}
+
+// Read reads from the underlying connection, applying scheduled stalls,
+// short reads, byte corruption, and resets.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.isReset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	if len(p) == 0 {
+		c.mu.Unlock()
+		return c.inner.Read(p)
+	}
+	var stall time.Duration
+	if c.cfg.StallEvery > 0 && c.rdOff >= c.nextStall {
+		stall = c.cfg.Stall
+		c.nextStall = advance(c.stallRng, c.rdOff, c.cfg.StallEvery)
+		c.ctr.stalls.Add(1)
+	}
+	if c.resetAt >= 0 && c.traffic() >= c.resetAt {
+		err := c.fireReset()
+		c.mu.Unlock()
+		return 0, err
+	}
+	limit := len(p)
+	// Never read past the reset offset: the reset then fires exactly at its
+	// scheduled byte, independent of how large this read was.
+	if c.resetAt >= 0 && c.traffic()+int64(limit) > c.resetAt {
+		limit = int(c.resetAt - c.traffic())
+	}
+	if c.cfg.MaxReadChunk > 0 && limit > c.cfg.MaxReadChunk {
+		limit = 1 + c.chunk.Intn(c.cfg.MaxReadChunk)
+		c.ctr.shortReads.Add(1)
+	}
+	c.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	n, err := c.inner.Read(p[:limit])
+
+	c.mu.Lock()
+	if c.cfg.CorruptEvery > 0 {
+		for c.nextCorrupt < c.rdOff+int64(n) {
+			if c.nextCorrupt >= c.rdOff {
+				mask := byte(1 + c.corruptRng.Intn(255)) // non-zero: always damages
+				p[c.nextCorrupt-c.rdOff] ^= mask
+				c.ctr.corruptions.Add(1)
+			}
+			c.nextCorrupt = advance(c.corruptRng, c.nextCorrupt, c.cfg.CorruptEvery)
+		}
+	}
+	c.rdOff += int64(n)
+	c.ctr.bytesRead.Add(int64(n))
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write forwards to the underlying connection in bounded chunks, honoring
+// the reset schedule on total traffic.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		c.mu.Lock()
+		if c.isReset {
+			c.mu.Unlock()
+			return written, ErrInjectedReset
+		}
+		if c.resetAt >= 0 && c.traffic() >= c.resetAt {
+			err := c.fireReset()
+			c.mu.Unlock()
+			return written, err
+		}
+		limit := len(p) - written
+		if c.resetAt >= 0 && c.traffic()+int64(limit) > c.resetAt {
+			limit = int(c.resetAt - c.traffic())
+		}
+		if c.cfg.MaxWriteChunk > 0 && limit > c.cfg.MaxWriteChunk {
+			limit = 1 + c.chunk.Intn(c.cfg.MaxWriteChunk)
+			c.ctr.partialWrites.Add(1)
+		}
+		c.mu.Unlock()
+
+		n, err := c.inner.Write(p[written : written+limit])
+
+		c.mu.Lock()
+		c.wrOff += int64(n)
+		c.ctr.bytesWritten.Add(int64(n))
+		c.mu.Unlock()
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline forwards to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// connSeed derives the i-th connection's seed from the base seed so every
+// connection through a Listener or Dialer gets its own reproducible
+// schedule (splitmix-style odd-constant stride).
+func connSeed(base, i int64) int64 {
+	return base + i*-0x61C8864680B583EB
+}
+
+// Listener wraps every accepted connection in a chaos layer. Connection i
+// (1-based, in accept order) uses seed connSeed(cfg.Seed, i), so the accept
+// order alone fixes every schedule.
+type Listener struct {
+	net.Listener
+	cfg Config
+	ctr *Counters
+	n   atomic.Int64
+}
+
+// NewListener wraps l.
+func NewListener(l net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: l, cfg: cfg, ctr: &Counters{}}
+}
+
+// Accept wraps the next accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	cfg.Seed = connSeed(l.cfg.Seed, l.n.Add(1))
+	return WrapWith(c, cfg, l.ctr), nil
+}
+
+// Counters returns the listener-wide fault totals.
+func (l *Listener) Counters() *Counters { return l.ctr }
+
+// Dialer wraps dial so that the i-th dialed connection (1-based) carries a
+// chaos layer seeded with connSeed(cfg.Seed, i). It returns the wrapped
+// dial function and the shared counters.
+func Dialer(cfg Config, dial func(context.Context) (net.Conn, error)) (func(context.Context) (net.Conn, error), *Counters) {
+	ctr := &Counters{}
+	var n atomic.Int64
+	return func(ctx context.Context) (net.Conn, error) {
+		c, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cc := cfg
+		cc.Seed = connSeed(cfg.Seed, n.Add(1))
+		return WrapWith(c, cc, ctr), nil
+	}, ctr
+}

@@ -1,0 +1,247 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// pump writes payload through a faultnet conn wrapped around one side of a
+// pipe and reads everything the chaos layer delivers on the other, using a
+// fixed read-chunk size so call segmentation is identical across runs.
+func pump(t *testing.T, cfg Config, payload []byte, readChunk int) ([]byte, CounterView) {
+	t.Helper()
+	a, b := net.Pipe()
+	fc := Wrap(a, cfg)
+	go func() {
+		b.Write(payload)
+		b.Close()
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, readChunk)
+	var readErr error
+	for {
+		n, err := fc.Read(buf)
+		got.Write(buf[:n])
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	fc.Close()
+	if readErr != io.EOF && !errors.Is(readErr, ErrInjectedReset) &&
+		!errors.Is(readErr, io.ErrClosedPipe) && !errors.Is(readErr, net.ErrClosed) {
+		t.Fatalf("unexpected terminal read error: %v", readErr)
+	}
+	return got.Bytes(), fc.ctr.View()
+}
+
+// TestDeterministicSchedule: the same seed over the same byte stream must
+// produce byte-identical output and identical fault counters, run after run.
+func TestDeterministicSchedule(t *testing.T) {
+	payload := make([]byte, 8192)
+	rand.New(rand.NewSource(1)).Read(payload)
+	cfg := Config{
+		Seed:         42,
+		CorruptEvery: 300,
+		ResetEvery:   6000,
+		StallEvery:   2000,
+		Stall:        time.Microsecond,
+		MaxReadChunk: 200,
+	}
+	first, firstCtr := pump(t, cfg, payload, 128)
+	for run := 0; run < 3; run++ {
+		got, ctr := pump(t, cfg, payload, 128)
+		if !bytes.Equal(got, first) {
+			t.Fatalf("run %d: delivered bytes differ from first run", run)
+		}
+		if ctr != firstCtr {
+			t.Fatalf("run %d: counters differ: %+v vs %+v", run, ctr, firstCtr)
+		}
+	}
+	if firstCtr.Corruptions == 0 || firstCtr.Resets != 1 || firstCtr.Stalls == 0 {
+		t.Fatalf("schedule fired no faults: %+v", firstCtr)
+	}
+	if bytes.Equal(first, payload[:len(first)]) {
+		t.Fatal("corruption schedule left the stream untouched")
+	}
+	// A different seed must produce a different fault pattern.
+	cfg.Seed = 43
+	other, _ := pump(t, cfg, payload, 128)
+	if bytes.Equal(other, first) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestCleanPassthrough: a zero config moves bytes untouched.
+func TestCleanPassthrough(t *testing.T) {
+	payload := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(payload)
+	got, ctr := pump(t, Config{Seed: 7}, payload, 333)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("clean config altered the stream")
+	}
+	if ctr.Corruptions != 0 || ctr.Resets != 0 || ctr.Stalls != 0 || ctr.ShortReads != 0 {
+		t.Fatalf("clean config counted faults: %+v", ctr)
+	}
+	if ctr.BytesRead != int64(len(payload)) {
+		t.Fatalf("bytes read = %d, want %d", ctr.BytesRead, len(payload))
+	}
+}
+
+// TestResetDeliversPrefixExactly: the reset fires at its scheduled byte —
+// everything before it arrives intact, nothing after.
+func TestResetDeliversPrefixExactly(t *testing.T) {
+	payload := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(payload)
+	cfg := Config{Seed: 11, ResetEvery: 1000}
+	got, ctr := pump(t, cfg, payload, 256)
+	if ctr.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", ctr.Resets)
+	}
+	if len(got) >= len(payload) {
+		t.Fatal("reset delivered the whole stream")
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Fatal("prefix before reset was altered")
+	}
+	// After a reset every further call fails.
+	a, _ := net.Pipe()
+	fc := Wrap(a, cfg)
+	fc.mu.Lock()
+	fc.isReset = true
+	fc.mu.Unlock()
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset read: %v", err)
+	}
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write: %v", err)
+	}
+}
+
+// TestPartialWrites: chunked writes still deliver every byte, in order.
+func TestPartialWrites(t *testing.T) {
+	payload := make([]byte, 2000)
+	rand.New(rand.NewSource(4)).Read(payload)
+	a, b := net.Pipe()
+	fc := Wrap(a, Config{Seed: 5, MaxWriteChunk: 64})
+	done := make(chan error, 1)
+	go func() {
+		n, err := fc.Write(payload)
+		if err == nil && n != len(payload) {
+			err = errors.New("short total write")
+		}
+		fc.Close()
+		done <- err
+	}()
+	got, err := io.ReadAll(b)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("delivered %d bytes, differ from sent (read err %v)", len(got), err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if fc.ctr.View().PartialWrites == 0 {
+		t.Fatal("no partial writes counted")
+	}
+}
+
+// TestListenerWrapsAccepted: a chaos Listener hands out wrapped conns that
+// inject scheduled faults and aggregate into the listener counters.
+func TestListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	l := NewListener(inner, Config{Seed: 21, CorruptEvery: 64})
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+		c.Close()
+	}()
+	c, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server reads through the chaos layer; corruption applies to its
+	// read path, counted in the listener counters.
+	c.Write(make([]byte, 2048))
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Counters().View().BytesRead < 2048 {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener conn read %d of 2048 bytes", l.Counters().View().BytesRead)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v := l.Counters().View(); v.Conns != 1 || v.Corruptions == 0 {
+		t.Fatalf("listener counters = %+v, want 1 conn with corruptions", v)
+	}
+}
+
+// TestDialerSeeds: connections through a Dialer get distinct, reproducible
+// per-connection schedules aggregated into shared counters.
+func TestDialerSeeds(t *testing.T) {
+	mk := func() (func(context.Context) (net.Conn, error), *Counters, func()) {
+		pairs := make(chan net.Conn, 8)
+		dial, ctr := Dialer(Config{Seed: 9, CorruptEvery: 50}, func(context.Context) (net.Conn, error) {
+			a, b := net.Pipe()
+			pairs <- b
+			return a, nil
+		})
+		go func() {
+			for b := range pairs {
+				go func(c net.Conn) {
+					c.Write(bytes.Repeat([]byte{0xAA}, 512))
+					c.Close()
+				}(b)
+			}
+		}()
+		return dial, ctr, func() { close(pairs) }
+	}
+
+	read := func(dial func(context.Context) (net.Conn, error)) [][]byte {
+		var streams [][]byte
+		for i := 0; i < 3; i++ {
+			c, err := dial(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := io.ReadAll(c)
+			c.Close()
+			streams = append(streams, got)
+		}
+		return streams
+	}
+
+	dial1, ctr1, stop1 := mk()
+	s1 := read(dial1)
+	stop1()
+	dial2, _, stop2 := mk()
+	s2 := read(dial2)
+	stop2()
+
+	for i := range s1 {
+		if !bytes.Equal(s1[i], s2[i]) {
+			t.Fatalf("conn %d: schedules differ across identically-seeded dialers", i)
+		}
+	}
+	if bytes.Equal(s1[0], s1[1]) {
+		t.Fatal("consecutive connections share a fault schedule")
+	}
+	if ctr1.View().Corruptions == 0 {
+		t.Fatal("dialer counters saw no corruption")
+	}
+	if ctr1.View().Conns != 3 {
+		t.Fatalf("conns = %d, want 3", ctr1.View().Conns)
+	}
+}

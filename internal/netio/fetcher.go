@@ -1,0 +1,553 @@
+package netio
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"extremenc/internal/rlnc"
+)
+
+// Resilient-client errors.
+var (
+	// ErrFetchBudget reports a fetch that exhausted its attempt budget
+	// before every segment reached full rank. The FetchResult returned
+	// alongside it still carries all accumulated progress.
+	ErrFetchBudget = errors.New("netio: fetch attempt budget exhausted")
+	// ErrHeaderMismatch reports a reconnect that was answered with a
+	// different session header: the server is no longer serving the same
+	// object, so accumulated rank cannot be extended.
+	ErrHeaderMismatch = errors.New("netio: session header changed across reconnects")
+	// ErrBadResumeState reports an unusable WithResumeState blob.
+	ErrBadResumeState = errors.New("netio: bad fetch resume state")
+)
+
+// DialFunc opens one connection to the serving peer. The Fetcher calls it
+// for the initial connection and again for every reconnect.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// FetcherOption configures a Fetcher.
+type FetcherOption func(*fetcherConfig)
+
+type fetcherConfig struct {
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	jitter      float64
+	rng         *rand.Rand
+	hook        func(reconnect int, ranks map[uint32]int)
+	state       []byte
+}
+
+// WithMaxAttempts caps the total number of connection attempts (dials),
+// counting the first. Zero, the default, means unlimited: the fetch is
+// bounded only by its context.
+func WithMaxAttempts(n int) FetcherOption {
+	return func(c *fetcherConfig) { c.maxAttempts = n }
+}
+
+// WithBackoff sets the reconnect backoff schedule: the delay before retry r
+// doubles from base, is capped at max, and is then jittered. The defaults
+// are 50ms doubling to a 2s cap.
+func WithBackoff(base, max time.Duration) FetcherOption {
+	return func(c *fetcherConfig) {
+		c.backoffBase = base
+		c.backoffMax = max
+	}
+}
+
+// WithBackoffJitter sets the jitter fraction j ∈ [0, 1]: each backoff delay
+// d is drawn uniformly from [d·(1−j), d·(1+j)], still capped at the backoff
+// maximum. Jitter (default 0.5) keeps a fleet of clients that lost the same
+// server from reconnecting in lockstep.
+func WithBackoffJitter(j float64) FetcherOption {
+	return func(c *fetcherConfig) {
+		c.jitter = min(max(j, 0), 1)
+	}
+}
+
+// WithBackoffSeed fixes the jitter's random source, making the backoff
+// schedule reproducible.
+func WithBackoffSeed(seed int64) FetcherOption {
+	return func(c *fetcherConfig) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithReconnectHook installs fn, called after every successful reconnect
+// handshake with the 1-based reconnect number and the per-segment decoder
+// ranks carried into the new session. Observability only: the fetch blocks
+// until fn returns.
+func WithReconnectHook(fn func(reconnect int, ranks map[uint32]int)) FetcherOption {
+	return func(c *fetcherConfig) { c.hook = fn }
+}
+
+// WithResumeState preloads the decoders from a Fetcher.State blob saved by
+// an earlier (possibly failed) fetch of the same object, so the new fetch
+// starts from the saved per-segment rank instead of zero.
+func WithResumeState(state []byte) FetcherOption {
+	return func(c *fetcherConfig) { c.state = state }
+}
+
+// FetchResult is everything a fetch produced, returned even when the fetch
+// failed: RLNC progress is rank, and rank is never worth discarding.
+type FetchResult struct {
+	// Payload is the complete reassembled object, nil unless every segment
+	// reached full rank.
+	Payload []byte
+	// Segments holds the segments that reached full rank, keyed by ID.
+	Segments map[uint32]*rlnc.Segment
+	// Ranks maps every segment with at least one innovative block to its
+	// decoder rank, including partial ones.
+	Ranks map[uint32]int
+	// Stats is never nil.
+	Stats *FetchStats
+}
+
+// Fetcher is a resilient download client for the push protocol. Unlike the
+// one-shot Fetch it owns a dial function rather than a connection, and it
+// carries its per-segment decoders across reconnects: a connection reset, a
+// framing loss, or a server restart costs only the bytes in flight, never
+// accumulated rank — the property that makes a coded transport need no
+// retransmission protocol (paper Sec. 5.1).
+//
+// A Fetcher is single-use and not safe for concurrent use: construct, call
+// Fetch once, then optionally State.
+type Fetcher struct {
+	dial DialFunc
+	cfg  fetcherConfig
+
+	hdr         *sessionHeader
+	established bool
+	decoders    map[uint32]*rlnc.Decoder
+	ready       int
+	stats       FetchStats
+}
+
+// NewFetcher returns a Fetcher that downloads through dial.
+func NewFetcher(dial DialFunc, opts ...FetcherOption) *Fetcher {
+	cfg := fetcherConfig{
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+		jitter:      0.5,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.rng == nil {
+		cfg.rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	return &Fetcher{dial: dial, cfg: cfg}
+}
+
+// Fetch runs the download until every segment reaches full rank, the
+// attempt budget runs out, or ctx ends. The FetchResult is never nil and
+// always carries the stats plus whatever segments and ranks were decoded,
+// even alongside an error — a budget-exhausted fetch degrades to a partial
+// result instead of discarding progress.
+func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
+	if f.cfg.state != nil {
+		if err := f.restoreState(f.cfg.state); err != nil {
+			return f.result(), err
+		}
+		f.cfg.state = nil
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return f.result(), cancelErr(ctx)
+		}
+		if f.cfg.maxAttempts > 0 && attempt >= f.cfg.maxAttempts {
+			return f.result(), budgetErr(attempt, lastErr)
+		}
+		if attempt > 0 {
+			if err := f.sleepBackoff(ctx, attempt); err != nil {
+				return f.result(), cancelErr(ctx)
+			}
+		}
+		f.stats.Attempts++
+		conn, err := f.dial(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return f.result(), cancelErr(ctx)
+			}
+			lastErr = err
+			continue
+		}
+		done, fatal, err := f.session(ctx, conn)
+		if done {
+			break
+		}
+		if fatal {
+			return f.result(), err
+		}
+		lastErr = err
+	}
+
+	res := f.result()
+	segs := make([]*rlnc.Segment, 0, len(res.Segments))
+	for _, seg := range res.Segments {
+		segs = append(segs, seg)
+	}
+	payload, err := rlnc.ReassembleSegments(segs, int(f.hdr.length), f.hdr.params)
+	if err != nil {
+		return res, err
+	}
+	res.Payload = payload
+	return res, nil
+}
+
+// budgetErr shapes the budget-exhaustion error. A single-attempt fetch (the
+// one-shot Fetch path) surfaces the session error directly so callers keep
+// matching the protocol sentinels; multi-attempt fetches wrap both.
+func budgetErr(attempts int, lastErr error) error {
+	if attempts == 1 && lastErr != nil {
+		return lastErr
+	}
+	if lastErr == nil {
+		return fmt.Errorf("%w: %d attempts", ErrFetchBudget, attempts)
+	}
+	return fmt.Errorf("%w: %d attempts, last error: %w", ErrFetchBudget, attempts, lastErr)
+}
+
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("netio: fetch cancelled: %w", ctx.Err())
+}
+
+// remaining returns how many segments still lack full rank.
+func (f *Fetcher) remaining() int {
+	if f.hdr == nil {
+		return 1
+	}
+	return f.hdr.segments - f.ready
+}
+
+// totalRank sums the decoder ranks across all segments.
+func (f *Fetcher) totalRank() int {
+	total := 0
+	for _, dec := range f.decoders {
+		total += dec.Rank()
+	}
+	return total
+}
+
+// Ranks returns the current per-segment decoder ranks. Not safe to call
+// concurrently with Fetch.
+func (f *Fetcher) Ranks() map[uint32]int {
+	ranks := make(map[uint32]int, len(f.decoders))
+	for id, dec := range f.decoders {
+		ranks[id] = dec.Rank()
+	}
+	return ranks
+}
+
+// result snapshots the accumulated progress.
+func (f *Fetcher) result() *FetchResult {
+	res := &FetchResult{
+		Segments: make(map[uint32]*rlnc.Segment),
+		Ranks:    f.Ranks(),
+		Stats:    &f.stats,
+	}
+	for id, dec := range f.decoders {
+		if !dec.Ready() {
+			continue
+		}
+		if seg, err := dec.Segment(); err == nil {
+			res.Segments[id] = seg
+		}
+	}
+	return res
+}
+
+// session consumes one connection: handshake, then records until every
+// segment is decoded or the stream fails. It reports done when the fetch is
+// complete; a non-fatal error means "reconnect and continue".
+func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool, err error) {
+	defer conn.Close()
+
+	// A cancelled context forces every blocked and future read to fail
+	// immediately by moving the read deadline into the past.
+	unhook := context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Unix(1, 0))
+	})
+	defer unhook()
+
+	h, err := readSessionHeader(conn)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, true, cancelErr(ctx)
+		}
+		return false, false, err
+	}
+	switch {
+	case f.hdr == nil:
+		hh := h
+		f.hdr = &hh
+		if f.decoders == nil {
+			f.decoders = make(map[uint32]*rlnc.Decoder, h.segments)
+		} else if err := f.validateResumed(); err != nil {
+			return false, true, err
+		}
+	case h != *f.hdr:
+		return false, true, fmt.Errorf("%w: had %v/%d segments/%d bytes, got %v/%d segments/%d bytes",
+			ErrHeaderMismatch, f.hdr.params, f.hdr.segments, f.hdr.length, h.params, h.segments, h.length)
+	}
+	if f.established {
+		f.stats.Reconnects++
+		f.stats.ResumedRank += f.totalRank()
+		if f.cfg.hook != nil {
+			f.cfg.hook(f.stats.Reconnects, f.Ranks())
+		}
+	}
+	f.established = true
+
+	// Every record of a session is a marshaled CodedBlock for the
+	// handshake's (n, k), so its framed length is a constant. A prefix that
+	// disagrees is framing loss — a corrupted length, not a record to
+	// allocate — and the stream beyond it is unparseable; the fetcher
+	// resynchronizes by reconnecting, keeping all rank.
+	expect := uint32(wireSize(f.hdr.params))
+	var lenBuf [4]byte
+	for f.remaining() > 0 {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return f.streamErr(ctx, fmt.Errorf("%w: %v", ErrStreamTruncated, err))
+		}
+		if n := binary.BigEndian.Uint32(lenBuf[:]); n != expect {
+			f.stats.FramingResyncs++
+			f.stats.BytesDiscarded += 4
+			return f.streamErr(ctx, fmt.Errorf("%w: %d, want %d: resynchronizing", ErrRecordLength, n, expect))
+		}
+		rec := make([]byte, expect)
+		if m, err := io.ReadFull(conn, rec); err != nil {
+			f.stats.BytesDiscarded += int64(m) + 4
+			return f.streamErr(ctx, fmt.Errorf("%w: truncated record: %v", ErrStreamTruncated, err))
+		}
+		f.stats.Records++
+		f.stats.Bytes += int64(expect) + 4
+		if err := f.absorb(rec); err != nil {
+			return false, true, err
+		}
+	}
+	return true, false, nil
+}
+
+// wireSize returns the marshaled size of a coded block for p.
+func wireSize(p rlnc.Params) int {
+	return (&rlnc.CodedBlock{
+		Coeffs:  make([]byte, p.BlockCount),
+		Payload: make([]byte, p.BlockSize),
+	}).WireSize()
+}
+
+// streamErr classifies a mid-stream failure: fatal if the context ended,
+// otherwise a reconnectable stream error.
+func (f *Fetcher) streamErr(ctx context.Context, err error) (bool, bool, error) {
+	if ctx.Err() != nil {
+		return false, true, cancelErr(ctx)
+	}
+	return false, false, err
+}
+
+// absorb parses one record and feeds it to the owning segment decoder,
+// classifying rejects: Corrupt (bit damage caught by magic or checksum),
+// Malformed (checksummed but the wrong shape for the session — a server
+// bug, not line noise), BadSegment (checksummed but an out-of-range
+// segment ID — rejected before it can allocate a stray decoder). Only an
+// internal decoder failure is an error.
+func (f *Fetcher) absorb(rec []byte) error {
+	discard := func() { f.stats.BytesDiscarded += int64(len(rec)) + 4 }
+	var blk rlnc.CodedBlock
+	if err := blk.UnmarshalBinary(rec); err != nil {
+		if errors.Is(err, rlnc.ErrBadChecksum) || errors.Is(err, rlnc.ErrBadMagic) {
+			f.stats.Corrupt++
+		} else {
+			f.stats.Malformed++
+		}
+		discard()
+		return nil
+	}
+	if blk.Validate(f.hdr.params) != nil {
+		f.stats.Malformed++
+		discard()
+		return nil
+	}
+	if blk.SegmentID >= uint32(f.hdr.segments) {
+		f.stats.BadSegment++
+		discard()
+		return nil
+	}
+	dec := f.decoders[blk.SegmentID]
+	if dec == nil {
+		var err error
+		if dec, err = rlnc.NewDecoder(f.hdr.params); err != nil {
+			return err
+		}
+		f.decoders[blk.SegmentID] = dec
+	}
+	if dec.Ready() {
+		// Round-robin overshoot for an already-finished segment.
+		return nil
+	}
+	innovative, err := dec.AddBlock(&blk)
+	if err != nil {
+		return err
+	}
+	if !innovative {
+		f.stats.Dependent++
+	} else if dec.Ready() {
+		f.ready++
+	}
+	return nil
+}
+
+// sleepBackoff waits out the backoff before retry r (1-based), returning
+// early with the context error if ctx ends mid-backoff.
+func (f *Fetcher) sleepBackoff(ctx context.Context, retry int) error {
+	d := backoffDelay(retry, f.cfg.backoffBase, f.cfg.backoffMax, f.cfg.jitter, f.cfg.rng)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoffDelay computes the delay before retry r (1-based): base doubled
+// r−1 times, capped at max, then jittered uniformly over ±jitter·delay and
+// re-capped. A non-positive base disables backoff entirely.
+func backoffDelay(retry int, base, max time.Duration, jitter float64, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		if d >= max/2 {
+			d = max
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if jitter > 0 {
+		span := jitter * float64(d)
+		d = time.Duration(float64(d) - span + 2*span*rng.Float64())
+		if d < 0 {
+			d = 0
+		}
+		if d > max {
+			d = max
+		}
+	}
+	return d
+}
+
+// Fetch-state blob: magic "XNCF" | u32 version | u32 entry count |
+// per entry: u32 segment ID, u32 length, Decoder.MarshalBinary bytes |
+// u32 CRC-32 (IEEE) over everything above.
+const (
+	stateMagic   = "XNCF"
+	stateVersion = 1
+)
+
+// State serializes every segment decoder — partial and complete — so a
+// later Fetcher (even in a new process) can resume this fetch's rank with
+// WithResumeState. Not safe to call concurrently with Fetch.
+func (f *Fetcher) State() ([]byte, error) {
+	buf := make([]byte, 12, 64)
+	copy(buf, stateMagic)
+	binary.BigEndian.PutUint32(buf[4:], stateVersion)
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(f.decoders)))
+	var entry [8]byte
+	for id, dec := range f.decoders {
+		body, err := dec.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(entry[:4], id)
+		binary.BigEndian.PutUint32(entry[4:], uint32(len(body)))
+		buf = append(buf, entry[:]...)
+		buf = append(buf, body...)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...), nil
+}
+
+// restoreState rebuilds the decoder map from a State blob. The header is
+// not known yet, so cross-checks against the session happen at the first
+// handshake (validateResumed).
+func (f *Fetcher) restoreState(data []byte) error {
+	if len(data) < 16 || string(data[:4]) != stateMagic {
+		return fmt.Errorf("%w: bad magic or size", ErrBadResumeState)
+	}
+	if v := binary.BigEndian.Uint32(data[4:]); v != stateVersion {
+		return fmt.Errorf("%w: version %d", ErrBadResumeState, v)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return fmt.Errorf("%w: checksum", ErrBadResumeState)
+	}
+	count := int(binary.BigEndian.Uint32(data[8:]))
+	decoders := make(map[uint32]*rlnc.Decoder, count)
+	off := 12
+	ready := 0
+	for i := 0; i < count; i++ {
+		if off+8 > len(body) {
+			return fmt.Errorf("%w: truncated entry %d", ErrBadResumeState, i)
+		}
+		id := binary.BigEndian.Uint32(body[off:])
+		n := int(binary.BigEndian.Uint32(body[off+4:]))
+		off += 8
+		if n < 0 || off+n > len(body) {
+			return fmt.Errorf("%w: entry %d overruns", ErrBadResumeState, i)
+		}
+		dec := new(rlnc.Decoder)
+		if err := dec.UnmarshalBinary(body[off : off+n]); err != nil {
+			return fmt.Errorf("%w: segment %d: %v", ErrBadResumeState, id, err)
+		}
+		if _, dup := decoders[id]; dup {
+			return fmt.Errorf("%w: duplicate segment %d", ErrBadResumeState, id)
+		}
+		decoders[id] = dec
+		if dec.Ready() {
+			ready++
+		}
+		off += n
+	}
+	if off != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadResumeState, len(body)-off)
+	}
+	f.decoders = decoders
+	f.ready = ready
+	return nil
+}
+
+// validateResumed cross-checks restored decoders against the first session
+// header: resumed rank must belong to the object actually being served.
+func (f *Fetcher) validateResumed() error {
+	for id, dec := range f.decoders {
+		if dec.Params() != f.hdr.params {
+			return fmt.Errorf("%w: segment %d resumed with %v, server serves %v",
+				ErrBadResumeState, id, dec.Params(), f.hdr.params)
+		}
+		if id >= uint32(f.hdr.segments) {
+			return fmt.Errorf("%w: resumed segment %d out of range (%d segments)",
+				ErrBadResumeState, id, f.hdr.segments)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,418 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"extremenc/internal/rlnc"
+)
+
+// flakyServer accepts connections from l and serves the object, but hangs
+// up every session after recordsPerSession records — a server that keeps
+// crashing mid-stream. Session i's encoders are seeded with base+i so every
+// session pushes fresh (innovative) combinations.
+func flakyServer(t *testing.T, l *pipeListener, media []byte, p rlnc.Params, recordsPerSession int, inject func(session int, conn net.Conn) bool) {
+	t.Helper()
+	obj, err := rlnc.Split(media, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for session := 0; ; session++ {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h := sessionHeader{params: p, segments: len(obj.Segments), length: int64(obj.Length)}
+			if err := writeSessionHeader(conn, h); err != nil {
+				conn.Close()
+				continue
+			}
+			if inject != nil && inject(session, conn) {
+				conn.Close()
+				continue
+			}
+			rng := rand.New(rand.NewSource(int64(session) + 1000))
+			encoders := make([]*rlnc.Encoder, len(obj.Segments))
+			for i, seg := range obj.Segments {
+				encoders[i] = rlnc.NewEncoder(seg, rng)
+			}
+			for r := 0; r < recordsPerSession; r++ {
+				rec, err := frameRecord(encoders[r%len(encoders)].NextBlock())
+				if err != nil {
+					break
+				}
+				if _, err := conn.Write(rec); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	}()
+}
+
+// TestFetcherSurvivesServerRestarts: a server that dies every few records
+// must still be fully drained, with rank carried across every reconnect.
+func TestFetcherSurvivesServerRestarts(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 128}
+	media := testMedia(t, 3*p.SegmentSize()-37, 21)
+	l := newPipeListener()
+	defer l.Close()
+	flakyServer(t, l, media, p, 7, nil) // 24 innovative blocks needed, 7 records per session
+
+	type rankSnap struct {
+		reconnect int
+		total     int
+	}
+	var snaps []rankSnap
+	prev := map[uint32]int{}
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithBackoffSeed(1),
+		WithReconnectHook(func(reconnect int, ranks map[uint32]int) {
+			total := 0
+			for id, r := range ranks {
+				if r < prev[id] {
+					panic(fmt.Sprintf("segment %d rank fell %d -> %d across reconnect", id, prev[id], r))
+				}
+				prev[id] = r
+				total += r
+			}
+			snaps = append(snaps, rankSnap{reconnect, total})
+		}),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := f.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload differs after restarts")
+	}
+	if res.Stats.Reconnects < 3 {
+		t.Fatalf("reconnects = %d, want >= 3 (server dies every 7 records)", res.Stats.Reconnects)
+	}
+	if res.Stats.ResumedRank == 0 {
+		t.Fatal("no rank was carried across reconnects")
+	}
+	if len(snaps) != res.Stats.Reconnects {
+		t.Fatalf("hook fired %d times, reconnects = %d", len(snaps), res.Stats.Reconnects)
+	}
+	// Rank carried into later reconnects must be positive: nothing restarts
+	// from scratch.
+	if last := snaps[len(snaps)-1]; last.total == 0 {
+		t.Fatal("final reconnect carried zero rank")
+	}
+}
+
+// TestFetcherBudgetReturnsPartialProgress: exhausting the attempt budget
+// must surface the decoded-so-far segments and per-segment ranks alongside
+// the error, not discard them.
+func TestFetcherBudgetReturnsPartialProgress(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	media := testMedia(t, 2*p.SegmentSize(), 22)
+	l := newPipeListener()
+	defer l.Close()
+	// Every session serves only segment 0: segment 1 can never finish.
+	flakyServer(t, l, media, p, 0, func(session int, conn net.Conn) bool {
+		obj, _ := rlnc.Split(media, p)
+		enc := rlnc.NewEncoder(obj.Segments[0], rand.New(rand.NewSource(int64(session))))
+		for i := 0; i < p.BlockCount+2; i++ {
+			rec, _ := frameRecord(enc.NextBlock())
+			if _, err := conn.Write(rec); err != nil {
+				return true
+			}
+		}
+		return true
+	})
+
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithMaxAttempts(3),
+		WithBackoff(time.Millisecond, time.Millisecond),
+	)
+	res, err := f.Fetch(context.Background())
+	if !errors.Is(err, ErrFetchBudget) {
+		t.Fatalf("err = %v, want ErrFetchBudget", err)
+	}
+	if res == nil || res.Stats == nil {
+		t.Fatal("no result/stats returned with the error")
+	}
+	if res.Payload != nil {
+		t.Fatal("partial fetch returned a payload")
+	}
+	if res.Stats.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Stats.Attempts)
+	}
+	if res.Ranks[0] != p.BlockCount {
+		t.Fatalf("segment 0 rank = %d, want full %d", res.Ranks[0], p.BlockCount)
+	}
+	seg, ok := res.Segments[0]
+	if !ok {
+		t.Fatal("completed segment 0 missing from partial result")
+	}
+	if !bytes.Equal(seg.Data(), media[:p.SegmentSize()]) {
+		t.Fatal("partial result segment 0 payload differs")
+	}
+}
+
+// TestFetcherResumeState: a failed fetch's serialized state seeds a new
+// Fetcher — in principle in a new process — which finishes without
+// re-earning the saved rank.
+func TestFetcherResumeState(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	media := testMedia(t, p.SegmentSize(), 23)
+	l := newPipeListener()
+	defer l.Close()
+	// Sessions deliver 5 records: never enough for rank 8 in one attempt.
+	flakyServer(t, l, media, p, 5, nil)
+
+	first := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithMaxAttempts(1),
+	)
+	res, err := first.Fetch(context.Background())
+	if err == nil {
+		t.Fatal("single truncated session unexpectedly completed")
+	}
+	if got := res.Ranks[0]; got != 5 {
+		t.Fatalf("rank after one 5-record session = %d, want 5", got)
+	}
+	state, err := first.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithResumeState(state),
+		WithBackoff(time.Millisecond, time.Millisecond),
+	)
+	res2, err := second.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res2.Payload, media) {
+		t.Fatal("resumed fetch payload differs")
+	}
+	// 3 missing ranks, 5 records per session: one session must do it, and
+	// the resumed fetch must not have re-downloaded the first 5 ranks.
+	if res2.Stats.Records > 5 {
+		t.Fatalf("resumed fetch consumed %d records, want <= 5 (saved rank was re-earned?)", res2.Stats.Records)
+	}
+
+	// Damaged state is rejected up front, with the error.
+	bad := append([]byte(nil), state...)
+	bad[len(bad)/2] ^= 1
+	res3, err := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithResumeState(bad),
+	).Fetch(context.Background())
+	if !errors.Is(err, ErrBadResumeState) {
+		t.Fatalf("err = %v, want ErrBadResumeState", err)
+	}
+	if res3 == nil || res3.Stats == nil {
+		t.Fatal("no stats with resume-state error")
+	}
+}
+
+// TestFetcherRejectClassification: CRC-valid records with hostile segment
+// IDs must not allocate decoders or stall convergence, and shape-vs-noise
+// rejects land in separate counters.
+func TestFetcherRejectClassification(t *testing.T) {
+	p := rlnc.Params{BlockCount: 4, BlockSize: 32}
+	media := testMedia(t, p.SegmentSize(), 24)
+	l := newPipeListener()
+	defer l.Close()
+	flakyServer(t, l, media, p, 2*p.BlockCount+4, func(session int, conn net.Conn) bool {
+		// Session 0 leads with hostile-but-checksummed records: an
+		// out-of-range segment ID, and a wrong-shape block whose wire size
+		// matches the session's records (n+1, k-1).
+		if session != 0 {
+			return false
+		}
+		hostile := &rlnc.CodedBlock{
+			SegmentID: 4_000_000,
+			Coeffs:    make([]byte, p.BlockCount),
+			Payload:   make([]byte, p.BlockSize),
+		}
+		hostile.Coeffs[0] = 1
+		rec, err := frameRecord(hostile)
+		if err != nil || writeAll(conn, rec) != nil {
+			return true
+		}
+		shape := &rlnc.CodedBlock{
+			SegmentID: 0,
+			Coeffs:    make([]byte, p.BlockCount+1),
+			Payload:   make([]byte, p.BlockSize-1),
+		}
+		shape.Coeffs[0] = 1
+		rec, err = frameRecord(shape)
+		if err != nil || writeAll(conn, rec) != nil {
+			return true
+		}
+		return false // continue with the honest stream
+	})
+
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithBackoff(time.Millisecond, time.Millisecond),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := f.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload differs")
+	}
+	if res.Stats.BadSegment != 1 {
+		t.Fatalf("bad-segment records = %d, want 1", res.Stats.BadSegment)
+	}
+	if res.Stats.Malformed != 1 {
+		t.Fatalf("malformed records = %d, want 1", res.Stats.Malformed)
+	}
+	if res.Stats.Corrupt != 0 {
+		t.Fatalf("corrupt = %d on an uncorrupted link", res.Stats.Corrupt)
+	}
+	if _, leaked := res.Ranks[4_000_000]; leaked {
+		t.Fatal("hostile segment ID allocated a decoder")
+	}
+	if res.Stats.BytesDiscarded == 0 {
+		t.Fatal("rejected records not counted as discarded bytes")
+	}
+}
+
+func writeAll(c net.Conn, b []byte) error {
+	_, err := c.Write(b)
+	return err
+}
+
+// TestFetcherHeaderMismatch: a reconnect answered with a different object
+// is fatal — accumulated rank cannot be extended by a different stream.
+func TestFetcherHeaderMismatch(t *testing.T) {
+	l := newPipeListener()
+	defer l.Close()
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h := sessionHeader{params: rlnc.Params{BlockCount: 4, BlockSize: 64}, segments: 1, length: 256}
+			if i > 0 {
+				h.segments = 2
+				h.length = 512
+			}
+			writeSessionHeader(conn, h)
+			conn.Close() // truncate: force a reconnect
+		}
+	}()
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithMaxAttempts(4),
+		WithBackoff(time.Millisecond, time.Millisecond),
+	)
+	res, err := f.Fetch(context.Background())
+	if !errors.Is(err, ErrHeaderMismatch) {
+		t.Fatalf("err = %v, want ErrHeaderMismatch", err)
+	}
+	if res.Stats.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (mismatch is fatal, not retried)", res.Stats.Attempts)
+	}
+}
+
+// TestBackoffSchedule is the table-driven contract of backoffDelay:
+// doubling, caps, jitter bounds, and degenerate configurations.
+func TestBackoffSchedule(t *testing.T) {
+	const base, cap = 10 * time.Millisecond, 80 * time.Millisecond
+	cases := []struct {
+		name   string
+		retry  int
+		base   time.Duration
+		max    time.Duration
+		jitter float64
+		lo, hi time.Duration
+	}{
+		{"first retry", 1, base, cap, 0, base, base},
+		{"doubles", 2, base, cap, 0, 2 * base, 2 * base},
+		{"doubles again", 3, base, cap, 0, 4 * base, 4 * base},
+		{"hits cap", 4, base, cap, 0, cap, cap},
+		{"stays capped", 20, base, cap, 0, cap, cap},
+		{"huge retry no overflow", 500, base, cap, 0, cap, cap},
+		{"jitter half", 2, base, cap, 0.5, base, 3 * base},
+		{"jitter full", 1, base, cap, 1, 0, 2 * base},
+		{"jitter capped", 20, base, cap, 0.5, cap / 2, cap},
+		{"zero base disables", 5, 0, cap, 0.5, 0, 0},
+		{"cap below base", 3, base, base / 2, 0, base, base},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range cases {
+		for i := 0; i < 200; i++ {
+			d := backoffDelay(tc.retry, tc.base, tc.max, tc.jitter, rng)
+			if d < tc.lo || d > tc.hi {
+				t.Fatalf("%s: delay %v outside [%v, %v]", tc.name, d, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+// TestBackoffCtxCancel: cancelling the context mid-backoff unblocks the
+// fetch immediately with the context error and the partial result.
+func TestBackoffCtxCancel(t *testing.T) {
+	dialErr := errors.New("refused")
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return nil, dialErr },
+		WithBackoff(time.Hour, time.Hour), // without cancellation this never returns
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		res, err := f.Fetch(ctx)
+		if res == nil || res.Stats == nil {
+			err = errors.New("no result with cancellation")
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch did not unblock on cancel during backoff")
+	}
+}
+
+// TestFetcherDialBudget: dial failures consume attempts and surface both
+// the budget sentinel and the dial error.
+func TestFetcherDialBudget(t *testing.T) {
+	dialErr := errors.New("connection refused")
+	f := NewFetcher(
+		func(context.Context) (net.Conn, error) { return nil, dialErr },
+		WithMaxAttempts(3),
+		WithBackoff(time.Microsecond, time.Microsecond),
+	)
+	res, err := f.Fetch(context.Background())
+	if !errors.Is(err, ErrFetchBudget) || !errors.Is(err, dialErr) {
+		t.Fatalf("err = %v, want ErrFetchBudget wrapping the dial error", err)
+	}
+	if res.Stats.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Stats.Attempts)
+	}
+}

@@ -1,0 +1,100 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"extremenc/internal/rlnc"
+)
+
+// fuzzSession builds a well-formed session stream — header plus records —
+// that the mutator can then damage byte by byte.
+func fuzzSession(f *testing.F, mutate func(stream []byte) []byte) []byte {
+	f.Helper()
+	p := rlnc.Params{BlockCount: 4, BlockSize: 16}
+	media := make([]byte, p.SegmentSize())
+	rand.New(rand.NewSource(3)).Read(media)
+	obj, err := rlnc.Split(media, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := sessionHeader{params: p, segments: 1, length: int64(len(media))}
+	if err := writeSessionHeader(&buf, h); err != nil {
+		f.Fatal(err)
+	}
+	enc := rlnc.NewEncoder(obj.Segments[0], rand.New(rand.NewSource(4)))
+	for i := 0; i < p.BlockCount+2; i++ {
+		rec, err := frameRecord(enc.NextBlock())
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf.Write(rec)
+	}
+	stream := buf.Bytes()
+	if mutate != nil {
+		stream = mutate(append([]byte(nil), stream...))
+	}
+	return stream
+}
+
+// FuzzFetchRecords feeds arbitrary bytes to the client record loop through
+// a real net.Pipe. Whatever the stream claims — hostile length prefixes,
+// truncated records, out-of-range segment IDs, corrupted handshakes — the
+// client must neither panic nor over-allocate, must always produce stats,
+// and must only report success with an intact payload.
+func FuzzFetchRecords(f *testing.F) {
+	// A complete healthy session (the only seed that decodes), then
+	// targeted damage to each protocol layer.
+	f.Add(fuzzSession(f, nil))
+	f.Add(fuzzSession(f, func(s []byte) []byte { // adversarial length prefix
+		binary.BigEndian.PutUint32(s[protoHeaderLen:], 0xFFFFFFF0)
+		return s
+	}))
+	f.Add(fuzzSession(f, func(s []byte) []byte { // truncated final record
+		return s[:len(s)-7]
+	}))
+	f.Add(fuzzSession(f, func(s []byte) []byte { // hostile segment ID, CRC refreshed
+		size := int(binary.BigEndian.Uint32(s[protoHeaderLen:]))
+		body := s[protoHeaderLen+4 : protoHeaderLen+4+size]
+		binary.BigEndian.PutUint32(body[4:], 1<<30)
+		binary.BigEndian.PutUint32(body[size-4:], crc32.ChecksumIEEE(body[:size-4]))
+		return s
+	}))
+	f.Add(fuzzSession(f, func(s []byte) []byte { // bit damage mid-record
+		s[protoHeaderLen+20] ^= 0x40
+		return s
+	}))
+	f.Add([]byte{})
+	f.Add([]byte(protoMagic))
+	f.Add(bytes.Repeat([]byte{0xFF}, protoHeaderLen+8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := net.Pipe()
+		go func() {
+			b.Write(data)
+			b.Close()
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		payload, stats, err := Fetch(ctx, a)
+		if stats == nil {
+			t.Fatal("fetch returned nil stats")
+		}
+		if err == nil && payload == nil {
+			t.Fatal("fetch reported success without a payload")
+		}
+		if err != nil && payload != nil {
+			t.Fatal("fetch reported failure with a payload")
+		}
+		if rejected := stats.Corrupt + stats.Malformed + stats.BadSegment; rejected > stats.Records {
+			t.Fatalf("rejected %d records but only %d arrived", rejected, stats.Records)
+		}
+	})
+}

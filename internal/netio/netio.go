@@ -18,7 +18,6 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
-	"time"
 
 	"extremenc/internal/rlnc"
 )
@@ -100,95 +99,50 @@ func readSessionHeader(r io.Reader) (sessionHeader, error) {
 	return h, nil
 }
 
-// FetchStats reports a client download.
+// FetchStats reports a client download, including its fault history. The
+// reject counters are split by cause so operators can tell line damage
+// (Corrupt), a misbehaving server (Malformed, BadSegment), and framing loss
+// (FramingResyncs) apart at a glance.
 type FetchStats struct {
-	Records   int
-	Dependent int
-	Corrupt   int
-	Bytes     int64
+	// Attempts counts connection attempts, including the first; Reconnects
+	// counts the successful handshakes after the first.
+	Attempts   int
+	Reconnects int
+
+	Records   int // complete records received
+	Dependent int // linearly dependent blocks (innovation overhead)
+
+	Corrupt    int // records rejected for bit damage (bad magic or checksum)
+	Malformed  int // checksummed records whose shape disagrees with the session
+	BadSegment int // checksummed records with an out-of-range segment ID
+
+	// FramingResyncs counts corrupted length prefixes: each one makes the
+	// rest of the stream unparseable and forces a reconnect (rank is kept).
+	FramingResyncs int
+
+	// ResumedRank accumulates, over all reconnects, the total decoder rank
+	// carried into the new session — direct evidence that no reconnect
+	// restarted a segment from zero.
+	ResumedRank int
+
+	Bytes          int64 // wire bytes consumed in complete records
+	BytesDiscarded int64 // bytes thrown away: rejected records, bad prefixes, partials
 }
 
 // Fetch downloads and decodes the served object from conn, closing it once
 // every segment reaches full rank. Records that fail their checksum are
 // skipped — coded streams need no retransmission. Cancelling ctx (or its
 // deadline expiring) unblocks any pending read and returns ctx.Err().
+//
+// Fetch is the one-shot path: it consumes exactly the given connection and
+// any stream failure is final. The returned stats are non-nil even on
+// error. For a client that survives resets, framing loss, and server
+// restarts without losing decoder rank, use a Fetcher with a dial function.
 func Fetch(ctx context.Context, conn net.Conn) ([]byte, *FetchStats, error) {
 	defer conn.Close()
-
-	// A cancelled context forces every blocked and future read to fail
-	// immediately by moving the read deadline into the past.
-	unhook := context.AfterFunc(ctx, func() {
-		conn.SetReadDeadline(time.Unix(1, 0))
-	})
-	defer unhook()
-	ctxErr := func(err error) error {
-		if ctx.Err() != nil {
-			return fmt.Errorf("netio: fetch cancelled: %w", ctx.Err())
-		}
-		return err
-	}
-
-	h, err := readSessionHeader(conn)
-	if err != nil {
-		return nil, nil, ctxErr(err)
-	}
-	decoders := make(map[uint32]*rlnc.Decoder, h.segments)
-	remaining := h.segments
-	stats := &FetchStats{}
-
-	var lenBuf [4]byte
-	for remaining > 0 {
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return nil, nil, ctxErr(fmt.Errorf("%w: %v", ErrStreamTruncated, err))
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n == 0 || n > maxRecordLen {
-			return nil, nil, fmt.Errorf("%w: %d", ErrRecordLength, n)
-		}
-		rec := make([]byte, n)
-		if _, err := io.ReadFull(conn, rec); err != nil {
-			return nil, nil, ctxErr(fmt.Errorf("%w: truncated record: %v", ErrStreamTruncated, err))
-		}
-		stats.Records++
-		stats.Bytes += int64(len(rec)) + 4
-
-		var blk rlnc.CodedBlock
-		if err := blk.UnmarshalBinary(rec); err != nil || blk.Validate(h.params) != nil {
-			stats.Corrupt++
-			continue
-		}
-		dec := decoders[blk.SegmentID]
-		if dec == nil {
-			if dec, err = rlnc.NewDecoder(h.params); err != nil {
-				return nil, nil, err
-			}
-			decoders[blk.SegmentID] = dec
-		}
-		if dec.Ready() {
-			continue
-		}
-		innovative, err := dec.AddBlock(&blk)
-		if err != nil {
-			return nil, nil, err
-		}
-		if !innovative {
-			stats.Dependent++
-		} else if dec.Ready() {
-			remaining--
-		}
-	}
-
-	segs := make([]*rlnc.Segment, 0, h.segments)
-	for _, dec := range decoders {
-		seg, err := dec.Segment()
-		if err != nil {
-			return nil, nil, err
-		}
-		segs = append(segs, seg)
-	}
-	payload, err := rlnc.ReassembleSegments(segs, int(h.length), h.params)
-	if err != nil {
-		return nil, nil, err
-	}
-	return payload, stats, nil
+	f := NewFetcher(func(context.Context) (net.Conn, error) {
+		return conn, nil
+	}, WithMaxAttempts(1))
+	res, err := f.Fetch(ctx)
+	return res.Payload, res.Stats, err
 }

@@ -1,0 +1,150 @@
+package rlnc
+
+import (
+	"encoding"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Decoder progress wire format (all integers big-endian):
+//
+//	offset        size       field
+//	0             4          magic "XNCD"
+//	4             4          version
+//	8             4          block count n
+//	12            4          block size k
+//	16            4          segment ID
+//	20            1          flags (bit 0: segment ID bound)
+//	21            4          rank
+//	25            4          received
+//	29            4          dependent
+//	33            ceil(n/8)  pivot bitmap (bit c set ⇒ row with pivot c held)
+//	…             rank·(n+k) aggregate rows, ascending pivot order
+//	end−4         4          CRC-32 (IEEE) over everything above
+//
+// Serializing mid-decode progress is what makes a fetch resumable across
+// process restarts: rank, not bytes, is the unit of progress in RLNC, and
+// the RREF rows are exactly the rank held so far.
+const (
+	decoderStateMagic   = "XNCD"
+	decoderStateVersion = 1
+	decoderStateFixed   = 4 + 4 + 4 + 4 + 4 + 1 + 4 + 4 + 4
+)
+
+// ErrBadDecoderState reports an unusable serialized decoder.
+var ErrBadDecoderState = errors.New("rlnc: bad decoder state")
+
+var (
+	_ encoding.BinaryMarshaler   = (*Decoder)(nil)
+	_ encoding.BinaryUnmarshaler = (*Decoder)(nil)
+)
+
+// MarshalBinary serializes the decoder's progress — parameters, counters,
+// and the reduced rows held so far — so decoding can resume later, in
+// another process, from the same rank.
+func (d *Decoder) MarshalBinary() ([]byte, error) {
+	n, k := d.params.BlockCount, d.params.BlockSize
+	bitmapLen := (n + 7) / 8
+	out := make([]byte, decoderStateFixed+bitmapLen+d.rank*(n+k)+4)
+	copy(out, decoderStateMagic)
+	binary.BigEndian.PutUint32(out[4:], decoderStateVersion)
+	binary.BigEndian.PutUint32(out[8:], uint32(n))
+	binary.BigEndian.PutUint32(out[12:], uint32(k))
+	binary.BigEndian.PutUint32(out[16:], d.segID)
+	if d.haveSeg {
+		out[20] = 1
+	}
+	binary.BigEndian.PutUint32(out[21:], uint32(d.rank))
+	binary.BigEndian.PutUint32(out[25:], uint32(d.received))
+	binary.BigEndian.PutUint32(out[29:], uint32(d.dependent))
+	bitmap := out[decoderStateFixed : decoderStateFixed+bitmapLen]
+	off := decoderStateFixed + bitmapLen
+	for c := 0; c < n; c++ {
+		row := d.rowForPivot[c]
+		if row == nil {
+			continue
+		}
+		bitmap[c/8] |= 1 << (c % 8)
+		copy(out[off:], row)
+		off += n + k
+	}
+	binary.BigEndian.PutUint32(out[off:], crc32.ChecksumIEEE(out[:off]))
+	return out, nil
+}
+
+// UnmarshalBinary restores a decoder from MarshalBinary output, replacing
+// any existing state. Beyond the checksum it verifies the structural
+// invariant the elimination depends on: every stored row is normalized
+// (entry 1 at its own pivot) and eliminated against every other pivot
+// column, i.e. the rows really are in reduced row-echelon form.
+func (d *Decoder) UnmarshalBinary(data []byte) error {
+	if len(data) < decoderStateFixed+4 {
+		return fmt.Errorf("%w: %d bytes", ErrBadDecoderState, len(data))
+	}
+	if string(data[:4]) != decoderStateMagic {
+		return fmt.Errorf("%w: magic", ErrBadDecoderState)
+	}
+	if v := binary.BigEndian.Uint32(data[4:]); v != decoderStateVersion {
+		return fmt.Errorf("%w: version %d", ErrBadDecoderState, v)
+	}
+	p := Params{
+		BlockCount: int(binary.BigEndian.Uint32(data[8:])),
+		BlockSize:  int(binary.BigEndian.Uint32(data[12:])),
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDecoderState, err)
+	}
+	n, k := p.BlockCount, p.BlockSize
+	bitmapLen := (n + 7) / 8
+	rank := int(binary.BigEndian.Uint32(data[21:]))
+	if rank < 0 || rank > n {
+		return fmt.Errorf("%w: rank %d of %d", ErrBadDecoderState, rank, n)
+	}
+	want := decoderStateFixed + bitmapLen + rank*(n+k) + 4
+	if len(data) != want {
+		return fmt.Errorf("%w: have %d bytes, want %d", ErrBadDecoderState, len(data), want)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return fmt.Errorf("%w: checksum", ErrBadDecoderState)
+	}
+
+	bitmap := data[decoderStateFixed : decoderStateFixed+bitmapLen]
+	pivots := make([]int, 0, rank)
+	for c := 0; c < n; c++ {
+		if bitmap[c/8]&(1<<(c%8)) != 0 {
+			pivots = append(pivots, c)
+		}
+	}
+	if len(pivots) != rank {
+		return fmt.Errorf("%w: bitmap holds %d pivots, rank says %d", ErrBadDecoderState, len(pivots), rank)
+	}
+	rows := make([][]byte, n)
+	off := decoderStateFixed + bitmapLen
+	for _, c := range pivots {
+		row := make([]byte, n+k)
+		copy(row, data[off:off+n+k])
+		off += n + k
+		if row[c] != 1 {
+			return fmt.Errorf("%w: pivot %d not normalized", ErrBadDecoderState, c)
+		}
+		for _, c2 := range pivots {
+			if c2 != c && row[c2] != 0 {
+				return fmt.Errorf("%w: pivot %d not eliminated from row %d", ErrBadDecoderState, c2, c)
+			}
+		}
+		rows[c] = row
+	}
+
+	d.params = p
+	d.segID = binary.BigEndian.Uint32(data[16:])
+	d.haveSeg = data[20]&1 != 0
+	d.rowForPivot = rows
+	d.rank = rank
+	d.received = int(binary.BigEndian.Uint32(data[25:]))
+	d.dependent = int(binary.BigEndian.Uint32(data[29:]))
+	d.scr = nil
+	return nil
+}

@@ -1,0 +1,156 @@
+package rlnc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestDecoderStateRoundTrip serializes a decoder mid-decode, restores it,
+// finishes decoding on the restored copy, and checks the recovered segment
+// is identical to the one the uninterrupted decoder produces.
+func TestDecoderStateRoundTrip(t *testing.T) {
+	for _, mid := range []int{0, 1, 7, 15} {
+		p := Params{BlockCount: 16, BlockSize: 64}
+		data := make([]byte, p.SegmentSize())
+		rand.New(rand.NewSource(int64(mid) + 1)).Read(data)
+		seg, err := SegmentFromData(3, p, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := NewEncoder(seg, rand.New(rand.NewSource(99)))
+
+		direct, err := NewDecoder(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := NewDecoder(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for resumed.Rank() < mid {
+			b := enc.NextBlock()
+			if _, err := direct.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := resumed.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		state, err := resumed.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := new(Decoder)
+		if err := restored.UnmarshalBinary(state); err != nil {
+			t.Fatalf("mid=%d: %v", mid, err)
+		}
+		if restored.Rank() != mid || restored.Received() != resumed.Received() ||
+			restored.Dependent() != resumed.Dependent() {
+			t.Fatalf("mid=%d: counters differ after restore: rank %d recv %d dep %d",
+				mid, restored.Rank(), restored.Received(), restored.Dependent())
+		}
+
+		for !restored.Ready() {
+			b := enc.NextBlock()
+			if _, err := direct.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := restored.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := direct.Segment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Segment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Data(), want.Data()) {
+			t.Fatalf("mid=%d: restored decoder recovered different payload", mid)
+		}
+	}
+}
+
+// TestDecoderStateReady round-trips a full-rank decoder.
+func TestDecoderStateReady(t *testing.T) {
+	p := Params{BlockCount: 8, BlockSize: 32}
+	data := make([]byte, p.SegmentSize())
+	rand.New(rand.NewSource(5)).Read(data)
+	seg, err := SegmentFromData(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(seg, rand.New(rand.NewSource(6)))
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Ready() {
+		if _, err := dec.AddBlock(enc.NextBlock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := new(Decoder)
+	if err := restored.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Ready() {
+		t.Fatal("restored decoder not ready")
+	}
+	got, err := restored.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), seg.Data()) {
+		t.Fatal("restored payload differs")
+	}
+}
+
+// TestDecoderStateRejectsDamage: every single-byte flip of a valid state
+// blob must be rejected (the CRC covers everything), as must truncation and
+// structural lies.
+func TestDecoderStateRejectsDamage(t *testing.T) {
+	p := Params{BlockCount: 4, BlockSize: 16}
+	data := make([]byte, p.SegmentSize())
+	rand.New(rand.NewSource(7)).Read(data)
+	seg, err := SegmentFromData(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(seg, rand.New(rand.NewSource(8)))
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dec.Rank() < 2 {
+		if _, err := dec.AddBlock(enc.NextBlock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range state {
+		bad := append([]byte(nil), state...)
+		bad[i] ^= 0x41
+		if err := new(Decoder).UnmarshalBinary(bad); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	for _, cut := range []int{0, 4, len(state) - 1} {
+		if err := new(Decoder).UnmarshalBinary(state[:cut]); !errors.Is(err, ErrBadDecoderState) {
+			t.Fatalf("truncation to %d: err = %v, want ErrBadDecoderState", cut, err)
+		}
+	}
+}
