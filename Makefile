@@ -6,9 +6,9 @@ GO ?= go
 # gf256 kernels, decode pipelines) plus everything that moves blocks across
 # goroutines. One list, shared by `vet`'s quick pass and the `race` target,
 # and mirrored by the CI workflow.
-RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ .
+RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -58,6 +58,13 @@ staticcheck:
 serve-smoke:
 	$(GO) run ./cmd/ncserve smoke -clients 4
 
+# Observability end-to-end gate: serve with the metrics endpoint on, fetch
+# over loopback with a registry-attached client, scrape /metrics over HTTP,
+# and validate the exposition with the in-repo parser — core series nonzero,
+# stage histograms populated, /metrics.json and /debug/pprof/ routed.
+metrics-smoke:
+	$(GO) run ./cmd/ncserve metrics-smoke
+
 # Regenerate every paper table and figure as aligned text tables.
 figures:
 	$(GO) run ./cmd/ncbench -fig all
@@ -93,7 +100,7 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke
 
 # Run every example program.
 examples:

@@ -6,16 +6,20 @@
 //
 // The server multiplexes every connection over one shared encoder with
 // bounded per-session queues (slow clients shed blocks instead of stalling
-// the encoder), per-record write deadlines, and an optional HTTP endpoint
-// exposing the live metrics snapshot as JSON.
+// the encoder), per-record write deadlines, and an optional HTTP
+// observability endpoint: Prometheus text on /metrics, a JSON snapshot
+// (including per-session detail) on /metrics.json, and the pprof profiles
+// under /debug/pprof/. -log-every additionally emits a structured progress
+// line to stderr at a fixed interval.
 //
 // Usage:
 //
 //	ncserve serve -listen 127.0.0.1:9099 -in media.bin -n 32 -k 4096 \
-//	    -queue 64 -deadline 5s -metrics 127.0.0.1:9100
+//	    -queue 64 -deadline 5s -metrics 127.0.0.1:9100 -log-every 10s
 //	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin -timeout 30s \
 //	    -attempts 10 -backoff 50ms -backoff-max 2s -resume fetch.state
 //	ncserve smoke -clients 4
+//	ncserve metrics-smoke
 //
 // The fetch client reconnects on resets and framing loss with capped
 // exponential backoff, carrying decoder rank across connections; -resume
@@ -26,7 +30,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,11 +37,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"extremenc/internal/netio"
+	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
 )
 
@@ -60,6 +65,8 @@ func run(args []string) error {
 		return runFetch(args[1:])
 	case "smoke":
 		return runSmoke(args[1:])
+	case "metrics-smoke":
+		return runMetricsSmoke(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -96,7 +103,8 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("ncserve serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:9099", "listen address")
 	inPath := fs.String("in", "", "media file to serve")
-	metricsAddr := fs.String("metrics", "", "HTTP address serving the metrics snapshot as JSON (empty = off)")
+	metricsAddr := fs.String("metrics", "", "HTTP address for /metrics, /metrics.json and /debug/pprof/ (empty = off)")
+	logEvery := fs.Duration("log-every", 0, "interval between structured progress lines on stderr (0 = off)")
 	var sf serveFlags
 	sf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -109,7 +117,12 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, sf.options()...)
+	// One registry carries every metric the process produces; installing it
+	// as the span sink turns on the stage-latency histograms.
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	opts := append(sf.options(), netio.WithMetricsRegistry(reg))
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, opts...)
 	if err != nil {
 		return err
 	}
@@ -128,8 +141,13 @@ func runServe(args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ml.Close()
-		go http.Serve(ml, metricsHandler(srv)) //nolint:errcheck — exits with the process
-		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go http.Serve(ml, obs.Handler(reg, func() map[string]any { //nolint:errcheck — exits with the process
+			return snapshotJSON(srv.Snapshot())
+		}))
+		fmt.Printf("metrics on http://%s/metrics (JSON on /metrics.json, profiles on /debug/pprof/)\n", ml.Addr())
+	}
+	if *logEvery > 0 {
+		go obs.LogEvery(ctx, os.Stderr, *logEvery, reg)
 	}
 
 	fmt.Printf("serving %d bytes as %d segments (n=%d, k=%d) on %s\n",
@@ -145,17 +163,8 @@ func runServe(args []string) error {
 	return err
 }
 
-// metricsHandler serves the server snapshot as indented JSON on every path.
-func metricsHandler(srv *netio.Server) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(snapshotJSON(srv.Snapshot())) //nolint:errcheck — best-effort metrics
-	})
-}
-
-// snapshotJSON flattens a netio.Snapshot for stable JSON field names.
+// snapshotJSON flattens a netio.Snapshot for stable JSON field names; it is
+// merged into the /metrics.json document alongside the registry metrics.
 func snapshotJSON(s netio.Snapshot) map[string]any {
 	per := make([]map[string]any, 0, len(s.PerSession))
 	for _, ss := range s.PerSession {
@@ -318,7 +327,8 @@ func runSmoke(args []string) error {
 	<-serveDone
 
 	snap := srv.Snapshot()
-	if snap.BlocksOffered != snap.BlocksSent+snap.BlocksShed {
+	// All sessions have ended, so the strict ledger equality must hold.
+	if !snap.Consistent() {
 		return fmt.Errorf("accounting mismatch: offered %d != sent %d + shed %d",
 			snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed)
 	}
@@ -327,5 +337,170 @@ func runSmoke(args []string) error {
 	}
 	fmt.Printf("smoke ok: %d clients, %d blocks sent, %d shed, %d bytes, stall %s\n",
 		*clients, snap.BlocksSent, snap.BlocksShed, snap.BytesSent, snap.EncodeStall)
+	return nil
+}
+
+// runMetricsSmoke is the observability end-to-end gate (`make
+// metrics-smoke`): it boots a server with the metrics endpoint enabled,
+// fetches the object back over loopback with a registry-attached resilient
+// client, then scrapes /metrics over real HTTP, parses the exposition with
+// the in-repo parser, and fails unless the core series are present and
+// nonzero — server blocks, fetcher records, live histograms — and
+// /metrics.json and /debug/pprof/ answer on their routes.
+func runMetricsSmoke(args []string) error {
+	fs := flag.NewFlagSet("ncserve metrics-smoke", flag.ContinueOnError)
+	size := fs.Int("size", 200_000, "media bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	defer obs.SetSink(nil)
+
+	media := make([]byte, *size)
+	rand.New(rand.NewSource(43)).Read(media)
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: 16, BlockSize: 1024},
+		netio.WithMetricsRegistry(reg))
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l) }()
+
+	ml, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ml.Close()
+	go http.Serve(ml, obs.Handler(reg, func() map[string]any { //nolint:errcheck — exits with the process
+		return snapshotJSON(srv.Snapshot())
+	}))
+
+	f := netio.NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	}, netio.WithMetrics(reg))
+	res, err := f.Fetch(ctx)
+	if err != nil {
+		return fmt.Errorf("loopback fetch: %w", err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		return fmt.Errorf("loopback fetch: payload differs")
+	}
+	srv.Shutdown()
+	l.Close()
+	<-serveDone
+
+	base := "http://" + ml.Addr().String()
+	samples, err := scrapeMetrics(ctx, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	for _, series := range []string{
+		"netio_blocks_encoded", "netio_blocks_sent", "netio_bytes_sent",
+		"netio_sessions_total", "fetch_attempts", "fetch_records", "fetch_bytes",
+	} {
+		if byKey[series] <= 0 {
+			return fmt.Errorf("scrape: series %s = %v, want > 0", series, byKey[series])
+		}
+	}
+	histograms := 0
+	for _, name := range reg.Names() {
+		if v, ok := reg.HistogramView(name); ok && v.Count > 0 && v.P50 > 0 {
+			histograms++
+		}
+	}
+	if histograms < 3 {
+		return fmt.Errorf("scrape: only %d populated stage histograms, want >= 3", histograms)
+	}
+	for path, wantType := range map[string]string{
+		"/metrics.json":             "application/json",
+		"/debug/pprof/":             "text/html",
+		"/debug/pprof/heap?debug=1": "text/plain",
+	} {
+		if err := checkRoute(ctx, base+path, wantType); err != nil {
+			return err
+		}
+	}
+	if err := checkRouteStatus(ctx, base+"/nope", http.StatusNotFound); err != nil {
+		return err
+	}
+	fmt.Printf("metrics-smoke ok: %d series scraped, %d populated histograms, blocks sent %.0f, fetch records %.0f\n",
+		len(samples), histograms, byKey["netio_blocks_sent"], byKey["fetch_records"])
+	return nil
+}
+
+// scrapeMetrics GETs a /metrics URL and parses the Prometheus text format
+// with the in-repo parser.
+func scrapeMetrics(ctx context.Context, url string) ([]obs.TextSample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("scrape %s: Content-Type %q, want text/plain", url, ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return samples, nil
+}
+
+// checkRoute GETs url and verifies a 200 with the expected Content-Type
+// prefix.
+func checkRoute(ctx context.Context, url, wantType string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wantType) {
+		return fmt.Errorf("GET %s: Content-Type %q, want %s", url, ct, wantType)
+	}
+	return nil
+}
+
+// checkRouteStatus GETs url and verifies the response status code.
+func checkRouteStatus(ctx context.Context, url string, want int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
 	return nil
 }

@@ -41,6 +41,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 
 	"extremenc/internal/core"
 	"extremenc/internal/cpusim"
@@ -49,6 +50,7 @@ import (
 	"extremenc/internal/gpu"
 	"extremenc/internal/ncfile"
 	"extremenc/internal/netio"
+	"extremenc/internal/obs"
 	"extremenc/internal/p2p"
 	"extremenc/internal/rlnc"
 	"extremenc/internal/stream"
@@ -521,6 +523,49 @@ func SimulatePlayback(cfg PlaybackConfig) (*PlaybackMetrics, error) {
 func MaxSmoothPeers(s StreamScenario, encodeMBps float64) int {
 	return stream.MaxSmoothPeers(s, encodeMBps)
 }
+
+// Observability (see internal/obs). One MetricsRegistry collects every
+// counter, gauge, and stage-latency histogram the library produces; the
+// session server attaches via WithMetricsRegistry, the resilient fetcher
+// via WithMetrics, the chaos link via FaultCounters.Register, and the
+// stream server via Server.RegisterMetrics. SetMetricsSink additionally
+// enables the stage-timing spans on the codec and transport hot paths —
+// without a sink they cost one atomic load and zero allocations.
+type (
+	// MetricsRegistry is a registry of named lock-free metrics with
+	// Prometheus-text (WriteText) and JSON (SnapshotJSON) exposition.
+	MetricsRegistry = obs.Registry
+	// MetricsSample is one parsed series from a Prometheus text scrape.
+	MetricsSample = obs.TextSample
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SetMetricsSink installs reg as the process-wide span sink, turning on the
+// stage-latency histograms (rlnc.encode_batch, rlnc.absorb, netio.*,
+// fetch.*). Passing nil disables spans again, returning the hot paths to
+// their free no-op form.
+func SetMetricsSink(reg *MetricsRegistry) { obs.SetSink(reg) }
+
+// MetricsHandler serves reg over HTTP: Prometheus text on /metrics, a JSON
+// snapshot on /metrics.json (merged with extra() when non-nil), and the
+// pprof profiles under /debug/pprof/; every other path is a 404.
+func MetricsHandler(reg *MetricsRegistry, extra func() map[string]any) http.Handler {
+	return obs.Handler(reg, extra)
+}
+
+// ParseMetricsText parses a Prometheus text exposition (as produced by
+// MetricsRegistry.WriteText or scraped from /metrics) with the in-repo
+// minimal parser.
+func ParseMetricsText(r io.Reader) ([]MetricsSample, error) { return obs.ParseText(r) }
+
+var (
+	// WithMetricsRegistry attaches a server's counters to a registry.
+	WithMetricsRegistry = netio.WithMetricsRegistry
+	// WithFetchMetrics attaches a fetcher's counters to a registry.
+	WithFetchMetrics = netio.WithMetrics
+)
 
 // Sentinel errors, re-exported from the codec and transport layers so
 // callers can branch with errors.Is against the facade alone.

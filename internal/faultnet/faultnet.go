@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"extremenc/internal/obs"
 )
 
 // ErrInjectedReset reports a scheduled mid-stream connection reset. The
@@ -59,17 +61,43 @@ type Config struct {
 	MaxWriteChunk int
 }
 
-// Counters accumulates per-fault totals across every conn attached to it.
-// All methods are safe for concurrent use.
+// Counters accumulates per-fault totals across every conn attached to it,
+// backed by obs metric values so a chaos link scrapes alongside the serving
+// stack (see Register). All methods are safe for concurrent use.
 type Counters struct {
-	corruptions   atomic.Int64
-	resets        atomic.Int64
-	stalls        atomic.Int64
-	shortReads    atomic.Int64
-	partialWrites atomic.Int64
-	bytesRead     atomic.Int64
-	bytesWritten  atomic.Int64
-	conns         atomic.Int64
+	corruptions   obs.Counter
+	resets        obs.Counter
+	stalls        obs.Counter
+	shortReads    obs.Counter
+	partialWrites obs.Counter
+	bytesRead     obs.Counter
+	bytesWritten  obs.Counter
+	conns         obs.Counter
+}
+
+// Register attaches every fault counter to reg under prefix (e.g.
+// "faultnet" yields "faultnet.corruptions"). The counters work identically
+// unregistered; registration only adds them to the exposition. It fails if
+// the names are already taken.
+func (c *Counters) Register(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"corruptions", "injected single-byte XOR corruptions", &c.corruptions},
+		{"resets", "injected mid-stream connection resets", &c.resets},
+		{"stalls", "injected read stalls", &c.stalls},
+		{"short_reads", "reads shortened by the chunk bound", &c.shortReads},
+		{"partial_writes", "writes split by the chunk bound", &c.partialWrites},
+		{"bytes_read", "bytes delivered through the chaos read path", &c.bytesRead},
+		{"bytes_written", "bytes accepted by the chaos write path", &c.bytesWritten},
+		{"conns", "connections wrapped by the chaos link", &c.conns},
+	} {
+		if err := reg.RegisterCounter(prefix+"."+m.name, m.help, m.c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CounterView is a point-in-time copy of a Counters.

@@ -5,10 +5,12 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"extremenc/internal/faultnet"
+	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
 )
 
@@ -17,6 +19,13 @@ import (
 // corrupts bytes, stalls reads, and hard-resets the connection over and
 // over must still complete byte-identical, with every reconnect carrying
 // the accumulated decoder rank forward.
+//
+// It is also the observability acceptance gate: server, fetcher, and chaos
+// link all register into one obs.Registry with stage spans enabled, and a
+// single text-format exposition taken during the run must carry the server
+// block counters, the fetcher reconnect/backoff ledger, the faultnet
+// injection counters, and at least three stage-latency histograms with
+// nonzero p50/p99.
 //
 // The fault rates are picked against the record size (96 wire bytes at
 // n=8, k=64): roughly one corrupted byte per ~15 records (~1% of wire
@@ -28,7 +37,11 @@ func TestChaosFetch(t *testing.T) {
 	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
 	media := testMedia(t, 4*p.SegmentSize()-13, 99)
 
-	srv, err := NewServer(media, p)
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	defer obs.SetSink(nil)
+
+	srv, err := NewServer(media, p, WithMetricsRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +65,15 @@ func TestChaosFetch(t *testing.T) {
 		var d net.Dialer
 		return d.DialContext(ctx, "tcp", l.Addr().String())
 	})
+	if err := ctr.Register(reg, "faultnet"); err != nil {
+		t.Fatal(err)
+	}
 
 	prev := map[uint32]int{}
 	f := NewFetcher(dial,
 		WithBackoff(time.Millisecond, 10*time.Millisecond),
 		WithBackoffSeed(7),
+		WithMetrics(reg),
 		WithReconnectHook(func(reconnect int, ranks map[uint32]int) {
 			for id, r := range ranks {
 				if r < prev[id] {
@@ -70,7 +87,7 @@ func TestChaosFetch(t *testing.T) {
 	defer cancel()
 	res, err := f.Fetch(ctx)
 	if err != nil {
-		t.Fatalf("chaos fetch failed: %v (stats %+v, faults %+v)", err, f.stats, ctr.View())
+		t.Fatalf("chaos fetch failed: %v (stats %+v, faults %+v)", err, res.Stats, ctr.View())
 	}
 
 	if !bytes.Equal(res.Payload, media) {
@@ -106,4 +123,68 @@ func TestChaosFetch(t *testing.T) {
 	if res.Stats.BytesDiscarded == 0 {
 		t.Fatal("chaos fetch discarded no bytes")
 	}
+
+	assertChaosExposition(t, reg, res.Stats)
+}
+
+// assertChaosExposition scrapes reg once and checks the unified exposition:
+// every surface in one vocabulary, with real latency distributions.
+func assertChaosExposition(t *testing.T, reg *obs.Registry, stats *FetchStats) {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatalf("exposition failed: %v", err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	// One scrape must carry all four surfaces, nonzero.
+	for _, series := range []string{
+		// Server block counters.
+		"netio_blocks_encoded", "netio_blocks_offered", "netio_blocks_sent",
+		"netio_bytes_sent", "netio_sessions_total",
+		// Fetcher reconnect/backoff ledger.
+		"fetch_attempts", "fetch_reconnects", "fetch_records", "fetch_resumed_rank",
+		// Chaos-link injection counters.
+		"faultnet_corruptions", "faultnet_resets", "faultnet_conns",
+	} {
+		if byKey[series] <= 0 {
+			t.Errorf("exposition series %s = %v, want > 0", series, byKey[series])
+		}
+	}
+	// The fetcher counters in the registry are the same storage the typed
+	// stats view reads — not a parallel ledger.
+	if got := int(byKey["fetch_reconnects"]); got != stats.Reconnects {
+		t.Errorf("registry fetch_reconnects = %d, FetchStats.Reconnects = %d", got, stats.Reconnects)
+	}
+	// At least three stage histograms saw traffic, with usable tails.
+	withTails := []string{}
+	for _, name := range reg.Names() {
+		v, ok := reg.HistogramView(name)
+		if !ok || v.Count == 0 {
+			continue
+		}
+		if v.P50 > 0 && v.P99 > 0 {
+			withTails = append(withTails, name)
+		}
+		// Every populated histogram must also appear in the text exposition.
+		if byKey[obsCountKey(name)] != float64(v.Count) {
+			t.Errorf("histogram %s: text count %v != view count %d",
+				name, byKey[obsCountKey(name)], v.Count)
+		}
+	}
+	if len(withTails) < 3 {
+		t.Errorf("only %d stage histograms with nonzero p50/p99 (%v), want >= 3",
+			len(withTails), withTails)
+	}
+}
+
+// obsCountKey maps a dotted histogram name to its text-format _count series.
+func obsCountKey(name string) string {
+	return strings.ReplaceAll(name, ".", "_") + "_count"
 }

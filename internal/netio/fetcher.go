@@ -11,7 +11,18 @@ import (
 	"net"
 	"time"
 
+	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
+)
+
+// Fetch-stage spans. Free when no obs sink is installed; with one: dial
+// latency per connection attempt, backoff sleep per retry, dial-to-handshake
+// latency per successful reconnect, and decode latency per absorbed record.
+var (
+	stageFetchDial    = obs.StageOf("fetch.dial")
+	stageFetchBackoff = obs.StageOf("fetch.backoff")
+	stageFetchReconn  = obs.StageOf("fetch.reconnect")
+	stageFetchDecode  = obs.StageOf("fetch.record_decode")
 )
 
 // Resilient-client errors.
@@ -43,6 +54,7 @@ type fetcherConfig struct {
 	rng         *rand.Rand
 	hook        func(reconnect int, ranks map[uint32]int)
 	state       []byte
+	metrics     *obs.Registry
 }
 
 // WithMaxAttempts caps the total number of connection attempts (dials),
@@ -93,6 +105,15 @@ func WithResumeState(state []byte) FetcherOption {
 	return func(c *fetcherConfig) { c.state = state }
 }
 
+// WithMetrics registers the fetcher's stat counters into reg under the
+// "fetch" prefix, so the download ledger scrapes alongside the server and
+// chaos-link counters. The counters are owned by this fetcher — FetchStats
+// stays a per-fetch view — so each registry admits one fetcher; a second
+// fetcher's registration is dropped (its typed stats still work).
+func WithMetrics(reg *obs.Registry) FetcherOption {
+	return func(c *fetcherConfig) { c.metrics = reg }
+}
+
 // FetchResult is everything a fetch produced, returned even when the fetch
 // failed: RLNC progress is rank, and rank is never worth discarding.
 type FetchResult struct {
@@ -125,7 +146,71 @@ type Fetcher struct {
 	established bool
 	decoders    map[uint32]*rlnc.Decoder
 	ready       int
-	stats       FetchStats
+	stats       fetcherMetrics
+
+	// reconnSpan times dial-through-handshake on reconnect attempts. Started
+	// in Fetch before redialing, ended in session once the handshake lands; a
+	// failed attempt's span is simply dropped when the next one starts.
+	reconnSpan obs.Span
+}
+
+// fetcherMetrics is the fetch ledger as registry-attachable counters: the
+// Fetcher increments these, and FetchStats is a point-in-time view over
+// them (the fetch loop is single-goroutine, but scrapes are concurrent).
+type fetcherMetrics struct {
+	attempts       obs.Counter
+	reconnects     obs.Counter
+	records        obs.Counter
+	dependent      obs.Counter
+	corrupt        obs.Counter
+	malformed      obs.Counter
+	badSegment     obs.Counter
+	framingResyncs obs.Counter
+	resumedRank    obs.Counter
+	bytes          obs.Counter
+	bytesDiscarded obs.Counter
+}
+
+// view snapshots the ledger as the public FetchStats shape.
+func (m *fetcherMetrics) view() *FetchStats {
+	return &FetchStats{
+		Attempts:       int(m.attempts.Load()),
+		Reconnects:     int(m.reconnects.Load()),
+		Records:        int(m.records.Load()),
+		Dependent:      int(m.dependent.Load()),
+		Corrupt:        int(m.corrupt.Load()),
+		Malformed:      int(m.malformed.Load()),
+		BadSegment:     int(m.badSegment.Load()),
+		FramingResyncs: int(m.framingResyncs.Load()),
+		ResumedRank:    int(m.resumedRank.Load()),
+		Bytes:          m.bytes.Load(),
+		BytesDiscarded: m.bytesDiscarded.Load(),
+	}
+}
+
+// register attaches the ledger to reg under prefix.
+func (m *fetcherMetrics) register(reg *obs.Registry, prefix string) error {
+	for _, e := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"attempts", "connection attempts, including the first", &m.attempts},
+		{"reconnects", "successful handshakes after the first", &m.reconnects},
+		{"records", "complete records received", &m.records},
+		{"dependent", "linearly dependent blocks (innovation overhead)", &m.dependent},
+		{"corrupt", "records rejected for bit damage", &m.corrupt},
+		{"malformed", "checksummed records with the wrong session shape", &m.malformed},
+		{"bad_segment", "checksummed records with an out-of-range segment ID", &m.badSegment},
+		{"framing_resyncs", "corrupted length prefixes forcing a reconnect", &m.framingResyncs},
+		{"resumed_rank", "total decoder rank carried across reconnects", &m.resumedRank},
+		{"bytes", "wire bytes consumed in complete records", &m.bytes},
+		{"bytes_discarded", "bytes thrown away: rejects, bad prefixes, partials", &m.bytesDiscarded},
+	} {
+		if err := reg.RegisterCounter(prefix+"."+e.name, e.help, e.c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewFetcher returns a Fetcher that downloads through dial.
@@ -141,7 +226,13 @@ func NewFetcher(dial DialFunc, opts ...FetcherOption) *Fetcher {
 	if cfg.rng == nil {
 		cfg.rng = rand.New(rand.NewSource(rand.Int63()))
 	}
-	return &Fetcher{dial: dial, cfg: cfg}
+	f := &Fetcher{dial: dial, cfg: cfg}
+	if cfg.metrics != nil {
+		// Best-effort: a name collision (second fetcher on one registry)
+		// drops the registration but never the ledger itself.
+		f.stats.register(cfg.metrics, "fetch") //nolint:errcheck
+	}
+	return f
 }
 
 // Fetch runs the download until every segment reaches full rank, the
@@ -169,8 +260,13 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 				return f.result(), cancelErr(ctx)
 			}
 		}
-		f.stats.Attempts++
+		f.stats.attempts.Inc()
+		if f.established {
+			f.reconnSpan = stageFetchReconn.Start()
+		}
+		dsp := stageFetchDial.Start()
 		conn, err := f.dial(ctx)
+		dsp.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return f.result(), cancelErr(ctx)
@@ -250,7 +346,7 @@ func (f *Fetcher) result() *FetchResult {
 	res := &FetchResult{
 		Segments: make(map[uint32]*rlnc.Segment),
 		Ranks:    f.Ranks(),
-		Stats:    &f.stats,
+		Stats:    f.stats.view(),
 	}
 	for id, dec := range f.decoders {
 		if !dec.Ready() {
@@ -297,10 +393,12 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 			ErrHeaderMismatch, f.hdr.params, f.hdr.segments, f.hdr.length, h.params, h.segments, h.length)
 	}
 	if f.established {
-		f.stats.Reconnects++
-		f.stats.ResumedRank += f.totalRank()
+		f.stats.reconnects.Inc()
+		f.stats.resumedRank.Add(int64(f.totalRank()))
+		f.reconnSpan.End()
+		f.reconnSpan = obs.Span{}
 		if f.cfg.hook != nil {
-			f.cfg.hook(f.stats.Reconnects, f.Ranks())
+			f.cfg.hook(int(f.stats.reconnects.Load()), f.Ranks())
 		}
 	}
 	f.established = true
@@ -317,18 +415,21 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 			return f.streamErr(ctx, fmt.Errorf("%w: %v", ErrStreamTruncated, err))
 		}
 		if n := binary.BigEndian.Uint32(lenBuf[:]); n != expect {
-			f.stats.FramingResyncs++
-			f.stats.BytesDiscarded += 4
+			f.stats.framingResyncs.Inc()
+			f.stats.bytesDiscarded.Add(4)
 			return f.streamErr(ctx, fmt.Errorf("%w: %d, want %d: resynchronizing", ErrRecordLength, n, expect))
 		}
 		rec := make([]byte, expect)
 		if m, err := io.ReadFull(conn, rec); err != nil {
-			f.stats.BytesDiscarded += int64(m) + 4
+			f.stats.bytesDiscarded.Add(int64(m) + 4)
 			return f.streamErr(ctx, fmt.Errorf("%w: truncated record: %v", ErrStreamTruncated, err))
 		}
-		f.stats.Records++
-		f.stats.Bytes += int64(expect) + 4
-		if err := f.absorb(rec); err != nil {
+		f.stats.records.Inc()
+		f.stats.bytes.Add(int64(expect) + 4)
+		asp := stageFetchDecode.Start()
+		err := f.absorb(rec)
+		asp.End()
+		if err != nil {
 			return false, true, err
 		}
 	}
@@ -359,24 +460,24 @@ func (f *Fetcher) streamErr(ctx context.Context, err error) (bool, bool, error) 
 // segment ID — rejected before it can allocate a stray decoder). Only an
 // internal decoder failure is an error.
 func (f *Fetcher) absorb(rec []byte) error {
-	discard := func() { f.stats.BytesDiscarded += int64(len(rec)) + 4 }
+	discard := func() { f.stats.bytesDiscarded.Add(int64(len(rec)) + 4) }
 	var blk rlnc.CodedBlock
 	if err := blk.UnmarshalBinary(rec); err != nil {
 		if errors.Is(err, rlnc.ErrBadChecksum) || errors.Is(err, rlnc.ErrBadMagic) {
-			f.stats.Corrupt++
+			f.stats.corrupt.Inc()
 		} else {
-			f.stats.Malformed++
+			f.stats.malformed.Inc()
 		}
 		discard()
 		return nil
 	}
 	if blk.Validate(f.hdr.params) != nil {
-		f.stats.Malformed++
+		f.stats.malformed.Inc()
 		discard()
 		return nil
 	}
 	if blk.SegmentID >= uint32(f.hdr.segments) {
-		f.stats.BadSegment++
+		f.stats.badSegment.Inc()
 		discard()
 		return nil
 	}
@@ -397,7 +498,7 @@ func (f *Fetcher) absorb(rec []byte) error {
 		return err
 	}
 	if !innovative {
-		f.stats.Dependent++
+		f.stats.dependent.Inc()
 	} else if dec.Ready() {
 		f.ready++
 	}
@@ -411,6 +512,7 @@ func (f *Fetcher) sleepBackoff(ctx context.Context, retry int) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
+	defer stageFetchBackoff.Start().End()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -1,24 +1,52 @@
 package netio
 
 import (
-	"sync/atomic"
 	"time"
+
+	"extremenc/internal/obs"
 )
 
-// Counters is a lock-free set of serving counters. The session server
-// (server.go) increments one per Server, and stream.Server routes its modeled
-// serving totals through the same type, so every serving surface in the
-// repository reports traffic in one vocabulary. All methods are safe for
-// concurrent use; reads through View are monotonic but not mutually atomic
-// (a snapshot taken mid-increment can be off by the blocks in flight).
+// Counters is a lock-free set of serving counters backed by obs metric
+// values. The session server (server.go) increments one per Server, and
+// stream.Server routes its modeled serving totals through the same type, so
+// every serving surface in the repository reports traffic in one vocabulary.
+// Register attaches the counters to an obs.Registry for scraping; the typed
+// View stays a thin read over the same storage either way. All methods are
+// safe for concurrent use; reads through View are monotonic but not mutually
+// atomic (a snapshot taken mid-increment can be off by the blocks in
+// flight).
 type Counters struct {
-	blocksEncoded atomic.Int64
-	blocksOffered atomic.Int64
-	blocksSent    atomic.Int64
-	blocksShed    atomic.Int64
-	bytesSent     atomic.Int64
-	encodeStallNs atomic.Int64
-	maxStallNs    atomic.Int64
+	blocksEncoded obs.Counter
+	blocksOffered obs.Counter
+	blocksSent    obs.Counter
+	blocksShed    obs.Counter
+	bytesSent     obs.Counter
+	encodeStallNs obs.Counter
+	maxStallNs    obs.Gauge
+}
+
+// Register attaches every counter to reg under prefix (e.g. "netio" yields
+// "netio.blocks_sent"). The counters work identically unregistered;
+// registration only adds them to the exposition. It fails if the names are
+// already taken — each Counters instance needs its own registry or prefix.
+func (c *Counters) Register(reg *obs.Registry, prefix string) error {
+	for _, m := range []struct {
+		name, help string
+		c          *obs.Counter
+	}{
+		{"blocks_encoded", "coded blocks produced by the encoder", &c.blocksEncoded},
+		{"blocks_offered", "blocks offered to delivery queues", &c.blocksOffered},
+		{"blocks_sent", "blocks fully written to peers", &c.blocksSent},
+		{"blocks_shed", "blocks dropped by backpressure, failed writes, or teardown", &c.blocksShed},
+		{"bytes_sent", "wire bytes fully written to peers", &c.bytesSent},
+		{"encode_stall_ns", "total nanoseconds the encoder pump spent blocked", &c.encodeStallNs},
+	} {
+		if err := reg.RegisterCounter(prefix+"."+m.name, m.help, m.c); err != nil {
+			return err
+		}
+	}
+	return reg.RegisterGauge(prefix+".encode_stall_max_ns",
+		"longest single encoder-pump stall in nanoseconds", &c.maxStallNs)
 }
 
 // AddEncoded records n freshly encoded coded blocks.
@@ -44,12 +72,7 @@ func (c *Counters) AddShed(n int64) { c.blocksShed.Add(n) }
 func (c *Counters) AddEncodeStall(d time.Duration) {
 	ns := d.Nanoseconds()
 	c.encodeStallNs.Add(ns)
-	for {
-		cur := c.maxStallNs.Load()
-		if ns <= cur || c.maxStallNs.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+	c.maxStallNs.SetMax(ns)
 }
 
 // CounterView is a point-in-time copy of a Counters.
@@ -76,6 +99,21 @@ func (c *Counters) View() CounterView {
 	}
 }
 
+// Consistent reports whether the offered-block ledger balances:
+// Offered == Sent + Shed.
+//
+// This invariant is only guaranteed once every session has ended (after
+// Server.Shutdown, or once Serve returns and the sessions drain): each
+// offered block is then either fully written or explicitly shed. A view
+// taken while sessions are live may see offered blocks still sitting in
+// queues — neither sent nor shed yet — so Consistent can legitimately be
+// false mid-flight; live snapshots should assert the weaker
+// Offered >= Sent + Shed instead. The serving tests use this helper rather
+// than re-deriving the equality.
+func (v CounterView) Consistent() bool {
+	return v.BlocksOffered == v.BlocksSent+v.BlocksShed
+}
+
 // SessionSnapshot describes one live session.
 type SessionSnapshot struct {
 	ID       int64
@@ -91,10 +129,11 @@ type SessionSnapshot struct {
 
 // Snapshot is the server-wide observability surface: aggregate counters plus
 // one entry per live session. Counters for finished sessions remain in the
-// aggregates. Once every session has ended, Offered == Sent + Shed holds
+// aggregates. Once every session has ended, CounterView.Consistent holds
 // exactly — each offered block was either fully written or explicitly shed
 // (full queue, failed write, or teardown residue) — which the serving tests
-// assert block-for-block.
+// assert block-for-block; while sessions are live, queued blocks make the
+// ledger lag and only Offered >= Sent + Shed is guaranteed.
 type Snapshot struct {
 	Sessions         int
 	SessionsTotal    int64

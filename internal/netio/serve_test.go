@@ -69,7 +69,7 @@ func checkAccounting(t *testing.T, snap Snapshot) {
 	if snap.Sessions != 0 {
 		t.Fatalf("still %d live sessions", snap.Sessions)
 	}
-	if snap.BlocksOffered != snap.BlocksSent+snap.BlocksShed {
+	if !snap.Consistent() {
 		t.Fatalf("accounting: offered %d != sent %d + shed %d",
 			snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed)
 	}

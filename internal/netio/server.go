@@ -11,7 +11,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
+)
+
+// Serving-stage spans. Free when no obs sink is installed; with one, each
+// records a latency sample per operation (not per byte): one handshake span
+// per session, one queue-offer span per fanned-out record, one record-send
+// span per wire write.
+var (
+	stageHandshake  = obs.StageOf("netio.handshake")
+	stageQueueOffer = obs.StageOf("netio.queue_offer")
+	stageRecordSend = obs.StageOf("netio.record_send")
 )
 
 // Serving errors.
@@ -34,6 +45,7 @@ type serverConfig struct {
 	maxSessions   int
 	workers       int
 	seed          int64
+	metrics       *obs.Registry
 }
 
 // WithQueueDepth bounds each session's send queue to n coded-block records.
@@ -86,6 +98,14 @@ func WithServerSeed(seed int64) ServerOption {
 	return func(c *serverConfig) { c.seed = seed }
 }
 
+// WithMetricsRegistry registers the server's counters and session gauges
+// into reg under the "netio" prefix, so the server scrapes alongside every
+// other obs surface. Each registry admits one server: NewServer fails on a
+// second registration with the same names.
+func WithMetricsRegistry(reg *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.metrics = reg }
+}
+
 // Server pushes coded blocks for one object to every connection.
 //
 // Two serving paths share the Server:
@@ -110,8 +130,8 @@ type Server struct {
 	penc   *rlnc.ParallelEncoder
 
 	counters         Counters
-	sessionsTotal    atomic.Int64
-	sessionsRejected atomic.Int64
+	sessionsTotal    obs.Counter
+	sessionsRejected obs.Counter
 	sessionSecs      atomic.Int64 // summed finished-session durations, in ns
 
 	mu       sync.Mutex
@@ -160,7 +180,7 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		object:   obj,
 		cfg:      cfg,
 		penc:     penc,
@@ -170,7 +190,43 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 		consumed: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
-	}, nil
+	}
+	if cfg.metrics != nil {
+		if err := s.registerMetrics(cfg.metrics); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// registerMetrics attaches the server's observability surface to reg: the
+// shared traffic counters plus the session ledger, all under the "netio"
+// prefix.
+func (s *Server) registerMetrics(reg *obs.Registry) error {
+	if err := s.counters.Register(reg, "netio"); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("netio.sessions_total",
+		"sessions accepted since start", &s.sessionsTotal); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("netio.sessions_rejected",
+		"connections refused by the session cap", &s.sessionsRejected); err != nil {
+		return err
+	}
+	if err := reg.RegisterFunc("netio.sessions_live",
+		"sessions currently connected", func() float64 {
+			s.mu.Lock()
+			n := len(s.sessions)
+			s.mu.Unlock()
+			return float64(n)
+		}); err != nil {
+		return err
+	}
+	return reg.RegisterFunc("netio.session_seconds",
+		"summed wall-clock duration of finished sessions", func() float64 {
+			return time.Duration(s.sessionSecs.Load()).Seconds()
+		})
 }
 
 // Segments returns the number of media segments served.
@@ -329,7 +385,10 @@ func (s *Server) runSession(ss *session) {
 	if s.cfg.writeDeadline > 0 {
 		ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline))
 	}
-	if err := writeSessionHeader(ss.conn, h); err == nil {
+	hsp := stageHandshake.Start()
+	err := writeSessionHeader(ss.conn, h)
+	hsp.End()
+	if err == nil {
 		s.mu.Lock()
 		joined := !s.closed
 		if joined {
@@ -354,7 +413,10 @@ func (s *Server) writeLoop(ss *session) {
 		select {
 		case rec := <-ss.q:
 			s.signalConsumed()
-			if err := s.writeRecord(ss, rec); err != nil {
+			wsp := stageRecordSend.Start()
+			err := s.writeRecord(ss, rec)
+			wsp.End()
+			if err != nil {
 				ss.shed.Add(1)
 				s.counters.AddShed(1)
 				return
@@ -464,11 +526,13 @@ func (s *Server) pump() {
 			if err != nil {
 				continue
 			}
+			osp := stageQueueOffer.Start()
 			for _, ss := range live {
 				if ss.offer(rec, &s.counters) {
 					delivered = true
 				}
 			}
+			osp.End()
 		}
 		if !delivered {
 			// Backpressure: every queue is full. Park until a writer drains

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log-scale (powers of two) duration buckets.
+// Bucket i (i < histBuckets) holds observations v with
+//
+//	upperBound(i-1) < v ≤ upperBound(i),   upperBound(i) = 2^(histMinPow+i) ns
+//
+// and bucket 0 additionally absorbs everything ≤ 2^histMinPow ns. The last
+// bucket (index histBuckets) is the +Inf overflow. The span covers 256 ns to
+// ~2.3 minutes before overflowing — sub-microsecond kernel dispatches through
+// multi-second reconnect backoffs — with a worst-case quantile error of one
+// octave (the reported quantile is the bucket's upper bound, at most 2× the
+// true sample quantile and never below it).
+const (
+	histMinPow  = 8  // first upper bound: 2^8 ns = 256 ns
+	histBuckets = 29 // finite buckets: 2^8 .. 2^36 ns (~68.7 s)
+)
+
+// bucketIndex returns the bucket for a duration of ns nanoseconds.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinPow {
+		return 0
+	}
+	// Smallest i with ns <= 2^(histMinPow+i): for 2^(m-1) < ns <= 2^m the
+	// high bit of ns-1 is at position m-1, so Len64(ns-1) == m.
+	i := bits.Len64(uint64(ns-1)) - histMinPow
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// bucketBound returns upperBound(i) in nanoseconds; the overflow bucket has
+// no finite bound and reports -1.
+func bucketBound(i int) int64 {
+	if i >= histBuckets {
+		return -1
+	}
+	return 1 << (histMinPow + i)
+}
+
+// Histogram is a lock-free fixed-bucket log-scale latency histogram. The
+// zero value is ready to use. Observe is a handful of atomic adds plus one
+// CAS loop for the max; concurrent Observe/View are safe, and a View taken
+// mid-observation can be off by the observations in flight (counts, sum, and
+// max are each monotonic but not mutually atomic).
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Merge adds every observation of o into h. The result is equivalent (bucket
+// by bucket, and in count/sum/max) to h having observed both streams.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sumNs.Add(o.sumNs.Load())
+	om := o.maxNs.Load()
+	for {
+		cur := h.maxNs.Load()
+		if om <= cur || h.maxNs.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// HistogramView is a point-in-time copy of a Histogram with its headline
+// quantiles extracted.
+type HistogramView struct {
+	Count int64
+	Sum   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	// Buckets[i] is the observation count of bucket i (not cumulative);
+	// BucketBounds[i] is its upper bound, with the final entry the +Inf
+	// overflow reported as -1.
+	Buckets      [histBuckets + 1]int64
+	BucketBounds [histBuckets + 1]time.Duration
+}
+
+// View copies the histogram and extracts p50/p95/p99/max.
+func (h *Histogram) View() HistogramView {
+	var v HistogramView
+	for i := range h.counts {
+		v.Buckets[i] = h.counts[i].Load()
+		v.BucketBounds[i] = time.Duration(bucketBound(i))
+	}
+	v.Count = h.count.Load()
+	v.Sum = time.Duration(h.sumNs.Load())
+	v.Max = time.Duration(h.maxNs.Load())
+	v.P50 = v.quantile(0.50)
+	v.P95 = v.quantile(0.95)
+	v.P99 = v.quantile(0.99)
+	return v
+}
+
+// Quantile returns the q-quantile (q ∈ [0, 1]) of the view's observations:
+// the upper bound of the bucket holding the ⌈q·count⌉-th smallest
+// observation, which is ≥ the true sample quantile and < 2× it. The overflow
+// bucket reports the observed max. Zero observations report zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	v := h.View()
+	return v.quantile(q)
+}
+
+func (v *HistogramView) quantile(q float64) time.Duration {
+	// Quantiles come from the bucket totals, not v.Count: a concurrent View
+	// can catch count ahead of the bucket adds, and the rank must stay
+	// consistent with the buckets actually copied.
+	var total int64
+	for _, n := range v.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, n := range v.Buckets {
+		cum += n
+		if cum >= rank {
+			if i >= histBuckets {
+				return v.Max
+			}
+			return time.Duration(bucketBound(i))
+		}
+	}
+	return v.Max
+}

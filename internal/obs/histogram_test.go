@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the exact bucket edges: every power-of-two
+// boundary value lands in the lower bucket, one nanosecond more in the next.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {255, 0}, {256, 0}, // ≤ 2^8 → bucket 0
+		{257, 1}, {511, 1}, {512, 1}, // (2^8, 2^9] → bucket 1
+		{513, 2}, {1024, 2},
+		{1 << 20, 12}, {1<<20 + 1, 13},
+		{1 << (histMinPow + histBuckets - 1), histBuckets - 1}, // last finite bound
+		{1<<(histMinPow+histBuckets-1) + 1, histBuckets},       // first overflow value
+		{time.Hour.Nanoseconds(), histBuckets},                 // deep overflow
+		{1 << 62, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every finite bucket's recorded bound must be exactly its upper edge.
+	for i := 0; i < histBuckets; i++ {
+		b := bucketBound(i)
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bound %d of bucket %d maps to bucket %d", b, i, got)
+		}
+		if got := bucketIndex(b + 1); got != i+1 {
+			t.Errorf("bound+1 %d maps to bucket %d, want %d", b+1, got, i+1)
+		}
+	}
+	if bucketBound(histBuckets) != -1 {
+		t.Errorf("overflow bucket bound = %d, want -1", bucketBound(histBuckets))
+	}
+}
+
+// TestHistogramQuantilesAgainstSort drives random samples through the
+// histogram and checks every extracted quantile against a reference sort:
+// the histogram answer must be ≥ the true sample quantile and < 2× it (one
+// log-scale bucket of error), with the max exact.
+func TestHistogramQuantilesAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4000)
+		samples := make([]int64, n)
+		var h Histogram
+		for i := range samples {
+			// Log-uniform over ~7 decades, the histogram's working range.
+			ns := int64(1) << rng.Intn(40)
+			ns += rng.Int63n(ns)
+			samples[i] = ns
+			h.Observe(time.Duration(ns))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		v := h.View()
+		if v.Count != int64(n) {
+			t.Fatalf("trial %d: count = %d, want %d", trial, v.Count, n)
+		}
+		if v.Max != time.Duration(samples[n-1]) {
+			t.Fatalf("trial %d: max = %v, want %v", trial, v.Max, time.Duration(samples[n-1]))
+		}
+		for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0} {
+			rank := int(float64(n) * q)
+			if float64(rank) < q*float64(n) {
+				rank++
+			}
+			if rank < 1 {
+				rank = 1
+			}
+			truth := samples[rank-1]
+			got := h.Quantile(q).Nanoseconds()
+			if got < truth {
+				t.Fatalf("trial %d q=%v: histogram %d below true quantile %d", trial, q, got, truth)
+			}
+			// Overflow-bucket answers are the exact max; bucket 0 collapses
+			// everything ≤ its bound; other finite buckets are within one
+			// octave.
+			if got >= 2*truth && got != v.Max.Nanoseconds() && got != bucketBound(0) {
+				t.Fatalf("trial %d q=%v: histogram %d ≥ 2× true quantile %d", trial, q, got, truth)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEdges pins degenerate quantile inputs.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	h.Observe(300 * time.Nanosecond) // bucket 1: (256, 512]
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 512*time.Nanosecond {
+			t.Fatalf("single-sample quantile(%v) = %v, want 512ns", q, got)
+		}
+	}
+}
+
+// TestHistogramMerge checks Merge against observing the union directly.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, union Histogram
+	for i := 0; i < 500; i++ {
+		d := time.Duration(rng.Int63n(int64(3 * time.Second)))
+		if i%3 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		union.Observe(d)
+	}
+	a.Merge(&b)
+	got, want := a.View(), union.View()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Fatalf("merge headline mismatch: got count=%d sum=%v max=%v, want count=%d sum=%v max=%v",
+			got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+	}
+	if got.Buckets != want.Buckets {
+		t.Fatalf("merged buckets differ from union:\n got %v\nwant %v", got.Buckets, want.Buckets)
+	}
+	if got.P50 != want.P50 || got.P99 != want.P99 {
+		t.Fatalf("merged quantiles differ: got p50=%v p99=%v, want p50=%v p99=%v",
+			got.P50, got.P99, want.P50, want.P99)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines;
+// under -race this is the data-race gate, and the totals must balance
+// exactly afterwards.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Concurrent readers must never see torn state that breaks the
+		// bucket/total invariant by more than the writes in flight.
+		for i := 0; i < 200; i++ {
+			_ = h.View()
+			_ = h.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	v := h.View()
+	if v.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", v.Count, goroutines*perG)
+	}
+	var sum int64
+	for _, n := range v.Buckets {
+		sum += n
+	}
+	if sum != v.Count {
+		t.Fatalf("bucket total %d != count %d after quiesce", sum, v.Count)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler wires the observability endpoints onto one mux:
+//
+//	/metrics        Prometheus text format (the scrape target)
+//	/metrics.json   JSON snapshot (Content-Type: application/json)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// and a 404 everywhere else. extra, if non-nil, is merged into the JSON
+// snapshot under its own keys at request time (the server snapshot rides
+// along here), sampled per request.
+func Handler(reg *Registry, extra func() map[string]any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w) //nolint:errcheck — best-effort scrape
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := reg.SnapshotJSON()
+		if extra != nil {
+			for k, v := range extra() {
+				body[k] = v
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body) //nolint:errcheck — best-effort metrics
+	})
+	// net/http/pprof registers on DefaultServeMux at import; wiring the
+	// handlers explicitly keeps this mux self-contained (and the index page
+	// routes the named profiles itself).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	return mux
+}
+
+// LogEvery writes one structured progress line (a single-line JSON object of
+// every counter, gauge, and histogram headline in reg, plus a timestamp) to
+// w every interval, until ctx ends. It blocks; run it in a goroutine. A
+// non-positive interval returns immediately.
+func LogEvery(ctx context.Context, w io.Writer, interval time.Duration, reg *Registry) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			writeLogLine(w, now, reg)
+		}
+	}
+}
+
+// writeLogLine emits one compact progress record.
+func writeLogLine(w io.Writer, now time.Time, reg *Registry) {
+	line := map[string]any{"ts": now.UTC().Format(time.RFC3339Nano)}
+	for _, e := range reg.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			line[e.name] = e.counter.Load()
+		case kindGauge:
+			line[e.name] = e.gauge.Load()
+		case kindFunc:
+			line[e.name] = e.fn()
+		case kindHistogram:
+			v := e.hist.View()
+			line[e.name] = map[string]any{
+				"count": v.Count,
+				"p50_s": v.P50.Seconds(),
+				"p99_s": v.P99.Seconds(),
+				"max_s": v.Max.Seconds(),
+			}
+		}
+	}
+	enc := json.NewEncoder(w) // Encode appends the newline
+	enc.Encode(line)          //nolint:errcheck — best-effort logging
+}

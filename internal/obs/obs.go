@@ -1,0 +1,146 @@
+// Package obs is the repository's unified observability core: a
+// dependency-free, lock-free metrics layer shared by every serving surface.
+// It has three pieces:
+//
+//   - A Registry of named metrics — atomic Counters, Gauges, and fixed-bucket
+//     log-scale latency Histograms with p50/p95/p99/max extraction — that the
+//     session server, the resilient fetcher, the chaos link, and the modeled
+//     stream server all register into, so one scrape shows the whole system
+//     in one vocabulary.
+//
+//   - A stage-timing span API (Start / StageOf) whose disabled path is free:
+//     when no sink registry is installed, starting a span reads one atomic
+//     pointer, touches no clock, and allocates nothing, so the hot codec
+//     paths stay instrumented permanently. The paper's methodology is
+//     per-stage measurement (every kernel rung in Table-based-0…5 is a
+//     number); spans make the production pipeline report the same
+//     distributions continuously instead of only under a benchmark.
+//
+//   - An exposition layer: Prometheus text format (WriteText), a JSON
+//     snapshot (SnapshotJSON), an http.Handler wiring /metrics,
+//     /metrics.json and /debug/pprof/*, and a periodic structured progress
+//     logger (LogEvery).
+//
+// Metric values are standalone and zero-value usable; registration attaches
+// a name for exposition but never changes how increments behave. That keeps
+// existing typed views (netio.CounterView, faultnet.CounterView, FetchStats)
+// as thin reads over the same storage the registry exposes.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sink is the process-global registry that stage spans record into. Nil (the
+// default) disables every span: Start returns an inert Span without reading
+// the clock.
+var sink atomic.Pointer[Registry]
+
+// stages is the process-global stage table, name → *Stage. Stages exist
+// independently of any sink so hot paths can hold a *Stage in a package-level
+// var; installing a sink resolves each stage to a histogram in it.
+var stages sync.Map
+
+// SetSink installs reg as the process-global span sink, resolving every
+// known stage to a histogram in reg (created on demand). A nil reg disables
+// spans again. Safe for concurrent use with running spans: spans already
+// started keep recording into the histogram they resolved at start.
+func SetSink(reg *Registry) {
+	sink.Store(reg)
+	stages.Range(func(_, v any) bool {
+		v.(*Stage).resolve(reg)
+		return true
+	})
+}
+
+// Sink returns the installed span sink registry, or nil when spans are
+// disabled.
+func Sink() *Registry { return sink.Load() }
+
+// Stage is a named timing stage — one histogram of span durations. Hot paths
+// resolve a stage once into a package-level var and call Start per
+// operation; the per-call cost with no sink installed is a single atomic
+// pointer load.
+type Stage struct {
+	name string
+	h    atomic.Pointer[Histogram]
+}
+
+// StageOf returns the process-global stage for name, creating it if needed.
+// If a sink is already installed, the new stage is resolved into it
+// immediately.
+func StageOf(name string) *Stage {
+	if v, ok := stages.Load(name); ok {
+		return v.(*Stage)
+	}
+	s := &Stage{name: name}
+	if v, loaded := stages.LoadOrStore(name, s); loaded {
+		return v.(*Stage)
+	}
+	s.resolve(sink.Load())
+	return s
+}
+
+// resolve points the stage at its histogram in reg (nil reg detaches it).
+func (s *Stage) resolve(reg *Registry) {
+	if reg == nil {
+		s.h.Store(nil)
+		return
+	}
+	s.h.Store(reg.Histogram(s.name, "span latency for stage "+s.name))
+}
+
+// Name returns the stage name.
+func (s *Stage) Name() string { return s.name }
+
+// Start begins one span of the stage. With no sink installed it returns an
+// inert Span without touching the clock; End on an inert Span is a no-op.
+// Both paths are allocation-free:
+//
+//	defer stage.Start().End()
+func (s *Stage) Start() Span {
+	h := s.h.Load()
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// Span is one in-flight stage timing. The zero value is inert.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// End records the span's elapsed time into its stage histogram. Inert spans
+// (no sink at Start) do nothing. End may be called at most once per span.
+func (sp Span) End() {
+	if sp.h != nil {
+		sp.h.Observe(time.Since(sp.t0))
+	}
+}
+
+// Active reports whether the span is recording (a sink was installed when it
+// started).
+func (sp Span) Active() bool { return sp.h != nil }
+
+// Start is the convenience span form: it begins a span of the named stage
+// and returns the function that ends it.
+//
+//	defer obs.Start("rlnc.absorb")()
+//
+// When no sink is installed it returns a shared no-op function without
+// reading the clock or allocating; with a sink installed the returned
+// closure costs one allocation, so hot paths should prefer a package-level
+// StageOf handle with Start/End.
+func Start(name string) func() {
+	if sink.Load() == nil {
+		return noopEnd
+	}
+	sp := StageOf(name).Start()
+	return sp.End
+}
+
+var noopEnd = func() {}

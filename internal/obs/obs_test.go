@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanDisabledIsFree pins the disabled-path contract: with no sink
+// installed, starting and ending a span performs zero allocations and
+// records nothing anywhere.
+func TestSpanDisabledIsFree(t *testing.T) {
+	SetSink(nil)
+	st := StageOf("test.disabled_stage")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := st.Start()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %v per op, want 0", allocs)
+	}
+	if st.Start().Active() {
+		t.Fatal("span active with no sink installed")
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		Start("test.disabled_stage")()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSpanEnabledRecords checks that installing a sink makes both span forms
+// record into the registry, and removing it stops them again.
+func TestSpanEnabledRecords(t *testing.T) {
+	reg := NewRegistry()
+	SetSink(reg)
+	defer SetSink(nil)
+
+	st := StageOf("test.enabled_stage")
+	sp := st.Start()
+	if !sp.Active() {
+		t.Fatal("span inert with a sink installed")
+	}
+	time.Sleep(time.Millisecond)
+	sp.End()
+	Start("test.enabled_stage")()
+
+	v, ok := reg.HistogramView("test.enabled_stage")
+	if !ok {
+		t.Fatal("stage histogram not in sink registry")
+	}
+	if v.Count != 2 {
+		t.Fatalf("stage recorded %d spans, want 2", v.Count)
+	}
+	if v.Max < time.Millisecond {
+		t.Fatalf("stage max %v, want ≥ 1ms", v.Max)
+	}
+
+	SetSink(nil)
+	st.Start().End()
+	if v, _ := reg.HistogramView("test.enabled_stage"); v.Count != 2 {
+		t.Fatalf("span recorded after sink removal: count %d", v.Count)
+	}
+}
+
+// TestStageOfIdempotent checks the global stage table and late binding: a
+// stage created before the sink resolves when the sink arrives.
+func TestStageOfIdempotent(t *testing.T) {
+	SetSink(nil)
+	a := StageOf("test.idem")
+	if b := StageOf("test.idem"); a != b {
+		t.Fatal("StageOf returned distinct stages for one name")
+	}
+	reg := NewRegistry()
+	SetSink(reg)
+	defer SetSink(nil)
+	a.Start().End()
+	if v, ok := reg.HistogramView("test.idem"); !ok || v.Count != 1 {
+		t.Fatalf("pre-existing stage did not bind to new sink (ok=%v count=%d)", ok, v.Count)
+	}
+}
+
+// TestRegistryGetOrCreateAndRegister covers the two registration modes:
+// get-or-create by name, and attaching caller-owned metric values.
+func TestRegistryGetOrCreateAndRegister(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a.count", "help a")
+	if c2 := reg.Counter("a.count", ""); c2 != c {
+		t.Fatal("Counter get-or-create returned a different instance")
+	}
+	c.Add(3)
+	if v, ok := reg.CounterValue("a.count"); !ok || v != 3 {
+		t.Fatalf("CounterValue = %d,%v want 3,true", v, ok)
+	}
+
+	var mine Counter
+	if err := reg.RegisterCounter("b.count", "mine", &mine); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterCounter("b.count", "dup", &mine); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	mine.Inc()
+	if v, _ := reg.CounterValue("b.count"); v != 1 {
+		t.Fatalf("registered counter reads %d, want 1", v)
+	}
+
+	g := reg.Gauge("g.val", "")
+	g.Set(7)
+	g.SetMax(5)
+	if g.Load() != 7 {
+		t.Fatalf("SetMax lowered the gauge to %d", g.Load())
+	}
+	g.SetMax(9)
+	if g.Load() != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", g.Load())
+	}
+
+	if err := reg.RegisterFunc("f.val", "", func() float64 { return 2.5 }); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(reg.Names(), ",")
+	for _, want := range []string{"a.count", "b.count", "g.val", "f.val"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("Names() = %s missing %s", names, want)
+		}
+	}
+}
+
+// TestRegistryKindMismatch pins the never-nil contract on kind collisions.
+func TestRegistryKindMismatch(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	if g := reg.Gauge("x", ""); g == nil {
+		t.Fatal("kind-mismatched Gauge returned nil")
+	}
+	if h := reg.Histogram("x", ""); h == nil {
+		t.Fatal("kind-mismatched Histogram returned nil")
+	}
+	if _, ok := reg.HistogramView("x"); ok {
+		t.Fatal("HistogramView found a counter")
+	}
+}
+
+// TestRegistryConcurrentUse races creation, increments, and scrapes.
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"c.one", "c.two", "c.three"}
+			for i := 0; i < 500; i++ {
+				reg.Counter(names[i%len(names)], "").Inc()
+				reg.Histogram("h.lat", "").Observe(time.Microsecond)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := reg.WriteText(&sb); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range []string{"c.one", "c.two", "c.three"} {
+		v, ok := reg.CounterValue(n)
+		if !ok {
+			t.Fatalf("counter %s missing", n)
+		}
+		total += v
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total %d, want %d", total, 8*500)
+	}
+	if v, _ := reg.HistogramView("h.lat"); v.Count != 8*500 {
+		t.Fatalf("histogram count %d, want %d", v.Count, 8*500)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4). Durations are exposed
+// in seconds, the Prometheus base unit; histogram buckets are cumulative
+// with the standard le label and a +Inf terminal bucket.
+
+// promName maps a dotted registry name to a valid Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText writes the registry in Prometheus text format. Metrics appear in
+// registration order; each value is read atomically but the exposition as a
+// whole is not a consistent cut (standard for lock-free collectors).
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, e := range r.snapshotEntries() {
+		name := promName(e.name)
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(e.help)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, e.counter.Load())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, e.gauge.Load())
+		case kindFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(e.fn()))
+		case kindHistogram:
+			err = writeTextHistogram(w, name, e.hist.View())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTextHistogram(w io.Writer, name string, v HistogramView) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, n := range v.Buckets {
+		cum += n
+		le := "+Inf"
+		if b := v.BucketBounds[i]; b >= 0 {
+			le = formatFloat(b.Seconds())
+		}
+		// Empty leading buckets are skipped to keep expositions readable;
+		// cumulative counts stay exact because cum accumulates regardless.
+		if n == 0 && i < len(v.Buckets)-1 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatFloat(v.Sum.Seconds()), name, cum)
+	return err
+}
+
+// SnapshotJSON renders the registry as a JSON-encodable map: counters and
+// gauges by name, histograms as {count, sum_s, p50_s, p95_s, p99_s, max_s}.
+// This is the registry half of the /metrics.json endpoint.
+func (r *Registry) SnapshotJSON() map[string]any {
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]map[string]any{}
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			counters[e.name] = e.counter.Load()
+		case kindGauge:
+			gauges[e.name] = float64(e.gauge.Load())
+		case kindFunc:
+			gauges[e.name] = e.fn()
+		case kindHistogram:
+			v := e.hist.View()
+			hists[e.name] = map[string]any{
+				"count": v.Count,
+				"sum_s": v.Sum.Seconds(),
+				"p50_s": v.P50.Seconds(),
+				"p95_s": v.P95.Seconds(),
+				"p99_s": v.P99.Seconds(),
+				"max_s": v.Max.Seconds(),
+			}
+		}
+	}
+	return map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+}

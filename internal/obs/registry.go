@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; registration only attaches a name for exposition.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n exceeds the current value — a running
+// maximum, safe under concurrent SetMax.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metricKind discriminates the entries of a Registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindFunc
+)
+
+// metricEntry is one named metric. Exactly one of the value fields is set,
+// per kind.
+type metricEntry struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // kindFunc: sampled at exposition time
+}
+
+// Registry is a named-metric table. Reads and increments of the metrics it
+// holds are lock-free; the registry mutex guards only registration and
+// enumeration (scrapes). Metric names use a dotted vocabulary
+// ("netio.blocks_sent"); the Prometheus exposition maps dots to underscores.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metricEntry
+	ordered []*metricEntry // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricEntry)}
+}
+
+// errRegistered shapes the duplicate-name error.
+func errRegistered(name string) error {
+	return fmt.Errorf("obs: metric %q already registered", name)
+}
+
+// add registers e, failing on a name collision.
+func (r *Registry) add(e *metricEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.name]; dup {
+		return errRegistered(e.name)
+	}
+	r.byName[e.name] = e
+	r.ordered = append(r.ordered, e)
+	return nil
+}
+
+// Counter returns the named counter, creating and registering a fresh one on
+// first use. If the name is registered as a different kind, a fresh
+// unregistered counter is returned so callers never receive nil.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok {
+		r.mu.Unlock()
+		if e.kind == kindCounter {
+			return e.counter
+		}
+		return new(Counter)
+	}
+	e := &metricEntry{name: name, help: help, kind: kindCounter, counter: new(Counter)}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	r.mu.Unlock()
+	return e.counter
+}
+
+// Gauge returns the named gauge, creating and registering a fresh one on
+// first use (same collision behavior as Counter).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok {
+		r.mu.Unlock()
+		if e.kind == kindGauge {
+			return e.gauge
+		}
+		return new(Gauge)
+	}
+	e := &metricEntry{name: name, help: help, kind: kindGauge, gauge: new(Gauge)}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	r.mu.Unlock()
+	return e.gauge
+}
+
+// Histogram returns the named latency histogram, creating and registering a
+// fresh one on first use (same collision behavior as Counter).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok {
+		r.mu.Unlock()
+		if e.kind == kindHistogram {
+			return e.hist
+		}
+		return new(Histogram)
+	}
+	e := &metricEntry{name: name, help: help, kind: kindHistogram, hist: new(Histogram)}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	r.mu.Unlock()
+	return e.hist
+}
+
+// RegisterCounter attaches an existing counter (typically a field of a typed
+// counter block like netio.Counters) under name. The counter keeps working
+// unregistered; registration only adds it to the exposition.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) error {
+	return r.add(&metricEntry{name: name, help: help, kind: kindCounter, counter: c})
+}
+
+// RegisterGauge attaches an existing gauge under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) error {
+	return r.add(&metricEntry{name: name, help: help, kind: kindGauge, gauge: g})
+}
+
+// RegisterHistogram attaches an existing histogram under name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) error {
+	return r.add(&metricEntry{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// RegisterFunc attaches a float gauge sampled by fn at every exposition —
+// the bridge for derived values (live session count, summed seconds) that
+// already have an owner.
+func (r *Registry) RegisterFunc(name, help string, fn func() float64) error {
+	return r.add(&metricEntry{name: name, help: help, kind: kindFunc, fn: fn})
+}
+
+// CounterValue returns the value of the named counter and whether it exists.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	r.mu.Lock()
+	e, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok || e.kind != kindCounter {
+		return 0, false
+	}
+	return e.counter.Load(), true
+}
+
+// HistogramView returns the view of the named histogram and whether it
+// exists.
+func (r *Registry) HistogramView(name string) (HistogramView, bool) {
+	r.mu.Lock()
+	e, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok || e.kind != kindHistogram {
+		return HistogramView{}, false
+	}
+	return e.hist.View(), true
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// snapshotEntries copies the entry list under the lock so exposition walks
+// it without holding the registry mutex across value reads.
+func (r *Registry) snapshotEntries() []*metricEntry {
+	r.mu.Lock()
+	out := make([]*metricEntry, len(r.ordered))
+	copy(out, r.ordered)
+	r.mu.Unlock()
+	return out
+}

@@ -2,7 +2,12 @@ package rlnc
 
 import (
 	"extremenc/internal/gf256"
+	"extremenc/internal/obs"
 )
+
+// stageAbsorb times one batched Gauss–Jordan absorb (an AddBlocks call).
+// Free when no obs sink is installed.
+var stageAbsorb = obs.StageOf("rlnc.absorb")
 
 // Batched absorb for the progressive Gauss–Jordan decoder. AddBlock reduces
 // one arrival at a time with scalar row operations; AddBlocks stages a whole
@@ -36,6 +41,7 @@ func (d *Decoder) AddBlocks(blocks []*CodedBlock) (innovative int, err error) {
 	if len(blocks) == 0 {
 		return 0, nil
 	}
+	defer stageAbsorb.Start().End()
 	segID, haveSeg := d.segID, d.haveSeg
 	if !haveSeg {
 		segID = blocks[0].SegmentID

@@ -4,7 +4,13 @@ import (
 	"fmt"
 
 	"extremenc/internal/gf256"
+	"extremenc/internal/obs"
 )
+
+// stageEncodeBatch times one batch-encode call (not one gf256 kernel call:
+// the wide-word kernels run thousands of times per batch and are benched,
+// not spanned). Free when no obs sink is installed.
+var stageEncodeBatch = obs.StageOf("rlnc.encode_batch")
 
 // Tiled batch encoding: the host-codec analogue of the paper's full-block
 // streaming-server scheme (Sec. 5.3), made cache-aware. Producing B coded
@@ -33,6 +39,7 @@ const (
 // batch-shaped primitive behind the encoder, the parallel workers and the
 // batch decoder's reconstruction stage.
 func EncodeBatchInto(dsts [][]byte, seg *Segment, coeffs [][]byte) error {
+	defer stageEncodeBatch.Start().End()
 	p := seg.params
 	if len(dsts) != len(coeffs) {
 		return fmt.Errorf("%w: %d destinations for %d coefficient vectors", ErrBatchShape, len(dsts), len(coeffs))

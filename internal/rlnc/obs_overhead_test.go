@@ -1,0 +1,78 @@
+package rlnc
+
+import (
+	"math/rand"
+	"testing"
+
+	"extremenc/internal/obs"
+)
+
+// benchEncodeSetup builds the paper's streaming shape (n=128, k=4096) with a
+// 32-destination batch — the same configuration BenchmarkEncodeBatch runs.
+func benchEncodeSetup(tb testing.TB) (seg *Segment, dsts, coeffs [][]byte, bytesPerOp int64) {
+	tb.Helper()
+	p := Params{BlockCount: 128, BlockSize: 4096}
+	rng := rand.New(rand.NewSource(33))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(1, p, data)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const batch = 32
+	coeffs = make([][]byte, batch)
+	dsts = make([][]byte, batch)
+	for i := range coeffs {
+		coeffs[i] = make([]byte, p.BlockCount)
+		for j := range coeffs[i] {
+			coeffs[i][j] = byte(1 + rng.Intn(255))
+		}
+		dsts[i] = make([]byte, p.BlockSize)
+	}
+	return seg, dsts, coeffs, int64(batch) * int64(p.BlockSize)
+}
+
+// BenchmarkEncodeBatchSpans puts a number on the observability tax: the
+// tiled batch encode with stage spans disabled (no obs sink — the default)
+// versus enabled (a live registry recording every call into a histogram).
+// The disabled variant is the deployment default and must track the plain
+// BenchmarkEncodeBatch/batch figure; the enabled variant bounds the cost of
+// turning metrics on.
+func BenchmarkEncodeBatchSpans(b *testing.B) {
+	seg, dsts, coeffs, bytesPerOp := benchEncodeSetup(b)
+	run := func(b *testing.B) {
+		b.SetBytes(bytesPerOp)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := EncodeBatchInto(dsts, seg, coeffs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("spans-off", func(b *testing.B) {
+		obs.SetSink(nil)
+		run(b)
+	})
+	b.Run("spans-on", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		obs.SetSink(reg)
+		defer obs.SetSink(nil)
+		run(b)
+	})
+}
+
+// TestEncodeBatchSpansDisabledAllocFree pins the zero-cost claim: with no
+// obs sink installed, the instrumented encode hot path performs no heap
+// allocation at all — the span is a value, the stage check one atomic load.
+func TestEncodeBatchSpansDisabledAllocFree(t *testing.T) {
+	obs.SetSink(nil)
+	seg, dsts, coeffs, _ := benchEncodeSetup(t)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := EncodeBatchInto(dsts, seg, coeffs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("spans-disabled EncodeBatchInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -62,6 +62,10 @@ func (pe *ParallelEncoder) Encode(seg *Segment, count int, seed int64) ([]*Coded
 	if count <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBlockCountInvalid, count)
 	}
+	// Same stage as EncodeBatchInto: one batch-encode call, whichever entry
+	// point produced it (the workers call encodeBatchRange directly, so the
+	// span is never double-counted).
+	defer stageEncodeBatch.Start().End()
 	p := seg.Params()
 	rng := rand.New(rand.NewSource(seed))
 	enc := NewEncoder(seg, rng)

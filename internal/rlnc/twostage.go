@@ -4,7 +4,12 @@ import (
 	"fmt"
 
 	"extremenc/internal/gf256"
+	"extremenc/internal/obs"
 )
+
+// stageTwoStage times one full two-stage decode (inversion plus the batch
+// reconstruction multiply). Free when no obs sink is installed.
+var stageTwoStage = obs.StageOf("rlnc.decode_two_stage")
 
 // Two-stage decode — the paper's multi-segment scheme (Sec. 5.2) as an
 // explicit host-codec pipeline. Stage 1 inverts the n×n coefficient matrix
@@ -34,6 +39,7 @@ func DecodeTwoStage(p Params, blocks []*CodedBlock) (*Segment, error) {
 // form the pool workers use so each worker's warm workspace is reused across
 // segments.
 func decodeTwoStageWith(s *Scratch, p Params, blocks []*CodedBlock) (*Segment, error) {
+	defer stageTwoStage.Start().End()
 	var segID uint32
 	haveSeg := false
 	for _, b := range blocks {

@@ -13,6 +13,7 @@ import (
 
 	"extremenc/internal/core"
 	"extremenc/internal/netio"
+	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
 )
 
@@ -58,6 +59,14 @@ func (s *Server) Segments() int { return len(s.object.Segments) }
 // engine and blocks/bytes offered to and delivered into the modeled peer
 // streams.
 func (s *Server) Counters() netio.CounterView { return s.counters.View() }
+
+// RegisterMetrics attaches the server's serving counters to reg under
+// prefix (conventionally "stream"), putting the engine-driven serving path
+// on the same scrape as the socket server. Counters() stays a thin view
+// over the same storage.
+func (s *Server) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	return s.counters.Register(reg, prefix)
+}
 
 // account records one engine run's traffic in the shared counters.
 func (s *Server) account(blocks int64) {
