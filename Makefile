@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -34,7 +34,7 @@ race:
 # Replay the committed fuzz seed corpora as regression tests (no fuzzing
 # time budget — just every F.Add case plus any checked-in corpus files).
 fuzz-regress:
-	$(GO) test -run 'Fuzz' -count=1 ./internal/rlnc/ ./internal/netio/
+	$(GO) test -run 'Fuzz' -count=1 ./internal/gf256/ ./internal/rlnc/ ./internal/netio/
 
 # Chaos acceptance gate: a full fetch through the deterministic
 # fault-injection link (corruption, stalls, repeated resets) must complete
@@ -65,6 +65,13 @@ serve-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/ncserve metrics-smoke
 
+# Systematic + XOR fast-path end-to-end gate: a systematic-mode server and a
+# client fetch over loopback (clean, then through a lossy faultnet link), with
+# the run rejected unless the rlnc.xor_absorb stage histogram recorded spans —
+# the observable proof that the GF(2) XOR-only decode path actually engaged.
+xor-smoke:
+	$(GO) run ./cmd/ncserve xor-smoke
+
 # Regenerate every paper table and figure as aligned text tables.
 figures:
 	$(GO) run ./cmd/ncbench -fig all
@@ -85,22 +92,24 @@ bench:
 # for stable timings; the macro encode/decode benches are tens of
 # milliseconds per op and keep a modest one.
 bench-host:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder' \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkXorLadder' \
 		-benchtime 3000x -count 1 ./internal/gf256/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
-		-benchtime 100x -count 1 ./internal/rlnc/ ; } \
+		-benchtime 100x -count 1 ./internal/rlnc/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkXorLadder' \
+		-benchtime 200x -count 1 ./internal/rlnc/ ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_host.json
 	@cat BENCH_host.json
 
 # One-iteration pass over the ladder benchmarks, piped through benchjson: a
 # cheap CI check that every rung still runs and parses.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkXorLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
 		-benchtime 1x -count 1 ./internal/gf256/ ./internal/rlnc/ \
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke
 
 # Run every example program.
 examples:

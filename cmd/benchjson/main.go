@@ -132,6 +132,12 @@ func derive(doc *Document) {
 		{"decode_batched_over_progressive_pct", "BenchmarkDecodeLadder/progressive-scalar", "BenchmarkDecodeLadder/progressive-batched/b=8"},
 		{"decode_two_stage_over_progressive_pct", "BenchmarkDecodeLadder/progressive-scalar", "BenchmarkDecodeLadder/two-stage"},
 	}
+	set := func(key string, v float64) {
+		if doc.Derived == nil {
+			doc.Derived = map[string]float64{}
+		}
+		doc.Derived[key] = v
+	}
 	for _, r := range ratios {
 		base, okB := byName[r[1]]
 		next, okN := byName[r[2]]
@@ -146,9 +152,26 @@ func derive(doc *Document) {
 		} else {
 			pct = (base.NsPerOp/next.NsPerOp - 1) * 100
 		}
-		if doc.Derived == nil {
-			doc.Derived = map[string]float64{}
+		set(r[0], pct)
+	}
+
+	// XOR fast-path headlines. The systematic-mode acceptance bar is a
+	// multiple, not a percentage: the GF(2) repair-encode rung must run at
+	// ≥ 3× the fused GF(2^8) rung at the same k.
+	if base, ok := byName["BenchmarkMulAddLadder/fused4x2/k=4096"]; ok && base.MBPerS > 0 {
+		if xor, ok := byName["BenchmarkXorLadder/xor-repair-encode/k=4096"]; ok && xor.MBPerS > 0 {
+			set("xor_repair_encode_over_fused4x2_k4096_x", xor.MBPerS/base.MBPerS)
 		}
-		doc.Derived[r[0]] = pct
+	}
+	// Blended systematic+XOR session recovery rates at simulated loss,
+	// surfaced as headline numbers beside the ratio they contextualize.
+	for key, name := range map[string]string{
+		"xor_blended_loss_0_1pct_mb_s": "BenchmarkXorLadder/blended/loss=0.1pct",
+		"xor_blended_loss_1pct_mb_s":   "BenchmarkXorLadder/blended/loss=1pct",
+		"xor_blended_loss_5pct_mb_s":   "BenchmarkXorLadder/blended/loss=5pct",
+	} {
+		if b, ok := byName[name]; ok && b.MBPerS > 0 {
+			set(key, b.MBPerS)
+		}
 	}
 }

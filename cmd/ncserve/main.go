@@ -18,8 +18,17 @@
 //	    -queue 64 -deadline 5s -metrics 127.0.0.1:9100 -log-every 10s
 //	ncserve fetch -addr 127.0.0.1:9099 -out media-copy.bin -timeout 30s \
 //	    -attempts 10 -backoff 50ms -backoff-max 2s -resume fetch.state
-//	ncserve smoke -clients 4
+//	ncserve smoke -clients 4 -mode systematic
 //	ncserve metrics-smoke
+//	ncserve xor-smoke
+//
+// -mode selects the wire discipline the server declares in every handshake:
+// dense (default) streams dense GF(2^8) blocks; systematic streams each
+// segment as a systematic sweep, GF(2) XOR repair blocks in the compact XNC2
+// encoding, and a dense tail — the receiver decodes the binary prefix on an
+// XOR-only fast path. xor-smoke is the end-to-end gate for that mode: a
+// systematic serve, a clean fetch plus a lossy faultnet fetch, and a scrape
+// asserting the rlnc.xor_absorb stage actually saw traffic.
 //
 // The fetch client reconnects on resets and framing loss with capped
 // exponential backoff, carrying decoder rank across connections; -resume
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"extremenc/internal/faultnet"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
 	"extremenc/internal/rlnc"
@@ -67,6 +77,8 @@ func run(args []string) error {
 		return runSmoke(args[1:])
 	case "metrics-smoke":
 		return runMetricsSmoke(args[1:])
+	case "xor-smoke":
+		return runXorSmoke(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -79,6 +91,7 @@ type serveFlags struct {
 	deadline time.Duration
 	retries  int
 	maxSess  int
+	mode     string
 }
 
 func (sf *serveFlags) register(fs *flag.FlagSet) {
@@ -88,15 +101,25 @@ func (sf *serveFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&sf.deadline, "deadline", 5*time.Second, "per-record write deadline (0 disables)")
 	fs.IntVar(&sf.retries, "retries", 1, "extra deadline windows before a timed-out session is dropped")
 	fs.IntVar(&sf.maxSess, "max-sessions", 0, "concurrent session cap (0 = unlimited)")
+	sf.registerMode(fs)
 }
 
-func (sf *serveFlags) options() []netio.ServerOption {
+func (sf *serveFlags) registerMode(fs *flag.FlagSet) {
+	fs.StringVar(&sf.mode, "mode", "dense", "wire mode: dense or systematic (systematic sweep + GF(2) XOR repair + dense tail)")
+}
+
+func (sf *serveFlags) options() ([]netio.ServerOption, error) {
+	mode, err := netio.ParseWireMode(sf.mode)
+	if err != nil {
+		return nil, err
+	}
 	return []netio.ServerOption{
 		netio.WithQueueDepth(sf.queue),
 		netio.WithWriteDeadline(sf.deadline),
 		netio.WithWriteRetries(sf.retries),
 		netio.WithMaxSessions(sf.maxSess),
-	}
+		netio.WithWireMode(mode),
+	}, nil
 }
 
 func runServe(args []string) error {
@@ -121,7 +144,11 @@ func runServe(args []string) error {
 	// as the span sink turns on the stage-latency histograms.
 	reg := obs.NewRegistry()
 	obs.SetSink(reg)
-	opts := append(sf.options(), netio.WithMetricsRegistry(reg))
+	opts, err := sf.options()
+	if err != nil {
+		return err
+	}
+	opts = append(opts, netio.WithMetricsRegistry(reg))
 	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, opts...)
 	if err != nil {
 		return err
@@ -150,8 +177,8 @@ func runServe(args []string) error {
 		go obs.LogEvery(ctx, os.Stderr, *logEvery, reg)
 	}
 
-	fmt.Printf("serving %d bytes as %d segments (n=%d, k=%d) on %s\n",
-		len(media), srv.Segments(), sf.n, sf.k, l.Addr())
+	fmt.Printf("serving %d bytes as %d segments (n=%d, k=%d, mode=%s) on %s\n",
+		len(media), srv.Segments(), sf.n, sf.k, srv.Mode(), l.Addr())
 	err = srv.Serve(ctx, l)
 	if ctx.Err() != nil {
 		// Interrupted: the server already shut down cleanly.
@@ -176,6 +203,7 @@ func snapshotJSON(s netio.Snapshot) map[string]any {
 		})
 	}
 	return map[string]any{
+		"mode":              s.Mode.String(),
 		"sessions":          s.Sessions,
 		"sessions_total":    s.SessionsTotal,
 		"sessions_rejected": s.SessionsRejected,
@@ -255,8 +283,8 @@ func runFetch(args []string) error {
 	if *resumePath != "" {
 		os.Remove(*resumePath)
 	}
-	fmt.Printf("fetched %d bytes from %d records (%d dependent, %.1f%% wire overhead)\n",
-		len(res.Payload), stats.Records, stats.Dependent,
+	fmt.Printf("fetched %d bytes in %s mode from %d records (%d dependent, %.1f%% wire overhead)\n",
+		len(res.Payload), res.Mode, stats.Records, stats.Dependent,
 		(float64(stats.Bytes)/float64(len(res.Payload))-1)*100)
 	fmt.Printf("faults: %d reconnects, %d framing resyncs, %d corrupt, %d malformed, %d bad-segment, %d resumed rank, %d bytes discarded\n",
 		stats.Reconnects, stats.FramingResyncs, stats.Corrupt, stats.Malformed,
@@ -275,6 +303,7 @@ func runSmoke(args []string) error {
 	var sf serveFlags
 	sf.n, sf.k = 16, 1024
 	fs.IntVar(&sf.queue, "queue", 64, "per-session send queue depth (records)")
+	sf.registerMode(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,7 +313,11 @@ func runSmoke(args []string) error {
 	media := make([]byte, *size)
 	rand.New(rand.NewSource(42)).Read(media)
 	sf.deadline, sf.retries = 2*time.Second, 1
-	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, sf.options()...)
+	opts, err := sf.options()
+	if err != nil {
+		return err
+	}
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, opts...)
 	if err != nil {
 		return err
 	}
@@ -335,8 +368,8 @@ func runSmoke(args []string) error {
 	if snap.SessionsTotal != int64(*clients) {
 		return fmt.Errorf("sessions_total = %d, want %d", snap.SessionsTotal, *clients)
 	}
-	fmt.Printf("smoke ok: %d clients, %d blocks sent, %d shed, %d bytes, stall %s\n",
-		*clients, snap.BlocksSent, snap.BlocksShed, snap.BytesSent, snap.EncodeStall)
+	fmt.Printf("smoke ok: %d clients, mode %s, %d blocks sent, %d shed, %d bytes, stall %s\n",
+		*clients, snap.Mode, snap.BlocksSent, snap.BlocksShed, snap.BytesSent, snap.EncodeStall)
 	return nil
 }
 
@@ -439,6 +472,109 @@ func runMetricsSmoke(args []string) error {
 	}
 	fmt.Printf("metrics-smoke ok: %d series scraped, %d populated histograms, blocks sent %.0f, fetch records %.0f\n",
 		len(samples), histograms, byKey["netio_blocks_sent"], byKey["fetch_records"])
+	return nil
+}
+
+// runXorSmoke is the end-to-end gate for the systematic + XOR wire mode
+// (`make xor-smoke`): a systematic server, one clean loopback fetch and one
+// through a lossy faultnet link, both byte-verified — then a registry scrape
+// that must show the rlnc.xor_absorb stage with nonzero traffic, proving the
+// decoders actually rode the GF(2) fast path instead of silently falling
+// back to dense elimination.
+func runXorSmoke(args []string) error {
+	fs := flag.NewFlagSet("ncserve xor-smoke", flag.ContinueOnError)
+	size := fs.Int("size", 200_000, "media bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	defer obs.SetSink(nil)
+
+	media := make([]byte, *size)
+	rand.New(rand.NewSource(44)).Read(media)
+	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: 16, BlockSize: 1024},
+		netio.WithWireMode(netio.ModeSystematic), netio.WithMetricsRegistry(reg))
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l) }()
+
+	// Leg 1: clean loopback — the systematic sweep should dominate.
+	clean := netio.NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	})
+	res, err := clean.Fetch(ctx)
+	if err != nil {
+		return fmt.Errorf("clean systematic fetch: %w", err)
+	}
+	if res.Mode != netio.ModeSystematic {
+		return fmt.Errorf("clean fetch negotiated %s, want systematic", res.Mode)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		return fmt.Errorf("clean systematic fetch: payload differs")
+	}
+
+	// Leg 2: the loss sweep — corruption and resets force the XOR repair and
+	// reconnect machinery through the same negotiated mode.
+	dial, ctr := faultnet.Dialer(faultnet.Config{
+		Seed:         45,
+		CorruptEvery: 4000,
+		ResetEvery:   60000,
+		MaxReadChunk: 512,
+	}, func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	})
+	lossy := netio.NewFetcher(dial, netio.WithBackoff(time.Millisecond, 20*time.Millisecond))
+	lres, err := lossy.Fetch(ctx)
+	if err != nil {
+		return fmt.Errorf("lossy systematic fetch: %w (faults %+v)", err, ctr.View())
+	}
+	if !bytes.Equal(lres.Payload, media) {
+		return fmt.Errorf("lossy systematic fetch: payload differs")
+	}
+	srv.Shutdown()
+	l.Close()
+	<-serveDone
+
+	// The proof obligation: the GF(2) fast path must have absorbed records.
+	v, ok := reg.HistogramView("rlnc.xor_absorb")
+	if !ok || v.Count == 0 {
+		return fmt.Errorf("rlnc.xor_absorb stage saw no traffic (ok=%v): XOR fast path never engaged", ok)
+	}
+	// And it must survive the text exposition round trip, where the CI
+	// scrape reads it.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		return err
+	}
+	samples, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		return err
+	}
+	count := 0.0
+	for _, s := range samples {
+		if s.Key() == "rlnc_xor_absorb_count" {
+			count = s.Value
+		}
+	}
+	if count <= 0 {
+		return fmt.Errorf("scrape: rlnc_xor_absorb_count = %v, want > 0", count)
+	}
+	fmt.Printf("xor-smoke ok: mode %s, %d xor absorbs, clean %d records, lossy %d records (%d corrupt, %d resyncs, faults %+v)\n",
+		srv.Mode(), v.Count, res.Stats.Records, lres.Stats.Records,
+		lres.Stats.Corrupt, lres.Stats.FramingResyncs, ctr.View())
 	return nil
 }
 

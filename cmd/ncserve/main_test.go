@@ -34,6 +34,17 @@ func TestUsageErrors(t *testing.T) {
 	if err := run([]string{"serve", "-in", "/nonexistent"}); err == nil {
 		t.Fatal("missing media accepted")
 	}
+	if err := run([]string{"smoke", "-mode", "turbo"}); err == nil {
+		t.Fatal("unknown wire mode accepted")
+	}
+}
+
+// TestXorSmokeSubcommand runs the systematic + XOR end-to-end gate
+// in-process (the same path as `make xor-smoke`).
+func TestXorSmokeSubcommand(t *testing.T) {
+	if err := run([]string{"xor-smoke", "-size", "60000"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestFetchAgainstInProcessServer runs the fetch subcommand against a

@@ -47,6 +47,7 @@ import (
 	"extremenc/internal/cpusim"
 	"extremenc/internal/experiments"
 	"extremenc/internal/faultnet"
+	"extremenc/internal/gf256"
 	"extremenc/internal/gpu"
 	"extremenc/internal/ncfile"
 	"extremenc/internal/netio"
@@ -139,6 +140,14 @@ func ReassembleSegments(segs []*Segment, length int, p Params) ([]byte, error) {
 func EncodeBatchInto(dsts [][]byte, seg *Segment, coeffs [][]byte) error {
 	return rlnc.EncodeBatchInto(dsts, seg, coeffs)
 }
+
+// XorSlice computes dst ^= src with wide-word XOR — the table-free GF(2)
+// add kernel behind the systematic fast path. Slices must be equal length.
+func XorSlice(dst, src []byte) { gf256.XorSlice(dst, src) }
+
+// XorSlice4 folds four equal-length sources into dst in one fused pass,
+// reading dst once instead of four times.
+func XorSlice4(dst, s1, s2, s3, s4 []byte) { gf256.XorSlice4(dst, s1, s2, s3, s4) }
 
 // NewParallelEncoder returns a goroutine-parallel host encoder.
 func NewParallelEncoder(workers int, mode EncodeMode) (*rlnc.ParallelEncoder, error) {
@@ -322,10 +331,22 @@ type (
 	GaussianDecoder = rlnc.GaussianDecoder
 )
 
-// NewSystematicEncoder wraps seg in a systematic encoder.
-func NewSystematicEncoder(seg *Segment, rng *rand.Rand) *SystematicEncoder {
-	return rlnc.NewSystematicEncoder(seg, rng)
+// SystematicOption tunes a SystematicEncoder's repair schedule.
+type SystematicOption = rlnc.SystematicOption
+
+// NewSystematicEncoder wraps seg in a systematic encoder: one verbatim
+// sweep of the source blocks, then GF(2) bitmask XOR repair blocks, then a
+// dense GF(2^8) tail for the stubborn final ranks.
+func NewSystematicEncoder(seg *Segment, rng *rand.Rand, opts ...SystematicOption) *SystematicEncoder {
+	return rlnc.NewSystematicEncoder(seg, rng, opts...)
 }
+
+// WithXorRepair sets how many GF(2) bitmask repair blocks follow each
+// verbatim sweep before the encoder falls back to dense coding.
+func WithXorRepair(r int) SystematicOption { return rlnc.WithXorRepair(r) }
+
+// WithDenseTail sets how many dense GF(2^8) blocks close each cycle.
+func WithDenseTail(t int) SystematicOption { return rlnc.WithDenseTail(t) }
 
 // NewGaussianDecoder returns the forward-elimination-only decoder.
 func NewGaussianDecoder(p Params) (*GaussianDecoder, error) {
@@ -375,7 +396,29 @@ var (
 	WithEncoderWorkers = netio.WithEncoderWorkers
 	// WithServerSeed fixes the pump's coefficient-stream seed.
 	WithServerSeed = netio.WithServerSeed
+	// WithWireMode selects the serving wire discipline (dense or
+	// systematic + XOR); the negotiated mode rides the session handshake.
+	WithWireMode = netio.WithWireMode
 )
+
+// WireMode is the wire discipline a serving session negotiates in its
+// handshake: classic dense GF(2^8) records, or the systematic schedule
+// (source blocks verbatim, GF(2) bitmask XOR repair, dense tail).
+type WireMode = netio.WireMode
+
+// Wire disciplines.
+const (
+	// ModeDense streams dense GF(2^8) coded records only.
+	ModeDense = netio.ModeDense
+	// ModeSystematic streams the systematic + XOR schedule, letting
+	// clients decode on the table-free XOR fast path until a dense
+	// record arrives.
+	ModeSystematic = netio.ModeSystematic
+)
+
+// ParseWireMode parses a WireMode from its flag spelling ("dense",
+// "systematic").
+func ParseWireMode(s string) (WireMode, error) { return netio.ParseWireMode(s) }
 
 // Fetch downloads and decodes a served object from conn. Cancelling ctx
 // unblocks any pending read and returns ctx.Err(). Fetch is the one-shot
@@ -614,6 +657,12 @@ var (
 	ErrBadResumeState = netio.ErrBadResumeState
 	// ErrBadDecoderState reports an unusable serialized decoder.
 	ErrBadDecoderState = rlnc.ErrBadDecoderState
+	// ErrNotBinary reports a GF(2) wire encoding request for a block whose
+	// coefficients are not all 0/1.
+	ErrNotBinary = rlnc.ErrNotBinary
+	// ErrBadBitmask reports an XNC2 record with bits set past the block
+	// count.
+	ErrBadBitmask = rlnc.ErrBadBitmask
 	// ErrInjectedReset reports a fault-injected connection reset.
 	ErrInjectedReset = faultnet.ErrInjectedReset
 	// ErrServerClosed reports an operation on a shut-down server.

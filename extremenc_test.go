@@ -212,6 +212,92 @@ func TestExtendedCodecFacade(t *testing.T) {
 	}
 }
 
+// TestSystematicXorFacade exercises the systematic + XOR fast-path surface
+// through the public API: the XOR kernels, the encoder repair-schedule
+// options, wire-mode parsing, and a systematic-mode fetch over a pipe.
+func TestSystematicXorFacade(t *testing.T) {
+	// Kernels: XorSlice4 must equal four sequential XorSlice folds.
+	rng := rand.New(rand.NewSource(23))
+	srcs := make([][]byte, 4)
+	for i := range srcs {
+		srcs[i] = make([]byte, 257)
+		rng.Read(srcs[i])
+	}
+	a, b := make([]byte, 257), make([]byte, 257)
+	rng.Read(a)
+	copy(b, a)
+	extremenc.XorSlice4(a, srcs[0], srcs[1], srcs[2], srcs[3])
+	for _, s := range srcs {
+		extremenc.XorSlice(b, s)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("XorSlice4 disagrees with sequential XorSlice")
+	}
+
+	// Wire-mode spelling round-trips.
+	for _, m := range []extremenc.WireMode{extremenc.ModeDense, extremenc.ModeSystematic} {
+		got, err := extremenc.ParseWireMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseWireMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := extremenc.ParseWireMode("turbo"); err == nil {
+		t.Fatal("unknown wire mode accepted")
+	}
+
+	// A tuned systematic encoder feeding a plain decoder.
+	params := extremenc.Params{BlockCount: 8, BlockSize: 64}
+	payload := make([]byte, params.SegmentSize())
+	rng.Read(payload)
+	seg, err := extremenc.SegmentFromData(0, params, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := extremenc.NewSystematicEncoder(seg, rng,
+		extremenc.WithXorRepair(4), extremenc.WithDenseTail(2))
+	dec, err := extremenc.NewDecoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !dec.Ready(); i++ {
+		if i%3 == 1 { // drop a third of the stream to force repairs
+			se.Block()
+			continue
+		}
+		if _, err := dec.AddBlock(se.Block()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Segment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seg) {
+		t.Fatal("systematic + XOR roundtrip differs")
+	}
+
+	// Systematic-mode serving negotiated through the facade.
+	srv, err := extremenc.NewNetServer(payload, params,
+		extremenc.WithWireMode(extremenc.ModeSystematic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	f := extremenc.NewFetcher(func(context.Context) (net.Conn, error) { return client, nil },
+		extremenc.WithMaxAttempts(1))
+	res, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != extremenc.ModeSystematic {
+		t.Fatalf("negotiated mode = %v, want systematic", res.Mode)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("systematic fetch payload differs")
+	}
+}
+
 // TestFileAndNetFacade round-trips the container and socket paths.
 func TestFileAndNetFacade(t *testing.T) {
 	params := extremenc.Params{BlockCount: 8, BlockSize: 128}

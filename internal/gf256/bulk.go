@@ -56,8 +56,18 @@ func mulLanes(v uint64, c byte) uint64 {
 
 // AddSlice computes dst[i] ^= src[i] for every i. len(src) must not exceed
 // len(dst). Rows may not partially alias (identical slices are fine and
-// zero the row).
+// zero the row). GF(2^8) addition is XOR, so this is XorSlice under the
+// field-arithmetic name the GF(2^8) kernels use.
 func AddSlice(dst, src []byte) {
+	XorSlice(dst, src)
+}
+
+// XorSlice computes dst[i] ^= src[i] for every i — the pure GF(2) row
+// operation of the systematic/XOR fast path. It needs no log/exp or product
+// tables: four 64-bit words per iteration, with 8-byte and scalar tails.
+// len(src) must not exceed len(dst); rows may not partially alias (identical
+// slices are fine and zero the row).
+func XorSlice(dst, src []byte) {
 	n := len(src)
 	dst = dst[:n] // equal lengths: the first in-loop bounds check proves away the rest
 	i := 0
@@ -78,6 +88,43 @@ func AddSlice(dst, src []byte) {
 	}
 	for ; i < n; i++ {
 		dst[i] ^= src[i]
+	}
+}
+
+// XorSlice4 computes dst[i] ^= s1[i] ^ s2[i] ^ s3[i] ^ s4[i] in a single
+// destination pass: the GF(2) analogue of MulAddSlice4, four sources per dst
+// word load/store, 16 bytes per iteration. It is the inner kernel of the
+// XOR-repair encoder, where a bitmask coefficient vector selects source
+// blocks to fold together. The kernel runs over len(dst) bytes; all sources
+// must be at least that long. Sources may not partially alias dst.
+func XorSlice4(dst, s1, s2, s3, s4 []byte) {
+	n := len(dst)
+	s1 = s1[:n] // equal lengths: the first in-loop bounds check
+	s2 = s2[:n] // proves away the rest
+	s3 = s3[:n]
+	s4 = s4[:n]
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		a := binary.LittleEndian.Uint64(s1[i:]) ^
+			binary.LittleEndian.Uint64(s2[i:]) ^
+			binary.LittleEndian.Uint64(s3[i:]) ^
+			binary.LittleEndian.Uint64(s4[i:])
+		b := binary.LittleEndian.Uint64(s1[i+8:]) ^
+			binary.LittleEndian.Uint64(s2[i+8:]) ^
+			binary.LittleEndian.Uint64(s3[i+8:]) ^
+			binary.LittleEndian.Uint64(s4[i+8:])
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^a)
+		binary.LittleEndian.PutUint64(dst[i+8:], binary.LittleEndian.Uint64(dst[i+8:])^b)
+	}
+	for ; i+8 <= n; i += 8 {
+		a := binary.LittleEndian.Uint64(s1[i:]) ^
+			binary.LittleEndian.Uint64(s2[i:]) ^
+			binary.LittleEndian.Uint64(s3[i:]) ^
+			binary.LittleEndian.Uint64(s4[i:])
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^a)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= s1[i] ^ s2[i] ^ s3[i] ^ s4[i]
 	}
 }
 

@@ -127,6 +127,87 @@ func TestChaosFetch(t *testing.T) {
 	assertChaosExposition(t, reg, res.Stats)
 }
 
+// TestChaosFetchSystematic is the chaos gate for the negotiated systematic +
+// XOR wire mode: the same hostile link (corruption, resets, stalls), but the
+// server streams the systematic sweep / GF(2) repair / dense-tail schedule
+// with XNC2 records interleaved. The fetch must still complete
+// byte-identical with rank carried across every reconnect — and the decoders
+// must demonstrably have used the XOR-only fast path, observed through the
+// rlnc.xor_absorb stage histogram.
+func TestChaosFetchSystematic(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	media := testMedia(t, 4*p.SegmentSize()-13, 98)
+
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	defer obs.SetSink(nil)
+
+	srv, err := NewServer(media, p, WithWireMode(ModeSystematic), WithMetricsRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	defer stopServe()
+	go srv.Serve(serveCtx, l)
+	defer srv.Shutdown()
+
+	dial, ctr := faultnet.Dialer(faultnet.Config{
+		Seed:         2424,
+		CorruptEvery: 1500,
+		ResetEvery:   600,
+		StallEvery:   2000,
+		Stall:        time.Millisecond,
+		MaxReadChunk: 512,
+	}, func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	})
+	if err := ctr.Register(reg, "faultnet"); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFetcher(dial,
+		WithBackoff(time.Millisecond, 10*time.Millisecond),
+		WithBackoffSeed(8),
+		WithMetrics(reg),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := f.Fetch(ctx)
+	if err != nil {
+		t.Fatalf("systematic chaos fetch failed: %v (stats %+v, faults %+v)", err, res.Stats, ctr.View())
+	}
+
+	if res.Mode != ModeSystematic {
+		t.Fatalf("negotiated mode = %v, want systematic", res.Mode)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload not byte-identical through the chaos link in systematic mode")
+	}
+	if res.Stats.Reconnects < 3 {
+		t.Fatalf("reconnects = %d, want >= 3; faults %+v", res.Stats.Reconnects, ctr.View())
+	}
+	if res.Stats.ResumedRank == 0 {
+		t.Fatal("reconnects carried no rank in systematic mode")
+	}
+	for id := uint32(0); id < uint32(srv.Segments()); id++ {
+		if res.Ranks[id] != p.BlockCount {
+			t.Fatalf("segment %d finished at rank %d of %d", id, res.Ranks[id], p.BlockCount)
+		}
+	}
+	// Fast-path proof: the GF(2) absorbs of this fetch (systematic sweep and
+	// XOR repair records, before any dense tail arrived) must have landed in
+	// the rlnc.xor_absorb stage histogram.
+	v, ok := reg.HistogramView("rlnc.xor_absorb")
+	if !ok || v.Count == 0 {
+		t.Fatalf("rlnc.xor_absorb stage saw no traffic (ok=%v count=%d): XOR fast path never engaged", ok, v.Count)
+	}
+}
+
 // assertChaosExposition scrapes reg once and checks the unified exposition:
 // every surface in one vocabulary, with real latency distributions.
 func assertChaosExposition(t *testing.T, reg *obs.Registry, stats *FetchStats) {

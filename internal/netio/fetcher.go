@@ -125,6 +125,9 @@ type FetchResult struct {
 	// Ranks maps every segment with at least one innovative block to its
 	// decoder rank, including partial ones.
 	Ranks map[uint32]int
+	// Mode is the session coding discipline the server declared in the
+	// handshake; meaningful once at least one handshake succeeded.
+	Mode WireMode
 	// Stats is never nil.
 	Stats *FetchStats
 }
@@ -348,6 +351,9 @@ func (f *Fetcher) result() *FetchResult {
 		Ranks:    f.Ranks(),
 		Stats:    f.stats.view(),
 	}
+	if f.hdr != nil {
+		res.Mode = f.hdr.mode
+	}
 	for id, dec := range f.decoders {
 		if !dec.Ready() {
 			continue
@@ -404,28 +410,35 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 	f.established = true
 
 	// Every record of a session is a marshaled CodedBlock for the
-	// handshake's (n, k), so its framed length is a constant. A prefix that
-	// disagrees is framing loss — a corrupted length, not a record to
-	// allocate — and the stream beyond it is unparseable; the fetcher
-	// resynchronizes by reconnecting, keeping all rank.
+	// handshake's (n, k), so its framed length is a constant — two constants
+	// in systematic mode, where compact XNC2 GF(2) records interleave with
+	// XNC1 dense-tail records. A prefix that matches neither is framing loss
+	// — a corrupted length, not a record to allocate — and the stream beyond
+	// it is unparseable; the fetcher resynchronizes by reconnecting, keeping
+	// all rank.
 	expect := uint32(wireSize(f.hdr.params))
+	expectXor := expect
+	if f.hdr.mode == ModeSystematic {
+		expectXor = uint32(rlnc.XorWireSize(f.hdr.params))
+	}
 	var lenBuf [4]byte
 	for f.remaining() > 0 {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return f.streamErr(ctx, fmt.Errorf("%w: %v", ErrStreamTruncated, err))
 		}
-		if n := binary.BigEndian.Uint32(lenBuf[:]); n != expect {
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n != expect && n != expectXor {
 			f.stats.framingResyncs.Inc()
 			f.stats.bytesDiscarded.Add(4)
 			return f.streamErr(ctx, fmt.Errorf("%w: %d, want %d: resynchronizing", ErrRecordLength, n, expect))
 		}
-		rec := make([]byte, expect)
+		rec := make([]byte, n)
 		if m, err := io.ReadFull(conn, rec); err != nil {
 			f.stats.bytesDiscarded.Add(int64(m) + 4)
 			return f.streamErr(ctx, fmt.Errorf("%w: truncated record: %v", ErrStreamTruncated, err))
 		}
 		f.stats.records.Inc()
-		f.stats.bytes.Add(int64(expect) + 4)
+		f.stats.bytes.Add(int64(n) + 4)
 		asp := stageFetchDecode.Start()
 		err := f.absorb(rec)
 		asp.End()
@@ -462,7 +475,14 @@ func (f *Fetcher) streamErr(ctx context.Context, err error) (bool, bool, error) 
 func (f *Fetcher) absorb(rec []byte) error {
 	discard := func() { f.stats.bytesDiscarded.Add(int64(len(rec)) + 4) }
 	var blk rlnc.CodedBlock
-	if err := blk.UnmarshalBinary(rec); err != nil {
+	unmarshal := blk.UnmarshalBinary
+	if f.hdr.mode == ModeSystematic {
+		// Systematic sessions interleave both encodings; dispatch on the
+		// record magic. Dense sessions stay strict: an XNC2 record there is
+		// a server bug, rejected below as bad magic.
+		unmarshal = blk.UnmarshalRecord
+	}
+	if err := unmarshal(rec); err != nil {
 		if errors.Is(err, rlnc.ErrBadChecksum) || errors.Is(err, rlnc.ErrBadMagic) {
 			f.stats.corrupt.Inc()
 		} else {

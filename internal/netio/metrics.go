@@ -135,6 +135,7 @@ type SessionSnapshot struct {
 // assert block-for-block; while sessions are live, queued blocks make the
 // ledger lag and only Offered >= Sent + Shed is guaranteed.
 type Snapshot struct {
+	Mode             WireMode // session coding discipline declared in handshakes
 	Sessions         int
 	SessionsTotal    int64
 	SessionsRejected int64

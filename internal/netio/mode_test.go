@@ -1,0 +1,150 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"extremenc/internal/rlnc"
+)
+
+// TestWireModeParse pins the flag-value spelling both ways.
+func TestWireModeParse(t *testing.T) {
+	for _, m := range []WireMode{ModeDense, ModeSystematic} {
+		got, err := ParseWireMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseWireMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseWireMode("turbo"); err == nil {
+		t.Fatal("unknown mode string accepted")
+	}
+}
+
+// TestHandshakeCarriesMode: the session header round-trips the mode and
+// rejects modes this client does not speak.
+func TestHandshakeCarriesMode(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 64}
+	for _, m := range []WireMode{ModeDense, ModeSystematic} {
+		var buf bytes.Buffer
+		h := sessionHeader{params: p, segments: 2, length: 999, mode: m}
+		if err := writeSessionHeader(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readSessionHeader(&buf)
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		if got != h {
+			t.Fatalf("header round trip: got %+v, want %+v", got, h)
+		}
+	}
+	var buf bytes.Buffer
+	if err := writeSessionHeader(&buf, sessionHeader{params: p, segments: 1, mode: WireMode(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSessionHeader(&buf); err == nil {
+		t.Fatal("unknown wire mode accepted in handshake")
+	}
+}
+
+// TestNewServerRejectsUnknownMode: the mode is validated at construction, not
+// first handshake.
+func TestNewServerRejectsUnknownMode(t *testing.T) {
+	p := rlnc.Params{BlockCount: 4, BlockSize: 32}
+	if _, err := NewServer(testMedia(t, p.SegmentSize(), 3), p, WithWireMode(WireMode(9))); err == nil {
+		t.Fatal("NewServer accepted an unknown wire mode")
+	}
+}
+
+// TestSystematicFetchOverPipe runs the one-shot path in systematic mode: the
+// stream interleaves XNC2 and XNC1 records and the client must still recover
+// the object byte-identically.
+func TestSystematicFetchOverPipe(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 512}
+	media := testMedia(t, 3*p.SegmentSize()-99, 21)
+	srv, err := NewServer(media, p, WithWireMode(ModeSystematic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Mode() != ModeSystematic {
+		t.Fatalf("server mode = %v", srv.Mode())
+	}
+
+	client, server := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.ServeConn(server)
+	}()
+
+	f := NewFetcher(func(context.Context) (net.Conn, error) { return client, nil },
+		WithMaxAttempts(1))
+	res, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Mode != ModeSystematic {
+		t.Fatalf("negotiated mode = %v, want systematic", res.Mode)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("systematic fetch payload differs")
+	}
+	if res.Stats.Corrupt != 0 || res.Stats.Malformed != 0 {
+		t.Fatalf("clean systematic pipe rejected records: %+v", res.Stats)
+	}
+}
+
+// TestModeDifferentialSessionPath serves the same media through the shared
+// encoder pump in both modes and demands byte-identical results — the
+// systematic + XOR session is an optimization of the wire discipline, never
+// of the recovered bytes.
+func TestModeDifferentialSessionPath(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 256}
+	media := testMedia(t, 3*p.SegmentSize()-41, 22)
+
+	fetchVia := func(mode WireMode) []byte {
+		srv, err := NewServer(media, p, WithWireMode(mode), WithServerSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback listen unavailable: %v", err)
+		}
+		defer l.Close()
+		go srv.Serve(context.Background(), l)
+		defer srv.Shutdown()
+
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewFetcher(func(context.Context) (net.Conn, error) { return conn, nil },
+			WithMaxAttempts(1))
+		res, err := f.Fetch(context.Background())
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Mode != mode {
+			t.Fatalf("negotiated mode = %v, want %v", res.Mode, mode)
+		}
+		if snap := srv.Snapshot(); snap.Mode != mode {
+			t.Fatalf("snapshot mode = %v, want %v", snap.Mode, mode)
+		}
+		return res.Payload
+	}
+
+	dense := fetchVia(ModeDense)
+	systematic := fetchVia(ModeSystematic)
+	if !bytes.Equal(dense, media) {
+		t.Fatal("dense session payload differs from media")
+	}
+	if !bytes.Equal(systematic, dense) {
+		t.Fatal("systematic and dense sessions are not byte-identical")
+	}
+}

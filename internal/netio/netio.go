@@ -25,17 +25,64 @@ import (
 // Protocol:
 //
 //	session header: magic "XNCP" | u32 version | u32 n | u32 k |
-//	                u32 segment count | u64 payload length | u32 CRC
+//	                u32 segment count | u64 payload length | u32 wire mode |
+//	                u32 CRC
 //	then records:   u32 length | marshaled rlnc.CodedBlock, round-robin
 //	                across segments, until the client closes.
+//
+// The wire mode is the server's declaration of the coding discipline for the
+// whole session; the client adapts its record parser to it. In ModeDense
+// every record is an XNC1 dense block. In ModeSystematic records interleave
+// XNC2 GF(2) blocks (systematic sweep + XOR repair) with XNC1 dense-tail
+// blocks, and the receiver's decoder rides its XOR-only fast path until the
+// first dense record arrives.
 const (
 	protoMagic     = "XNCP"
-	protoVersion   = 1
-	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4
+	protoVersion   = 2
+	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4 + 4
 
 	// maxRecordLen bounds a record claim before allocation.
 	maxRecordLen = 64 << 20
 )
+
+// WireMode selects the session's coding discipline, negotiated in the
+// handshake (declared by the server, adopted by the client).
+type WireMode uint32
+
+const (
+	// ModeDense streams dense GF(2^8) coded blocks for every record: the
+	// maximum-innovation discipline (dependence probability ≈ 1/256 per
+	// missing rank) at full table-driven arithmetic cost.
+	ModeDense WireMode = 0
+	// ModeSystematic streams each segment as a systematic sweep (source
+	// blocks verbatim), then GF(2) XOR repair blocks, then a dense GF(2^8)
+	// tail — the wire-speed discipline for lightly-lossy links.
+	ModeSystematic WireMode = 1
+)
+
+// String returns the flag-value spelling of the mode.
+func (m WireMode) String() string {
+	switch m {
+	case ModeDense:
+		return "dense"
+	case ModeSystematic:
+		return "systematic"
+	default:
+		return fmt.Sprintf("mode(%d)", uint32(m))
+	}
+}
+
+// ParseWireMode parses the flag-value spelling ("dense" or "systematic").
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "dense":
+		return ModeDense, nil
+	case "systematic":
+		return ModeSystematic, nil
+	default:
+		return 0, fmt.Errorf("netio: unknown wire mode %q (want dense or systematic)", s)
+	}
+}
 
 // Client-side protocol errors.
 var (
@@ -53,6 +100,7 @@ type sessionHeader struct {
 	params   rlnc.Params
 	segments int
 	length   int64
+	mode     WireMode
 }
 
 func writeSessionHeader(w io.Writer, h sessionHeader) error {
@@ -63,7 +111,8 @@ func writeSessionHeader(w io.Writer, h sessionHeader) error {
 	binary.BigEndian.PutUint32(buf[12:], uint32(h.params.BlockSize))
 	binary.BigEndian.PutUint32(buf[16:], uint32(h.segments))
 	binary.BigEndian.PutUint64(buf[20:], uint64(h.length))
-	binary.BigEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	binary.BigEndian.PutUint32(buf[28:], uint32(h.mode))
+	binary.BigEndian.PutUint32(buf[32:], crc32.ChecksumIEEE(buf[:32]))
 	_, err := w.Write(buf)
 	return err
 }
@@ -79,7 +128,7 @@ func readSessionHeader(r io.Reader) (sessionHeader, error) {
 	if v := binary.BigEndian.Uint32(buf[4:]); v != protoVersion {
 		return sessionHeader{}, fmt.Errorf("%w: version %d", ErrBadHandshake, v)
 	}
-	if crc32.ChecksumIEEE(buf[:28]) != binary.BigEndian.Uint32(buf[28:]) {
+	if crc32.ChecksumIEEE(buf[:32]) != binary.BigEndian.Uint32(buf[32:]) {
 		return sessionHeader{}, fmt.Errorf("%w: checksum", ErrBadHandshake)
 	}
 	h := sessionHeader{
@@ -89,12 +138,16 @@ func readSessionHeader(r io.Reader) (sessionHeader, error) {
 		},
 		segments: int(binary.BigEndian.Uint32(buf[16:])),
 		length:   int64(binary.BigEndian.Uint64(buf[20:])),
+		mode:     WireMode(binary.BigEndian.Uint32(buf[28:])),
 	}
 	if err := h.params.Validate(); err != nil {
 		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
 	if h.segments <= 0 || h.length < 0 {
 		return sessionHeader{}, fmt.Errorf("%w: shape", ErrBadHandshake)
+	}
+	if h.mode > ModeSystematic {
+		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, h.mode)
 	}
 	return h, nil
 }

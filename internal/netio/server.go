@@ -45,6 +45,7 @@ type serverConfig struct {
 	maxSessions   int
 	workers       int
 	seed          int64
+	mode          WireMode
 	metrics       *obs.Registry
 }
 
@@ -98,6 +99,15 @@ func WithServerSeed(seed int64) ServerOption {
 	return func(c *serverConfig) { c.seed = seed }
 }
 
+// WithWireMode sets the session coding discipline the server declares in
+// every handshake (default ModeDense). In ModeSystematic the pump cycles each
+// segment through the systematic + GF(2) XOR repair + dense tail schedule of
+// rlnc.SystematicEncoder, framing binary blocks in the compact XNC2 encoding;
+// queueing, shedding, deadlines, and reconnect semantics are unchanged.
+func WithWireMode(m WireMode) ServerOption {
+	return func(c *serverConfig) { c.mode = m }
+}
+
 // WithMetricsRegistry registers the server's counters and session gauges
 // into reg under the "netio" prefix, so the server scrapes alongside every
 // other obs surface. Each registry admits one server: NewServer fails on a
@@ -128,6 +138,10 @@ type Server struct {
 	object *rlnc.Object
 	cfg    serverConfig
 	penc   *rlnc.ParallelEncoder
+
+	// sysEncs holds one systematic encoder per segment for ModeSystematic;
+	// they are only touched by the single pump goroutine.
+	sysEncs []*rlnc.SystematicEncoder
 
 	counters         Counters
 	sessionsTotal    obs.Counter
@@ -180,6 +194,9 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 	if err != nil {
 		return nil, err
 	}
+	if cfg.mode > ModeSystematic {
+		return nil, fmt.Errorf("netio: unknown wire mode %d", cfg.mode)
+	}
 	s := &Server{
 		object:   obj,
 		cfg:      cfg,
@@ -190,6 +207,13 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 		consumed: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
+	}
+	if cfg.mode == ModeSystematic {
+		rng := rand.New(rand.NewSource(cfg.seed))
+		s.sysEncs = make([]*rlnc.SystematicEncoder, len(obj.Segments))
+		for i, seg := range obj.Segments {
+			s.sysEncs[i] = rlnc.NewSystematicEncoder(seg, rng)
+		}
 	}
 	if cfg.metrics != nil {
 		if err := s.registerMetrics(cfg.metrics); err != nil {
@@ -231,6 +255,10 @@ func (s *Server) registerMetrics(reg *obs.Registry) error {
 
 // Segments returns the number of media segments served.
 func (s *Server) Segments() int { return len(s.object.Segments) }
+
+// Mode returns the session coding discipline the server declares in every
+// handshake.
+func (s *Server) Mode() WireMode { return s.cfg.mode }
 
 // session is one connected client on the session path.
 type session struct {
@@ -379,6 +407,7 @@ func (s *Server) runSession(ss *session) {
 		params:   s.object.Params,
 		segments: len(s.object.Segments),
 		length:   int64(s.object.Length),
+		mode:     s.cfg.mode,
 	}
 	// The handshake gets one deadline window and no retry: a peer that
 	// connects and never reads must not pin the session goroutine.
@@ -511,21 +540,43 @@ func (s *Server) pump() {
 		}
 
 		seg := s.object.Segments[segIdx]
-		segIdx = (segIdx + 1) % len(s.object.Segments)
-		blocks, err := s.penc.Encode(seg, s.cfg.batchBlocks, seed)
-		seed++
-		if err != nil {
-			// Unreachable for a validated object; drop the batch.
-			continue
-		}
-		s.counters.AddEncoded(int64(len(blocks)))
-
-		delivered := false
-		for _, blk := range blocks {
-			rec, err := frameRecord(blk)
+		var recs [][]byte
+		if s.cfg.mode == ModeSystematic {
+			// Systematic schedule: the per-segment encoder cycles sweep →
+			// XOR repair → dense tail; binary blocks go out in the compact
+			// GF(2) encoding. Block is the non-retaining emit — the record
+			// is marshaled before the next call reuses its storage.
+			se := s.sysEncs[segIdx]
+			recs = make([][]byte, 0, s.cfg.batchBlocks)
+			for i := 0; i < s.cfg.batchBlocks; i++ {
+				rec, err := frameSystematicRecord(se.Block())
+				if err != nil {
+					continue
+				}
+				recs = append(recs, rec)
+			}
+		} else {
+			blocks, err := s.penc.Encode(seg, s.cfg.batchBlocks, seed)
+			seed++
 			if err != nil {
+				// Unreachable for a validated object; drop the batch.
+				segIdx = (segIdx + 1) % len(s.object.Segments)
 				continue
 			}
+			recs = make([][]byte, 0, len(blocks))
+			for _, blk := range blocks {
+				rec, err := frameRecord(blk)
+				if err != nil {
+					continue
+				}
+				recs = append(recs, rec)
+			}
+		}
+		segIdx = (segIdx + 1) % len(s.object.Segments)
+		s.counters.AddEncoded(int64(len(recs)))
+
+		delivered := false
+		for _, rec := range recs {
 			osp := stageQueueOffer.Start()
 			for _, ss := range live {
 				if ss.offer(rec, &s.counters) {
@@ -557,16 +608,38 @@ func frameRecord(b *rlnc.CodedBlock) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return frameBody(body), nil
+}
+
+// frameSystematicRecord marshals a coded block in the systematic session's
+// per-block encoding: the compact XNC2 GF(2) format for binary blocks
+// (systematic sweep and XOR repair), XNC1 for the dense tail.
+func frameSystematicRecord(b *rlnc.CodedBlock) ([]byte, error) {
+	var body []byte
+	var err error
+	if b.IsBinary() {
+		body, err = b.MarshalBinaryXor()
+	} else {
+		body, err = b.MarshalBinary()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return frameBody(body), nil
+}
+
+func frameBody(body []byte) []byte {
 	rec := make([]byte, 4+len(body))
 	binary.BigEndian.PutUint32(rec, uint32(len(body)))
 	copy(rec[4:], body)
-	return rec, nil
+	return rec
 }
 
 // Snapshot copies the server's aggregate counters and the state of every
 // live session.
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
+		Mode:             s.cfg.mode,
 		SessionsTotal:    s.sessionsTotal.Load(),
 		SessionsRejected: s.sessionsRejected.Load(),
 		SessionSeconds:   time.Duration(s.sessionSecs.Load()).Seconds(),
@@ -655,17 +728,26 @@ func (s *Server) ServeConn(conn net.Conn) {
 		params:   s.object.Params,
 		segments: len(s.object.Segments),
 		length:   int64(s.object.Length),
+		mode:     s.cfg.mode,
 	}
 	if err := writeSessionHeader(conn, h); err != nil {
 		return
 	}
 	rng := rand.New(rand.NewSource(seed))
-	encoders := make([]*rlnc.Encoder, len(s.object.Segments))
-	for i, seg := range s.object.Segments {
-		encoders[i] = rlnc.NewEncoder(seg, rng)
+	next := make([]func() ([]byte, error), len(s.object.Segments))
+	if s.cfg.mode == ModeSystematic {
+		for i, seg := range s.object.Segments {
+			se := rlnc.NewSystematicEncoder(seg, rng)
+			next[i] = func() ([]byte, error) { return frameSystematicRecord(se.Block()) }
+		}
+	} else {
+		for i, seg := range s.object.Segments {
+			enc := rlnc.NewEncoder(seg, rng)
+			next[i] = func() ([]byte, error) { return frameRecord(enc.NextBlock()) }
+		}
 	}
-	for i := 0; ; i = (i + 1) % len(encoders) {
-		rec, err := frameRecord(encoders[i].NextBlock())
+	for i := 0; ; i = (i + 1) % len(next) {
+		rec, err := next[i]()
 		if err != nil {
 			return
 		}

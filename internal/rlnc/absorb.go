@@ -41,7 +41,6 @@ func (d *Decoder) AddBlocks(blocks []*CodedBlock) (innovative int, err error) {
 	if len(blocks) == 0 {
 		return 0, nil
 	}
-	defer stageAbsorb.Start().End()
 	segID, haveSeg := d.segID, d.haveSeg
 	if !haveSeg {
 		segID = blocks[0].SegmentID
@@ -55,6 +54,39 @@ func (d *Decoder) AddBlocks(blocks []*CodedBlock) (innovative int, err error) {
 		}
 	}
 	d.segID, d.haveSeg = segID, true
+
+	// GF(2) routing: while the decoder is on the XOR fast path and the whole
+	// batch is binary, absorb per-row through addBlockXor — the fused staging
+	// below buys nothing when every row operation is already a single XOR,
+	// and the per-row path is what the rlnc.xor_absorb stage observes. A
+	// batch containing any dense block drops the decoder into the general
+	// fused machinery for good (the result is byte-identical either way:
+	// MulAddSlice at coefficient 1 is XorSlice).
+	if d.xorOnly {
+		allBinary := true
+		for _, b := range blocks {
+			if !b.IsBinary() {
+				allBinary = false
+				break
+			}
+		}
+		if allBinary {
+			d.received += len(blocks)
+			for _, b := range blocks {
+				ok, err := d.addBlockXor(b)
+				if err != nil {
+					return innovative, err
+				}
+				if ok {
+					innovative++
+				}
+			}
+			return innovative, nil
+		}
+		d.xorOnly = false
+	}
+
+	defer stageAbsorb.Start().End()
 	d.received += len(blocks)
 
 	n, k := d.params.BlockCount, d.params.BlockSize

@@ -5,7 +5,13 @@ import (
 	"fmt"
 
 	"extremenc/internal/gf256"
+	"extremenc/internal/obs"
 )
+
+// stageXorAbsorb times one XOR-only (GF(2) fast path) absorb. Free when no
+// obs sink is installed; its sample count is how operators confirm the fast
+// path is actually running (see cmd/ncserve xor-smoke).
+var stageXorAbsorb = obs.StageOf("rlnc.xor_absorb")
 
 // Decoding errors.
 var (
@@ -32,6 +38,14 @@ type Decoder struct {
 	received  int
 	dependent int
 
+	// xorOnly gates the GF(2) elimination fast path: true while every
+	// absorbed block has had a 0/1 coefficient vector. XOR-eliminating
+	// binary rows against binary rows keeps every stored row binary (GF(2^8)
+	// addition is XOR), so the invariant survives arbitrarily many fast-path
+	// absorbs; the first dense arrival clears it permanently and the decoder
+	// drops into the general table-driven machinery.
+	xorOnly bool
+
 	// scr is the decoder's reusable workspace for the batched absorb path,
 	// drawn lazily from the shared scratch pool.
 	scr *Scratch
@@ -48,6 +62,7 @@ func NewDecoder(p Params, opts ...DecoderOption) (*Decoder, error) {
 	return &Decoder{
 		params:      p,
 		rowForPivot: make([][]byte, p.BlockCount),
+		xorOnly:     true,
 		scr:         cfg.scratch,
 	}, nil
 }
@@ -93,6 +108,14 @@ func (d *Decoder) AddBlock(b *CodedBlock) (innovative bool, err error) {
 	}
 	d.segID, d.haveSeg = b.SegmentID, true
 	d.received++
+
+	if d.xorOnly {
+		if b.IsBinary() {
+			return d.addBlockXor(b)
+		}
+		// First dense arrival: leave the GF(2) fast path for good.
+		d.xorOnly = false
+	}
 
 	n, k := d.params.BlockCount, d.params.BlockSize
 	row := make([]byte, n+k)
@@ -140,6 +163,56 @@ func (d *Decoder) AddBlock(b *CodedBlock) (innovative bool, err error) {
 		}
 		if f := pr[pivot]; f != 0 {
 			gf256.MulAddSlice(pr, row, f)
+		}
+	}
+	d.rowForPivot[pivot] = row
+	d.rank++
+	return true, nil
+}
+
+// addBlockXor is the GF(2) elimination fast path: the arriving block and
+// every stored row are binary (xorOnly invariant), so every elimination
+// factor is 1 and the whole absorb is pure wide-word XOR — no log/exp or
+// product tables, no MulAddSlice, no pivot normalization (a binary pivot
+// entry is already 1). The resulting rows are byte-identical to what the
+// general path would produce, because MulAddSlice with coefficient 1 *is*
+// XorSlice; only the arithmetic dispatched differs. The caller has already
+// validated the block and counted it received.
+func (d *Decoder) addBlockXor(b *CodedBlock) (innovative bool, err error) {
+	defer stageXorAbsorb.Start().End()
+	n, k := d.params.BlockCount, d.params.BlockSize
+	row := make([]byte, n+k)
+	copy(row, b.Coeffs)
+	copy(row[n:], b.Payload)
+
+	// Forward-reduce: any non-zero entry in a pivoted column is 1, so the
+	// row operation is a plain XOR of the stored pivot row.
+	pivot := -1
+	for c := 0; c < n; c++ {
+		if row[c] == 0 {
+			continue
+		}
+		if pr := d.rowForPivot[c]; pr != nil {
+			gf256.XorSlice(row, pr)
+			continue
+		}
+		if pivot < 0 {
+			pivot = c
+		}
+	}
+	if pivot < 0 {
+		d.dependent++
+		return false, nil
+	}
+	// Back-substitute the new pivot out of every stored row; stored entries
+	// at the pivot column are 0 or 1, so again each operation is one XOR.
+	for c := 0; c < n; c++ {
+		pr := d.rowForPivot[c]
+		if pr == nil {
+			continue
+		}
+		if pr[pivot] != 0 {
+			gf256.XorSlice(pr, row)
 		}
 	}
 	d.rowForPivot[pivot] = row

@@ -145,6 +145,24 @@ func (d *Decoder) UnmarshalBinary(data []byte) error {
 	d.rank = rank
 	d.received = int(binary.BigEndian.Uint32(data[25:]))
 	d.dependent = int(binary.BigEndian.Uint32(data[29:]))
+	// Recompute the GF(2) fast-path gate from the restored rows: the state
+	// blob predates the xorOnly flag, and the stored rows are the ground
+	// truth anyway — all-binary rows are exactly the invariant the XOR-only
+	// elimination path requires, so a resumed systematic session picks the
+	// fast path back up. (A decoder that went dense then back to rank 0 is
+	// unrepresentable: dense rows persist until decode completes.)
+	d.xorOnly = true
+	for _, c := range pivots {
+		for _, v := range rows[c][:n] {
+			if v > 1 {
+				d.xorOnly = false
+				break
+			}
+		}
+		if !d.xorOnly {
+			break
+		}
+	}
 	d.scr = nil
 	return nil
 }

@@ -114,6 +114,89 @@ func abs(v int) int {
 	return v
 }
 
+// FuzzXorBlockUnmarshal explores the GF(2) wire decoder: accepted input must
+// expand to a binary block and re-marshal byte-identically — any mask byte
+// with trailing bits, bad length, or checksum mismatch must be rejected, never
+// mis-parsed.
+func FuzzXorBlockUnmarshal(f *testing.F) {
+	p := Params{BlockCount: 12, BlockSize: 48} // ragged mask: 4 trailing bits
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(3, p, data)
+	if err != nil {
+		f.Fatal(err)
+	}
+	se := NewSystematicEncoder(seg, rng)
+	for i := 0; i < 3; i++ {
+		wire, err := se.Block().MarshalBinaryXor()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("XNC2"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var blk CodedBlock
+		if err := blk.UnmarshalBinaryXor(data); err != nil {
+			return
+		}
+		if !blk.IsBinary() {
+			t.Fatal("accepted XNC2 record expanded to non-binary coefficients")
+		}
+		out, err := blk.MarshalBinaryXor()
+		if err != nil {
+			t.Fatalf("accepted xor block fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("xor unmarshal/marshal not idempotent")
+		}
+	})
+}
+
+// FuzzRecordDispatch drives the magic-dispatching record parser with both
+// encodings' seeds: whatever it accepts must re-marshal, under the matching
+// encoding, to the input bytes.
+func FuzzRecordDispatch(f *testing.F) {
+	seedWire(f, false)
+	p := Params{BlockCount: 8, BlockSize: 64}
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, p.SegmentSize())
+	rng.Read(data)
+	seg, err := SegmentFromData(1, p, data)
+	if err != nil {
+		f.Fatal(err)
+	}
+	se := NewSystematicEncoder(seg, rng)
+	wire, err := se.Block().MarshalBinaryXor()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte("XNC2"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var blk CodedBlock
+		if err := blk.UnmarshalRecord(data); err != nil {
+			return
+		}
+		var out []byte
+		var merr error
+		if len(data) >= 4 && string(data[:4]) == xorWireMagic {
+			out, merr = blk.MarshalBinaryXor()
+		} else {
+			out, merr = blk.MarshalBinary()
+		}
+		if merr != nil {
+			t.Fatalf("accepted record fails to marshal: %v", merr)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("record dispatch unmarshal/marshal not idempotent")
+		}
+	})
+}
+
 func FuzzSeededBlockUnmarshal(f *testing.F) {
 	seedWire(f, true)
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -188,6 +188,33 @@ func TestMixedBlockKindsDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Prelude: a run of purely binary blocks (systematic + GF(2) repair) must
+	// keep the decoder on its XOR-only fast path — the fast path and the
+	// general machinery must agree block for block before dense kinds enter.
+	if !dec.xorOnly {
+		t.Fatal("fresh decoder not on the XOR fast path")
+	}
+	pre := NewSystematicEncoder(seg, rand.New(rand.NewSource(131)), WithXorRepair(4), WithDenseTail(0))
+	for i := 0; i < p.BlockCount/2+4; i++ {
+		b, err := pre.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.IsBinary() {
+			t.Fatalf("prelude block %d is not GF(2)", i)
+		}
+		if !consistentWithSource(seg, b) {
+			t.Fatalf("prelude block %d inconsistent", i)
+		}
+		if _, err := dec.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if !dec.xorOnly {
+			t.Fatalf("binary block %d knocked the decoder off the fast path", i)
+		}
+	}
+
 	sources := []func() (*CodedBlock, error){
 		se.NextBlock,
 		func() (*CodedBlock, error) { return dense.NextBlock(), nil },
