@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke bench bench-host bench-smoke ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -44,12 +44,12 @@ chaos:
 
 # Deep static analysis. Skips gracefully when the staticcheck binary is not
 # installed (we never install dependencies from a build target); CI installs
-# it explicitly and runs this same target.
+# the pinned version explicitly and runs this same target.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
 	fi
 
 # End-to-end serving gate: boot the session server against a loopback
@@ -71,6 +71,17 @@ metrics-smoke:
 # the observable proof that the GF(2) XOR-only decode path actually engaged.
 xor-smoke:
 	$(GO) run ./cmd/ncserve xor-smoke
+
+# Relay-mesh end-to-end gate, entirely under the race detector: origin →
+# recoding relays → leaves over loopback TCP with faultnet chaos between the
+# tiers, two of three relays killed mid-transfer, every leaf byte-identical
+# with monotone per-segment rank, remediation counters nonzero in a scraped
+# exposition, and the relay tier beating a capped origin on aggregate
+# throughput. The whole package runs here (control-plane unit tests
+# included), so ./internal/mesh/ needs no separate RACE_PKGS entry.
+mesh-smoke:
+	$(GO) test -race -count=1 -v -run 'TestMeshSmoke' ./internal/mesh/
+	$(GO) test -race -count=1 -skip 'TestMeshSmoke' ./internal/mesh/
 
 # Regenerate every paper table and figure as aligned text tables.
 figures:
@@ -102,14 +113,31 @@ bench-host:
 	@cat BENCH_host.json
 
 # One-iteration pass over the ladder benchmarks, piped through benchjson: a
-# cheap CI check that every rung still runs and parses.
+# cheap CI check that every rung still runs and parses. The parsed artifact
+# is kept (untracked) so CI can upload it.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkXorLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
 		-benchtime 1x -count 1 ./internal/gf256/ ./internal/rlnc/ \
-		| $(GO) run ./cmd/benchjson > /dev/null
+		| $(GO) run ./cmd/benchjson > BENCH_smoke.json
+	@cat BENCH_smoke.json
+
+# Re-run the ladder benchmarks at moderate iteration counts and gate the
+# derived speedup ratios against the committed BENCH_host.json: every
+# relative key (`_x` multiple, `_pct` percentage) must stay within tolerance
+# of its committed value. Absolute MB/s numbers are machine-specific and are
+# never gated; the 50% default tolerance absorbs runner-to-runner noise
+# while still catching an optimization rung that actually regressed.
+bench-check:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkXorLadder' \
+		-benchtime 1000x -count 1 ./internal/gf256/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
+		-benchtime 30x -count 1 ./internal/rlnc/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkXorLadder' \
+		-benchtime 50x -count 1 ./internal/rlnc/ ; } \
+		| $(GO) run ./cmd/benchjson -check BENCH_host.json
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke
 
 # Run every example program.
 examples:
@@ -128,4 +156,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem -count=1 ./... 2>&1 | tee $@
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_smoke.json

@@ -4,17 +4,26 @@
 // host-codec ratios — most importantly the tiled batch encoder's speedup
 // over the single-block path — when the relevant benchmarks are present.
 //
+// With -check it additionally compares the fresh run's derived ratios
+// against a committed artifact and exits non-zero when a gate regressed.
+// Only relative keys (speedup multiples `_x` and percentages `_pct`) are
+// gated: absolute MB/s numbers are machine-specific, ratios travel.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkMulAddLadder|BenchmarkEncodeBatch|BenchmarkDecodeLadder' \
 //	    -benchtime 100x ./internal/gf256/ ./internal/rlnc/ | go run ./cmd/benchjson
+//	... | go run ./cmd/benchjson -check BENCH_host.json -tolerance 0.5
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,18 +47,47 @@ type Document struct {
 }
 
 func main() {
-	doc, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	checkPath := fs.String("check", "", "committed artifact to gate the fresh run's derived ratios against")
+	tolerance := fs.Float64("tolerance", 0.5, "allowed fractional slack below a committed ratio before -check fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doc, err := parse(bufio.NewScanner(stdin))
+	if err != nil {
+		return err
 	}
 	derive(doc)
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
+
+	if *checkPath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(*checkPath)
+	if err != nil {
+		return err
+	}
+	var committed Document
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("%s: %w", *checkPath, err)
+	}
+	failures := check(doc, &committed, *tolerance)
+	if len(failures) > 0 {
+		return fmt.Errorf("derived-ratio gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {
@@ -174,4 +212,51 @@ func derive(doc *Document) {
 			set(key, b.MBPerS)
 		}
 	}
+}
+
+// check gates fresh derived ratios against committed ones. Every relative
+// committed key (`_x` speedup multiple or `_pct` percentage) must be present
+// in the fresh run — a gate that silently stops being measured is itself a
+// regression — and must not fall below committed·(1−tolerance). Percentages
+// are compared as speedup multiples (1 + pct/100) so a near-zero committed
+// percentage doesn't explode the relative comparison; absolute `_mb_s` keys
+// are skipped entirely. The returned slice holds one message per violation.
+func check(fresh, committed *Document, tolerance float64) []string {
+	var failures []string
+	keys := make([]string, 0, len(committed.Derived))
+	for key := range committed.Derived {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		want := committed.Derived[key]
+		var wantMult, floor, gotMult float64
+		switch {
+		case strings.HasSuffix(key, "_x"):
+			wantMult = want
+		case strings.HasSuffix(key, "_pct"):
+			wantMult = 1 + want/100
+		default:
+			continue
+		}
+		if wantMult <= 0 {
+			continue
+		}
+		got, ok := fresh.Derived[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh run (committed %.3g)", key, want))
+			continue
+		}
+		if strings.HasSuffix(key, "_x") {
+			gotMult = got
+		} else {
+			gotMult = 1 + got/100
+		}
+		floor = wantMult * (1 - tolerance)
+		if gotMult < floor {
+			failures = append(failures, fmt.Sprintf("%s: fresh %.3g below floor %.3g (committed %.3g, tolerance %.0f%%)",
+				key, got, floor, want, tolerance*100))
+		}
+	}
+	return failures
 }

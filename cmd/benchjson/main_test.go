@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newScanner(s string) *bufio.Scanner {
+	return bufio.NewScanner(strings.NewReader(s))
+}
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: extremenc/internal/gf256
+cpu: Test CPU
+BenchmarkMulAddLadder/table-scalar/k=4096-8   1000   1000 ns/op   1000.00 MB/s
+BenchmarkMulAddLadder/fused4x2/k=4096-8       1000    500 ns/op   1700.00 MB/s
+BenchmarkXorLadder/xor-repair-encode/k=4096-8 1000    100 ns/op   5950.00 MB/s
+garbage line that is not a benchmark
+BenchmarkBroken   not-a-number   10 ns/op
+`
+
+func parseText(t *testing.T, text string) *Document {
+	t.Helper()
+	doc, err := parse(newScanner(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseAndDerive(t *testing.T) {
+	doc := parseText(t, benchText)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.GOOS != "linux" || doc.CPU != "Test CPU" {
+		t.Fatalf("host fields: %q %q", doc.GOOS, doc.CPU)
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkMulAddLadder/table-scalar/k=4096" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", doc.Benchmarks[0].Name)
+	}
+	derive(doc)
+	if got := doc.Derived["fused4x2_over_scalar_k4096_pct"]; got < 69 || got > 71 {
+		t.Fatalf("fused4x2 pct = %v, want ~70", got)
+	}
+	if got := doc.Derived["xor_repair_encode_over_fused4x2_k4096_x"]; got < 3.4 || got > 3.6 {
+		t.Fatalf("xor multiple = %v, want ~3.5", got)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	fresh := parseText(t, benchText)
+	derive(fresh)
+	committed := &Document{Derived: map[string]float64{
+		"xor_repair_encode_over_fused4x2_k4096_x": 3.2,
+		"fused4x2_over_scalar_k4096_pct":          65,
+		"xor_blended_loss_1pct_mb_s":              99999, // absolute: never gated
+	}}
+
+	if fails := check(fresh, committed, 0.25); len(fails) != 0 {
+		t.Fatalf("healthy run failed the gate: %v", fails)
+	}
+
+	// A fresh ratio far below the committed one trips the gate.
+	committed.Derived["xor_repair_encode_over_fused4x2_k4096_x"] = 50
+	fails := check(fresh, committed, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "xor_repair_encode") {
+		t.Fatalf("regression not caught: %v", fails)
+	}
+
+	// A committed ratio key missing from the fresh run is a failure too.
+	committed.Derived["xor_repair_encode_over_fused4x2_k4096_x"] = 3.2
+	committed.Derived["vanished_gate_x"] = 2
+	fails = check(fresh, committed, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "vanished_gate_x: missing") {
+		t.Fatalf("missing key not caught: %v", fails)
+	}
+}
+
+func TestRunCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "BENCH_host.json")
+
+	// Commit an artifact from one run, then re-check the same text: a
+	// byte-identical rerun always passes its own gate.
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(benchText), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(artifact, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted artifact is not valid JSON: %v", err)
+	}
+	if err := run([]string{"-check", artifact}, strings.NewReader(benchText), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade the fresh XOR rung 10×: the gate must fail even at a wide
+	// tolerance, and pass when the tolerance admits anything.
+	degraded := strings.Replace(benchText, "5950.00", "595.00", 1)
+	err := run([]string{"-check", artifact, "-tolerance", "0.5"}, strings.NewReader(degraded), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "derived-ratio gate failed") {
+		t.Fatalf("degraded run passed the gate: %v", err)
+	}
+	if err := run([]string{"-check", artifact, "-tolerance", "0.99"}, strings.NewReader(degraded), &bytes.Buffer{}); err != nil {
+		t.Fatalf("0.99 tolerance still failed: %v", err)
+	}
+
+	if err := run([]string{"-check", filepath.Join(dir, "nope.json")}, strings.NewReader(benchText), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"extremenc/internal/faultnet"
 	"extremenc/internal/gf256"
 	"extremenc/internal/gpu"
+	"extremenc/internal/mesh"
 	"extremenc/internal/ncfile"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
@@ -399,7 +400,41 @@ var (
 	// WithWireMode selects the serving wire discipline (dense or
 	// systematic + XOR); the negotiated mode rides the session handshake.
 	WithWireMode = netio.WithWireMode
+	// WithServePace floors the interval between pump rounds, modeling a
+	// capacity-constrained origin uplink.
+	WithServePace = netio.WithServePace
 )
+
+// Pluggable serving sources (see internal/netio): a NetServer normally
+// serves a media object, but any RecordSource — most notably a mesh relay's
+// recoder bank — can sit behind the same pump, queues, and shed machinery.
+type (
+	// RecordSource supplies framed records for one declared session shape.
+	RecordSource = netio.RecordSource
+	// SessionInfo is the session shape a RecordSource declares: coding
+	// params, segment count, payload length, and wire mode.
+	SessionInfo = netio.SessionInfo
+)
+
+// NewSourceServer builds a push-streaming server over an arbitrary
+// RecordSource instead of a media object.
+func NewSourceServer(src RecordSource, opts ...NetServerOption) (*NetServer, error) {
+	return netio.NewSourceServer(src, opts...)
+}
+
+// FrameRecord marshals one coded block into the record framing for mode —
+// the helper RecordSource implementations use to produce wire records.
+func FrameRecord(b *CodedBlock, mode WireMode) ([]byte, error) {
+	return netio.FrameRecord(b, mode)
+}
+
+// Redirector is a mutable dial target: it satisfies DialFunc while letting
+// a control plane re-point the next reconnect at a different server — the
+// leaf-side half of mesh remediation.
+type Redirector = netio.Redirector
+
+// NewRedirector returns a Redirector dialing target until re-pointed.
+func NewRedirector(target string) *Redirector { return netio.NewRedirector(target) }
 
 // WireMode is the wire discipline a serving session negotiates in its
 // handshake: classic dense GF(2^8) records, or the systematic schedule
@@ -464,6 +499,12 @@ var (
 	WithReconnectHook = netio.WithReconnectHook
 	// WithResumeState preloads decoders from a Fetcher.State blob.
 	WithResumeState = netio.WithResumeState
+	// WithRecordTap observes every accepted record; taps compose and run
+	// in installation order.
+	WithRecordTap = netio.WithRecordTap
+	// WithSessionHook observes each session's outcome; hooks compose and
+	// run in installation order.
+	WithSessionHook = netio.WithSessionHook
 )
 
 // Deterministic fault injection (see internal/faultnet): a seeded chaos
@@ -498,6 +539,31 @@ func FaultyDialer(cfg FaultConfig, dial DialFunc) (DialFunc, *FaultCounters) {
 	d, ctr := faultnet.Dialer(cfg, dial)
 	return d, ctr
 }
+
+// Recoding relay mesh (see internal/mesh): an origin server feeding a tier
+// of relays that recombine received blocks without decoding and re-serve
+// them to a wave of leaf fetchers, with a control plane — membership pool,
+// heartbeat/rank health detection, least-loaded coordinator, remediator —
+// that re-points leaves off dead relays mid-transfer.
+type (
+	// MeshTopology describes an in-process mesh: media, coding params,
+	// relay/leaf counts, wire mode, chaos configs, and health cadence.
+	MeshTopology = mesh.Topology
+	// Mesh is a running origin + relay tier + leaf wave with its control
+	// plane.
+	Mesh = mesh.Mesh
+	// MeshLeaf is one leaf fetcher in the wave.
+	MeshLeaf = mesh.Leaf
+	// MeshHealthConfig sets the suspect/dead failure-detection windows.
+	MeshHealthConfig = mesh.HealthConfig
+	// MeshMemberView is one relay's state in a snapshot.
+	MeshMemberView = mesh.MemberView
+	// MeshSnapshot is a consistent JSON-taggable view of the whole mesh.
+	MeshSnapshot = mesh.MeshSnapshot
+)
+
+// NewMesh builds (but does not start) a mesh for the topology.
+func NewMesh(topo MeshTopology) (*Mesh, error) { return mesh.New(topo) }
 
 // Coded file containers (see internal/ncfile).
 type (

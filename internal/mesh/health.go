@@ -1,0 +1,82 @@
+package mesh
+
+import "time"
+
+// HealthConfig sets the failure-detector thresholds.
+type HealthConfig struct {
+	// SuspectAfter is how long a heartbeat may be overdue — or, for a
+	// not-yet-warm relay, how long its rank may stall — before the member
+	// is marked suspect and taken out of the assignment rotation.
+	SuspectAfter time.Duration
+	// DeadAfter is how long a heartbeat may be overdue before the member is
+	// declared dead (terminal). Must exceed SuspectAfter.
+	DeadAfter time.Duration
+}
+
+// Health is the mesh failure detector: a periodic sweep over the pool that
+// combines two signals. Heartbeats are pure liveness — a relay whose beats
+// stop is suspect, then dead. Rank progress is usefulness — a relay that
+// heartbeats dutifully but whose recoders stop gaining rank before reaching
+// full is stuck (an upstream partition, a wedged fetch) and is marked
+// suspect so no new leaves land on it, without being killed: its
+// accumulated rank still serves the leaves it has.
+type Health struct {
+	pool *Pool
+	cfg  HealthConfig
+}
+
+// NewHealth returns a checker over pool with thresholds from cfg.
+func NewHealth(pool *Pool, cfg HealthConfig) *Health {
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = 2 * cfg.SuspectAfter
+	}
+	return &Health{pool: pool, cfg: cfg}
+}
+
+// Transition records one state change made by a sweep.
+type Transition struct {
+	ID       string
+	From, To State
+}
+
+// Sweep probes every member once and applies state transitions, returning
+// the changes it made. Dead is terminal; joining members are given until
+// DeadAfter for their first beat.
+func (h *Health) Sweep() []Transition {
+	p := h.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	var trs []Transition
+	for _, m := range p.members {
+		if m.state == StateDead {
+			continue
+		}
+		if m.rankFn != nil {
+			if rank := m.rankFn(); rank > m.lastRank {
+				m.lastRank = rank
+				m.lastRankChange = now
+			}
+		}
+		beatAge := now.Sub(m.lastBeat)
+		next := m.state
+		switch {
+		case beatAge > h.cfg.DeadAfter:
+			next = StateDead
+		case beatAge > h.cfg.SuspectAfter:
+			next = StateSuspect
+		case m.state == StateActive && m.lastRank < m.fullRank &&
+			now.Sub(m.lastRankChange) > h.cfg.DeadAfter:
+			// Alive but stuck below full rank: quarantine, don't bury.
+			next = StateSuspect
+		}
+		if next != m.state {
+			trs = append(trs, Transition{ID: m.id, From: m.state, To: next})
+			m.state = next
+			if next == StateDead {
+				p.deaths.Inc()
+			}
+		}
+	}
+	return trs
+}

@@ -1,0 +1,515 @@
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"extremenc/internal/faultnet"
+	"extremenc/internal/netio"
+	"extremenc/internal/obs"
+	"extremenc/internal/rlnc"
+)
+
+// Topology describes a mesh run: one origin serving media, a tier of
+// recoding relays fetching from it, and a tier of leaf fetchers assigned to
+// relays by the coordinator. Zero-valued durations get fast-sweep defaults
+// sized for in-process loopback runs.
+type Topology struct {
+	// Media and Params define the object the origin serves.
+	Media  []byte
+	Params rlnc.Params
+
+	// Relays and Leaves size the two tiers.
+	Relays int
+	Leaves int
+
+	// OriginMode is the origin's wire mode (default ModeDense).
+	OriginMode netio.WireMode
+	// XorRecode switches every relay to GF(2) XOR recombination with
+	// ModeSystematic downstream framing.
+	XorRecode bool
+	// OriginMaxSessions caps concurrent origin sessions (0 = unlimited) —
+	// the knob that makes a relay tier pay off: relays warm up, release
+	// their origin slots, and fan out in parallel.
+	OriginMaxSessions int
+	// OriginPace floors the origin's pump-round interval, modeling a
+	// capacity-constrained origin uplink (see netio.WithServePace). Warm
+	// relays serve unpaced, so this is the constraint a relay tier
+	// overcomes.
+	OriginPace time.Duration
+
+	// Seed drives every deterministic choice in the mesh.
+	Seed int64
+
+	// UpstreamFaults / DownstreamFaults, when non-nil, wrap the
+	// relay→origin and leaf→relay connections in faultnet chaos.
+	UpstreamFaults   *faultnet.Config
+	DownstreamFaults *faultnet.Config
+
+	// Heartbeat is the relay heartbeat period; Sweep the remediation
+	// period; Health the failure-detector thresholds.
+	Heartbeat time.Duration
+	Sweep     time.Duration
+	Health    HealthConfig
+
+	// Registry, when non-nil, receives the full mesh observability surface:
+	// origin server counters, control-plane counters, relay stage spans
+	// (via the process sink), and faultnet injection totals.
+	Registry *obs.Registry
+
+	// LeafFetchOpts, when non-nil, appends extra fetcher options for each
+	// leaf (test hooks, attempt budgets).
+	LeafFetchOpts func(leaf int) []netio.FetcherOption
+}
+
+// withDefaults fills in the fast-sweep defaults.
+func (t Topology) withDefaults() Topology {
+	if t.Heartbeat <= 0 {
+		t.Heartbeat = 15 * time.Millisecond
+	}
+	if t.Sweep <= 0 {
+		t.Sweep = 20 * time.Millisecond
+	}
+	if t.Health.SuspectAfter <= 0 {
+		t.Health.SuspectAfter = 4 * t.Heartbeat
+	}
+	if t.Health.DeadAfter <= 0 {
+		t.Health.DeadAfter = 8 * t.Heartbeat
+	}
+	return t
+}
+
+// Leaf is one downstream fetcher: a Redirector the coordinator owns plus
+// the resilient fetch running over it.
+type Leaf struct {
+	ID int
+
+	rd         *netio.Redirector
+	records    atomic.Int64
+	reconnects atomic.Int64
+
+	done chan struct{}
+	res  *netio.FetchResult
+	err  error
+
+	started  time.Time
+	finished time.Time
+}
+
+// Done is closed when the leaf's fetch has finished (either way).
+func (l *Leaf) Done() <-chan struct{} { return l.done }
+
+// Result returns the fetch outcome; valid only after Done is closed.
+func (l *Leaf) Result() (*netio.FetchResult, error) { return l.res, l.err }
+
+// Records returns how many valid records the leaf has received so far —
+// safe during the fetch (it is fed by the record tap).
+func (l *Leaf) Records() int64 { return l.records.Load() }
+
+// Reconnects returns how many reconnects the leaf's fetch has performed.
+func (l *Leaf) Reconnects() int64 { return l.reconnects.Load() }
+
+// Redirector exposes the leaf's dial target for inspection.
+func (l *Leaf) Redirector() *netio.Redirector { return l.rd }
+
+// Duration returns the leaf's fetch wall-clock time; valid after Done.
+func (l *Leaf) Duration() time.Duration { return l.finished.Sub(l.started) }
+
+// Mesh is a running topology.
+type Mesh struct {
+	topo Topology
+
+	origin   *netio.Server
+	originLn net.Listener
+
+	pool   *Pool
+	coord  *Coordinator
+	health *Health
+	rem    *Remediator
+
+	relays  []*Relay
+	hbStops map[string]chan struct{}
+	leaves  []*Leaf
+
+	upCtr, downCtr *faultnet.Counters
+	upSeq, downSeq atomic.Int64
+
+	tapped          obs.Counter
+	emitted         obs.Counter
+	leafCompletions obs.Counter
+	rankRegressions obs.Counter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// New validates topo and builds the origin and control plane. Nothing runs
+// until Start.
+func New(topo Topology) (*Mesh, error) {
+	topo = topo.withDefaults()
+	if topo.Relays < 1 {
+		return nil, errors.New("mesh: need at least one relay")
+	}
+	if topo.Leaves < 0 {
+		return nil, errors.New("mesh: negative leaf count")
+	}
+	originOpts := []netio.ServerOption{
+		netio.WithServerSeed(topo.Seed),
+		netio.WithWireMode(topo.OriginMode),
+	}
+	if topo.OriginMaxSessions > 0 {
+		originOpts = append(originOpts, netio.WithMaxSessions(topo.OriginMaxSessions))
+	}
+	if topo.OriginPace > 0 {
+		originOpts = append(originOpts, netio.WithServePace(topo.OriginPace))
+	}
+	if topo.Registry != nil {
+		originOpts = append(originOpts, netio.WithMetricsRegistry(topo.Registry))
+	}
+	origin, err := netio.NewServer(topo.Media, topo.Params, originOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Mesh{
+		topo:    topo,
+		origin:  origin,
+		pool:    NewPool(),
+		hbStops: make(map[string]chan struct{}),
+		upCtr:   &faultnet.Counters{},
+		downCtr: &faultnet.Counters{},
+	}
+	m.coord = NewCoordinator(m.pool)
+	m.health = NewHealth(m.pool, topo.Health)
+	m.rem = NewRemediator(m.health, m.coord, topo.Sweep)
+
+	if reg := topo.Registry; reg != nil {
+		for _, err := range []error{
+			m.pool.Instrument(reg),
+			m.coord.Instrument(reg),
+			m.rem.Instrument(reg),
+			reg.RegisterCounter("mesh.records_tapped_total",
+				"upstream records absorbed into relay recoders", &m.tapped),
+			reg.RegisterCounter("mesh.blocks_recoded_total",
+				"recoded blocks emitted by relays", &m.emitted),
+			reg.RegisterCounter("mesh.leaf_completions_total",
+				"leaf fetches finished", &m.leafCompletions),
+			reg.RegisterCounter("mesh.rank_regressions_total",
+				"leaf reconnects that lost decoder rank (must stay zero)", &m.rankRegressions),
+		} {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if topo.UpstreamFaults != nil {
+			if err := m.upCtr.Register(reg, "faultnet_up"); err != nil {
+				return nil, err
+			}
+		}
+		if topo.DownstreamFaults != nil {
+			if err := m.downCtr.Register(reg, "faultnet_down"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// chaosDial wraps base so every dialed connection carries a fresh-seeded
+// faultnet layer accumulating into ctr.
+func chaosDial(cfg faultnet.Config, ctr *faultnet.Counters, seq *atomic.Int64, base netio.DialFunc) netio.DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		c, err := base(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cc := cfg
+		cc.Seed = cfg.Seed + seq.Add(1)*-0x61C8864680B583EB
+		return faultnet.WrapWith(c, cc, ctr), nil
+	}
+}
+
+// tcpDial returns a DialFunc for a fixed loopback address.
+func tcpDial(addr string) netio.DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+}
+
+// Start brings the mesh up: origin serving on loopback, every relay
+// fetching (through upstream chaos, if configured) and serving, heartbeats
+// flowing, and the remediation loop sweeping. It returns once every relay
+// has completed its first upstream handshake and registered with the pool.
+// The mesh runs until ctx ends or Close is called.
+func (m *Mesh) Start(ctx context.Context) error {
+	m.ctx, m.cancel = context.WithCancel(ctx)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mesh: origin listen: %w", err)
+	}
+	m.originLn = ln
+	go m.origin.Serve(m.ctx, ln)
+
+	fullRank := m.origin.Segments() * m.topo.Params.BlockCount
+	for i := 0; i < m.topo.Relays; i++ {
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return fmt.Errorf("mesh: relay %d listen: %w", i, err)
+		}
+		up := tcpDial(ln.Addr().String())
+		if m.topo.UpstreamFaults != nil {
+			up = chaosDial(*m.topo.UpstreamFaults, m.upCtr, &m.upSeq, up)
+		}
+		id := fmt.Sprintf("relay-%d", i)
+		relay, err := StartRelay(m.ctx, RelayConfig{
+			ID:        id,
+			Upstream:  up,
+			Listener:  rln,
+			XorRecode: m.topo.XorRecode,
+			Seed:      m.topo.Seed + int64(i+1)*104729,
+			FetchOpts: []netio.FetcherOption{
+				netio.WithBackoff(2*time.Millisecond, 50*time.Millisecond),
+				netio.WithBackoffSeed(m.topo.Seed + int64(i)),
+			},
+			Tapped:  &m.tapped,
+			Emitted: &m.emitted,
+		})
+		if err != nil {
+			rln.Close()
+			m.Close()
+			return err
+		}
+		m.relays = append(m.relays, relay)
+		if err := m.pool.Add(id, relay.Addr(), relay.TotalRank, fullRank); err != nil {
+			m.Close()
+			return err
+		}
+		stop := make(chan struct{})
+		m.hbStops[id] = stop
+		go m.heartbeatLoop(id, stop)
+	}
+
+	go m.rem.Run(m.ctx)
+	return nil
+}
+
+// heartbeatLoop beats for relay id until its stop channel closes (relay
+// killed) or the mesh shuts down.
+func (m *Mesh) heartbeatLoop(id string, stop chan struct{}) {
+	t := time.NewTicker(m.topo.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.pool.Heartbeat(id)
+		}
+	}
+}
+
+// StartLeaves assigns every topology leaf a relay and launches its fetch.
+// Call after Start.
+func (m *Mesh) StartLeaves(ctx context.Context) error {
+	for i := 0; i < m.topo.Leaves; i++ {
+		if _, err := m.AddLeaf(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddLeaf assigns one more leaf to a relay and launches its fetch,
+// returning the leaf. Not safe to call concurrently with Snapshot or other
+// AddLeaf calls — the driver (a test or the CLI) sequences leaf waves.
+func (m *Mesh) AddLeaf(ctx context.Context) (*Leaf, error) {
+	leaf := &Leaf{ID: len(m.leaves), rd: netio.NewRedirector(""), done: make(chan struct{})}
+	if _, err := m.coord.Assign(leaf.ID, leaf.rd); err != nil {
+		return nil, err
+	}
+	m.leaves = append(m.leaves, leaf)
+	m.startLeafFetch(ctx, leaf)
+	return leaf, nil
+}
+
+// startLeafFetch runs one leaf's resilient fetch in a goroutine, wiring the
+// mesh's taps: record counting, reconnect counting, and the monotone-rank
+// check (any regression lands in mesh.rank_regressions_total).
+func (m *Mesh) startLeafFetch(ctx context.Context, leaf *Leaf) {
+	prev := map[uint32]int{}
+	opts := []netio.FetcherOption{
+		netio.WithBackoff(2*time.Millisecond, 50*time.Millisecond),
+		netio.WithBackoffSeed(m.topo.Seed + int64(1000+leaf.ID)),
+		netio.WithRecordTap(func(*rlnc.CodedBlock) { leaf.records.Add(1) }),
+		netio.WithReconnectHook(func(reconnect int, ranks map[uint32]int) {
+			leaf.reconnects.Store(int64(reconnect))
+			// The hook runs in the fetch goroutine, so prev needs no lock.
+			for id, r := range ranks {
+				if r < prev[id] {
+					m.rankRegressions.Inc()
+				}
+				prev[id] = r
+			}
+		}),
+	}
+	if m.topo.LeafFetchOpts != nil {
+		opts = append(opts, m.topo.LeafFetchOpts(leaf.ID)...)
+	}
+	dial := leaf.rd.Dial
+	if m.topo.DownstreamFaults != nil {
+		dial = chaosDial(*m.topo.DownstreamFaults, m.downCtr, &m.downSeq, dial)
+	}
+	f := netio.NewFetcher(dial, opts...)
+	leaf.started = time.Now()
+	go func() {
+		res, err := f.Fetch(ctx)
+		leaf.res, leaf.err = res, err
+		leaf.finished = time.Now()
+		m.coord.Release(leaf.ID)
+		m.leafCompletions.Inc()
+		close(leaf.done)
+	}()
+}
+
+// WaitLeaves blocks until the given leaves' fetches finish (all of the
+// mesh's leaves when none are named) or ctx ends, then returns the first
+// leaf error, if any.
+func (m *Mesh) WaitLeaves(ctx context.Context, leaves ...*Leaf) error {
+	if len(leaves) == 0 {
+		leaves = m.leaves
+	}
+	for _, leaf := range leaves {
+		select {
+		case <-leaf.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, leaf := range leaves {
+		if _, err := leaf.Result(); err != nil {
+			return fmt.Errorf("mesh: leaf %d: %w", leaf.ID, err)
+		}
+	}
+	return nil
+}
+
+// KillRelay simulates the abrupt death of relay id: heartbeats stop and the
+// relay's listener, server, and upstream fetch are torn down. Leaves routed
+// to it are left to the remediation loop.
+func (m *Mesh) KillRelay(id string) error {
+	stop, ok := m.hbStops[id]
+	if !ok {
+		return fmt.Errorf("mesh: no relay %q", id)
+	}
+	select {
+	case <-stop:
+	default:
+		close(stop)
+	}
+	for _, r := range m.relays {
+		if r.ID() == id {
+			r.Close()
+			return nil
+		}
+	}
+	return fmt.Errorf("mesh: no relay %q", id)
+}
+
+// Relays returns the mesh's relays in start order.
+func (m *Mesh) Relays() []*Relay { return m.relays }
+
+// Leaves returns the mesh's leaves in start order.
+func (m *Mesh) Leaves() []*Leaf { return m.leaves }
+
+// Pool returns the membership registry.
+func (m *Mesh) Pool() *Pool { return m.pool }
+
+// Coordinator returns the assignment plane.
+func (m *Mesh) Coordinator() *Coordinator { return m.coord }
+
+// Remediator returns the remediation loop.
+func (m *Mesh) Remediator() *Remediator { return m.rem }
+
+// OriginAddr returns the origin's loopback address; valid after Start.
+func (m *Mesh) OriginAddr() string { return m.originLn.Addr().String() }
+
+// Origin returns the origin server.
+func (m *Mesh) Origin() *netio.Server { return m.origin }
+
+// LeafView is one leaf's state for snapshots.
+type LeafView struct {
+	ID         int    `json:"id"`
+	Relay      string `json:"relay"`
+	Target     string `json:"target"`
+	Records    int64  `json:"records"`
+	Reconnects int64  `json:"reconnects"`
+	Redirects  int64  `json:"redirects"`
+	Done       bool   `json:"done"`
+	Error      string `json:"error,omitempty"`
+}
+
+// MeshSnapshot is a point-in-time copy of the whole mesh, JSON-encodable
+// for the ncmesh CLI.
+type MeshSnapshot struct {
+	Origin       netio.Snapshot `json:"origin"`
+	Members      []MemberView   `json:"members"`
+	Leaves       []LeafView     `json:"leaves"`
+	Remediations int64          `json:"remediations"`
+	Tapped       int64          `json:"records_tapped"`
+	Emitted      int64          `json:"blocks_recoded"`
+}
+
+// Snapshot copies the mesh state.
+func (m *Mesh) Snapshot() MeshSnapshot {
+	snap := MeshSnapshot{
+		Origin:       m.origin.Snapshot(),
+		Members:      m.pool.Snapshot(),
+		Remediations: m.rem.Remediations(),
+		Tapped:       m.tapped.Load(),
+		Emitted:      m.emitted.Load(),
+	}
+	routes := m.coord.Routes()
+	for _, leaf := range m.leaves {
+		lv := LeafView{
+			ID:         leaf.ID,
+			Relay:      routes[leaf.ID],
+			Target:     leaf.rd.Target(),
+			Records:    leaf.Records(),
+			Reconnects: leaf.Reconnects(),
+			Redirects:  leaf.rd.Redirects(),
+		}
+		select {
+		case <-leaf.Done():
+			lv.Done = true
+			if _, err := leaf.Result(); err != nil {
+				lv.Error = err.Error()
+			}
+		default:
+		}
+		snap.Leaves = append(snap.Leaves, lv)
+	}
+	return snap
+}
+
+// Close tears the whole mesh down. Idempotent.
+func (m *Mesh) Close() {
+	if m.cancel != nil {
+		m.cancel()
+	}
+	for _, r := range m.relays {
+		r.Close()
+	}
+	m.origin.Shutdown()
+	if m.originLn != nil {
+		m.originLn.Close()
+	}
+}

@@ -1,0 +1,256 @@
+package mesh
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"extremenc/internal/netio"
+	"extremenc/internal/obs"
+	"extremenc/internal/rlnc"
+)
+
+// Relay stage spans: one absorb span per upstream record fed to a recoder,
+// one recode span per batch of emissions. Free with no obs sink installed.
+var (
+	stageRelayAbsorb = obs.StageOf("mesh.relay_absorb")
+	stageRelayRecode = obs.StageOf("mesh.recode")
+)
+
+// RelayConfig configures one recoding relay.
+type RelayConfig struct {
+	// ID names the relay in the control plane.
+	ID string
+	// Upstream dials the tier above (the origin, in the standard two-tier
+	// topology). The relay's resilient fetcher owns reconnection.
+	Upstream netio.DialFunc
+	// Listener is where the relay serves downstream. The relay takes
+	// ownership and closes it on Close.
+	Listener net.Listener
+	// XorRecode constrains the relay to GF(2) recombinations through the
+	// XOR kernels (rlnc.WithXorRecode) and re-declares the downstream
+	// session in ModeSystematic so binary emissions travel in the compact
+	// XNC2 encoding. Default: dense GF(2^8) recombinations in ModeDense.
+	XorRecode bool
+	// Seed drives the relay's recombination coefficient streams.
+	Seed int64
+	// FetchOpts / ServerOpts extend the relay's upstream fetcher and
+	// downstream server (chaos injection, metrics, queue tuning).
+	FetchOpts  []netio.FetcherOption
+	ServerOpts []netio.ServerOption
+	// Tapped / Emitted, when non-nil, accumulate upstream records absorbed
+	// and downstream blocks recoded — shared mesh-wide counters.
+	Tapped, Emitted *obs.Counter
+}
+
+// Relay is one recoding node: a resilient upstream fetch whose record tap
+// feeds per-segment rlnc.Recoders, and a downstream netio source server
+// whose records are fresh recombinations drawn from them. The relay never
+// decodes — emitted coefficients are already re-expressed in terms of the
+// original source blocks, so leaves are oblivious to the hop (paper
+// Sec. 2). It starts serving a segment after the very first upstream record
+// for it lands, and keeps serving from accumulated rank even if its
+// upstream dies.
+type Relay struct {
+	id  string
+	cfg RelayConfig
+	ln  net.Listener
+	srv *netio.Server
+
+	mu       sync.Mutex
+	info     netio.SessionInfo // learned from the upstream handshake
+	recoders []*rlnc.Recoder
+
+	ready       chan struct{} // closed once info and recoders exist
+	fetchCancel context.CancelFunc
+	fetchDone   chan struct{}
+	fetchErr    error
+	closeOnce   sync.Once
+}
+
+// StartRelay launches a relay: it begins the upstream fetch, waits for the
+// first successful handshake (which defines the object the relay will
+// re-declare downstream), then starts the downstream server on
+// cfg.Listener. It fails if ctx ends before the upstream ever answers.
+func StartRelay(ctx context.Context, cfg RelayConfig) (*Relay, error) {
+	if cfg.Upstream == nil || cfg.Listener == nil {
+		return nil, fmt.Errorf("mesh: relay %q needs an upstream dialer and a listener", cfg.ID)
+	}
+	r := &Relay{
+		id:        cfg.ID,
+		cfg:       cfg,
+		ln:        cfg.Listener,
+		ready:     make(chan struct{}),
+		fetchDone: make(chan struct{}),
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	r.fetchCancel = cancel
+	opts := append([]netio.FetcherOption{
+		netio.WithSessionHook(r.onSession),
+		netio.WithRecordTap(r.onRecord),
+	}, cfg.FetchOpts...)
+	f := netio.NewFetcher(cfg.Upstream, opts...)
+	go func() {
+		defer close(r.fetchDone)
+		// The fetch ends when the relay holds full rank for every segment
+		// (or fctx is cancelled); the relay then keeps serving from its
+		// recoders with the upstream connection released.
+		_, r.fetchErr = f.Fetch(fctx)
+	}()
+
+	select {
+	case <-r.ready:
+	case <-ctx.Done():
+		r.Close()
+		return nil, fmt.Errorf("mesh: relay %q never reached its upstream: %w", cfg.ID, ctx.Err())
+	}
+
+	srv, err := netio.NewSourceServer((*relaySource)(r), cfg.ServerOpts...)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.srv = srv
+	go srv.Serve(ctx, r.ln)
+	return r, nil
+}
+
+// onSession captures the upstream session shape on the first handshake and
+// builds the per-segment recoders. Later handshakes are reconnects of the
+// same session (the fetcher enforces header identity) and are ignored.
+func (r *Relay) onSession(si netio.SessionInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recoders != nil {
+		return
+	}
+	downstream := si
+	if r.cfg.XorRecode {
+		downstream.Mode = netio.ModeSystematic
+	} else {
+		downstream.Mode = netio.ModeDense
+	}
+	recs := make([]*rlnc.Recoder, si.Segments)
+	for i := range recs {
+		opts := []rlnc.Option{rlnc.WithSeed(r.cfg.Seed + int64(i)*7919)}
+		if r.cfg.XorRecode {
+			opts = append(opts, rlnc.WithXorRecode())
+		}
+		rec, err := rlnc.NewRecoder(si.Params, opts...)
+		if err != nil {
+			// The params came from a handshake the fetcher validated.
+			panic(fmt.Sprintf("mesh: recoder for handshake params: %v", err))
+		}
+		recs[i] = rec
+	}
+	r.info = downstream
+	r.recoders = recs
+	close(r.ready)
+}
+
+// onRecord feeds one upstream record into its segment's recoder. Dependent
+// blocks are dropped at the recoder's door; Add clones, so the fetcher may
+// reuse the block.
+func (r *Relay) onRecord(b *rlnc.CodedBlock) {
+	sp := stageRelayAbsorb.Start()
+	r.mu.Lock()
+	if int(b.SegmentID) < len(r.recoders) {
+		r.recoders[b.SegmentID].Add(b) //nolint:errcheck // validated upstream
+	}
+	r.mu.Unlock()
+	sp.End()
+	if r.cfg.Tapped != nil {
+		r.cfg.Tapped.Inc()
+	}
+}
+
+// ID returns the relay's control-plane name.
+func (r *Relay) ID() string { return r.id }
+
+// Addr returns the relay's downstream serving address.
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Info returns the session the relay declares downstream (valid once
+// StartRelay has returned).
+func (r *Relay) Info() netio.SessionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// TotalRank sums the relay's recoder ranks across segments — the health
+// checker's progress probe.
+func (r *Relay) TotalRank() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, rec := range r.recoders {
+		total += rec.Rank()
+	}
+	return total
+}
+
+// SegmentRanks returns the per-segment recoder ranks.
+func (r *Relay) SegmentRanks() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ranks := make([]int, len(r.recoders))
+	for i, rec := range r.recoders {
+		ranks[i] = rec.Rank()
+	}
+	return ranks
+}
+
+// Server exposes the downstream server for snapshots; nil until StartRelay
+// returns.
+func (r *Relay) Server() *netio.Server { return r.srv }
+
+// Close tears the relay down: upstream fetch cancelled, downstream server
+// shut down, listener closed. Idempotent.
+func (r *Relay) Close() {
+	r.closeOnce.Do(func() {
+		r.fetchCancel()
+		if r.srv != nil {
+			r.srv.Shutdown()
+		}
+		r.ln.Close()
+		<-r.fetchDone
+	})
+}
+
+// relaySource adapts a Relay to netio.RecordSource: each Records call draws
+// fresh recombinations from the segment's recoder. A segment with no rank
+// yet returns nothing and the server pump backs off briefly.
+type relaySource Relay
+
+func (rs *relaySource) Info() netio.SessionInfo { return (*Relay)(rs).Info() }
+
+func (rs *relaySource) Records(seg, batch int) [][]byte {
+	r := (*Relay)(rs)
+	sp := stageRelayRecode.Start()
+	defer sp.End()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seg >= len(r.recoders) || r.recoders[seg].Rank() == 0 {
+		return nil
+	}
+	rec := r.recoders[seg]
+	out := make([][]byte, 0, batch)
+	for i := 0; i < batch; i++ {
+		blk, err := rec.Emit()
+		if err != nil {
+			break
+		}
+		framed, err := netio.FrameRecord(blk, r.info.Mode)
+		if err != nil {
+			continue
+		}
+		out = append(out, framed)
+	}
+	if r.cfg.Emitted != nil {
+		r.cfg.Emitted.Add(int64(len(out)))
+	}
+	return out
+}

@@ -53,6 +53,8 @@ type fetcherConfig struct {
 	jitter      float64
 	rng         *rand.Rand
 	hook        func(reconnect int, ranks map[uint32]int)
+	sessionHook func(SessionInfo)
+	tap         func(*rlnc.CodedBlock)
 	state       []byte
 	metrics     *obs.Registry
 }
@@ -65,8 +67,9 @@ func WithMaxAttempts(n int) FetcherOption {
 }
 
 // WithBackoff sets the reconnect backoff schedule: the delay before retry r
-// doubles from base, is capped at max, and is then jittered. The defaults
-// are 50ms doubling to a 2s cap.
+// doubles from base, is capped at max, and is then jittered. The schedule
+// resets after any session that delivered records, so only consecutive
+// barren attempts escalate. The defaults are 50ms doubling to a 2s cap.
 func WithBackoff(base, max time.Duration) FetcherOption {
 	return func(c *fetcherConfig) {
 		c.backoffBase = base
@@ -96,6 +99,40 @@ func WithBackoffSeed(seed int64) FetcherOption {
 // until fn returns.
 func WithReconnectHook(fn func(reconnect int, ranks map[uint32]int)) FetcherOption {
 	return func(c *fetcherConfig) { c.hook = fn }
+}
+
+// WithSessionHook installs fn, called with the declared SessionInfo after
+// every successful handshake (the first connection and each reconnect),
+// before any record of that session is read. A mesh relay uses it to learn
+// the upstream object's shape so it can re-declare the same object
+// downstream. Hooks compose: each WithSessionHook appends, and hooks run
+// in installation order. The fetch blocks until fn returns.
+func WithSessionHook(fn func(SessionInfo)) FetcherOption {
+	return func(c *fetcherConfig) {
+		if prev := c.sessionHook; prev != nil {
+			c.sessionHook = func(info SessionInfo) { prev(info); fn(info) }
+			return
+		}
+		c.sessionHook = fn
+	}
+}
+
+// WithRecordTap installs fn, called with every structurally valid coded
+// block the fetch receives — after checksum, shape, and segment-range
+// checks, before (and regardless of) decoder absorption, so the tap also
+// sees blocks that are linearly dependent for this fetcher's decoders.
+// Each block is freshly allocated per record; the tap may retain it. This
+// is the relay feed: a mesh relay taps its upstream fetch straight into
+// per-segment recoders. Taps compose: each WithRecordTap appends, and taps
+// run in installation order. The fetch blocks until fn returns.
+func WithRecordTap(fn func(*rlnc.CodedBlock)) FetcherOption {
+	return func(c *fetcherConfig) {
+		if prev := c.tap; prev != nil {
+			c.tap = func(b *rlnc.CodedBlock) { prev(b); fn(b) }
+			return
+		}
+		c.tap = fn
+	}
 }
 
 // WithResumeState preloads the decoders from a Fetcher.State blob saved by
@@ -251,6 +288,13 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 		f.cfg.state = nil
 	}
 	var lastErr error
+	// retry drives the backoff schedule and resets whenever a session
+	// absorbs at least one record: a server that streamed data and then
+	// dropped us is healthy, so the next reconnect should be prompt, not
+	// pay for every disconnect since the fetch began. Only consecutive
+	// barren attempts escalate the delay. attempt keeps counting every
+	// dial for the maxAttempts budget.
+	retry := 0
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
 			return f.result(), cancelErr(ctx)
@@ -258,11 +302,12 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 		if f.cfg.maxAttempts > 0 && attempt >= f.cfg.maxAttempts {
 			return f.result(), budgetErr(attempt, lastErr)
 		}
-		if attempt > 0 {
-			if err := f.sleepBackoff(ctx, attempt); err != nil {
+		if retry > 0 {
+			if err := f.sleepBackoff(ctx, retry); err != nil {
 				return f.result(), cancelErr(ctx)
 			}
 		}
+		retry++
 		f.stats.attempts.Inc()
 		if f.established {
 			f.reconnSpan = stageFetchReconn.Start()
@@ -277,12 +322,16 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 			lastErr = err
 			continue
 		}
+		before := f.stats.records.Load()
 		done, fatal, err := f.session(ctx, conn)
 		if done {
 			break
 		}
 		if fatal {
 			return f.result(), err
+		}
+		if f.stats.records.Load() > before {
+			retry = 0
 		}
 		lastErr = err
 	}
@@ -408,6 +457,9 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 		}
 	}
 	f.established = true
+	if f.cfg.sessionHook != nil {
+		f.cfg.sessionHook(h.info())
+	}
 
 	// Every record of a session is a marshaled CodedBlock for the
 	// handshake's (n, k), so its framed length is a constant — two constants
@@ -500,6 +552,9 @@ func (f *Fetcher) absorb(rec []byte) error {
 		f.stats.badSegment.Inc()
 		discard()
 		return nil
+	}
+	if f.cfg.tap != nil {
+		f.cfg.tap(&blk)
 	}
 	dec := f.decoders[blk.SegmentID]
 	if dec == nil {

@@ -46,6 +46,7 @@ type serverConfig struct {
 	workers       int
 	seed          int64
 	mode          WireMode
+	pace          time.Duration
 	metrics       *obs.Registry
 }
 
@@ -87,6 +88,16 @@ func WithMaxSessions(n int) ServerOption {
 	return func(c *serverConfig) { c.maxSessions = n }
 }
 
+// WithServePace floors the interval between pump rounds at d, bounding the
+// server's aggregate emission rate at batch-size records per d regardless of
+// CPU headroom. It models a capacity-constrained origin uplink — the regime
+// where a recoding relay tier multiplies effective serving capacity — and
+// keeps capacity comparisons meaningful on machines where every tier is
+// otherwise compute-bound. Zero (the default) leaves the pump unpaced.
+func WithServePace(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.pace = d }
+}
+
 // WithEncoderWorkers sets the worker count of the shared parallel encoder
 // the pump dispatches on (default: the SharedPool's worker count).
 func WithEncoderWorkers(n int) ServerOption {
@@ -121,27 +132,29 @@ func WithMetricsRegistry(reg *obs.Registry) ServerOption {
 // Two serving paths share the Server:
 //
 //   - The session path (Serve): one goroutine per accepted connection, all
-//     fed from a single shared encoder pump. The pump batch-encodes through
-//     a rlnc.ParallelEncoder on the process-wide worker pool and fans each
-//     framed record out to every session's bounded queue without blocking;
-//     a full queue sheds the record for that session only. Per-connection
-//     write deadlines with retry-then-drop semantics bound the cost of a
-//     stuck peer.
+//     fed from a single shared record-source pump. For a media-backed server
+//     (NewServer) the source batch-encodes through a rlnc.ParallelEncoder on
+//     the process-wide worker pool; a source server (NewSourceServer) pulls
+//     records from any RecordSource — a mesh relay's recoders, a generator,
+//     a replayed capture. The pump fans each framed record out to every
+//     session's bounded queue without blocking; a full queue sheds the
+//     record for that session only. Per-connection write deadlines with
+//     retry-then-drop semantics bound the cost of a stuck peer.
 //
 //   - The one-shot path (ServeConn): the original single-connection blocking
-//     push loop, kept for direct pipe/test use. Deprecated for servers: it
-//     encodes per connection and a slow peer stalls its goroutine.
+//     push loop, kept for direct pipe/test use on media-backed servers only.
+//     Deprecated: it encodes per connection and a slow peer stalls its
+//     goroutine.
 //
 // Metrics for both paths accumulate in the same counters, exposed via
 // Snapshot.
 type Server struct {
-	object *rlnc.Object
-	cfg    serverConfig
-	penc   *rlnc.ParallelEncoder
+	src RecordSource
+	cfg serverConfig
 
-	// sysEncs holds one systematic encoder per segment for ModeSystematic;
-	// they are only touched by the single pump goroutine.
-	sysEncs []*rlnc.SystematicEncoder
+	// object is non-nil only for media-backed servers (NewServer); it backs
+	// the deprecated per-connection ServeConn path.
+	object *rlnc.Object
 
 	counters         Counters
 	sessionsTotal    obs.Counter
@@ -162,12 +175,58 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer builds a server over media split at p.
+// NewServer builds a media-backed server over media split at p: the server
+// encodes fresh coded blocks from the source segments.
 func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, error) {
 	obj, err := rlnc.Split(media, p)
 	if err != nil {
 		return nil, err
 	}
+	cfg, err := buildServerConfig(p.BlockCount, opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = rlnc.SharedPool().Workers()
+	}
+	penc, err := rlnc.NewParallelEncoder(workers, rlnc.FullBlock)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newServer(newObjectSource(obj, cfg.mode, penc, cfg.seed), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.object = obj
+	return s, nil
+}
+
+// NewSourceServer builds a server over an arbitrary RecordSource: the
+// serving half of a mesh relay, which recodes upstream blocks instead of
+// encoding source media it does not have. The session machinery — pump
+// fan-out, bounded queues with shed-don't-stall, write deadlines, session
+// caps, metrics — is identical to a media-backed server; only where records
+// come from differs. The handshake is declared by src.Info(), so the
+// WithWireMode option is ignored here; WithEncodeBatch sizes the per-round
+// Records request. The deprecated ServeConn path is unavailable (it needs
+// source media) and closes the connection immediately.
+func NewSourceServer(src RecordSource, opts ...ServerOption) (*Server, error) {
+	info := src.Info()
+	if err := info.Validate(); err != nil {
+		return nil, fmt.Errorf("netio: bad source session info: %w", err)
+	}
+	cfg, err := buildServerConfig(info.Params.BlockCount, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.mode = info.Mode
+	return newServer(src, cfg)
+}
+
+// buildServerConfig applies options over the defaults, deriving the batch
+// default from the generation size.
+func buildServerConfig(blockCount int, opts []ServerOption) (serverConfig, error) {
 	cfg := serverConfig{
 		queueDepth:    64,
 		writeDeadline: 5 * time.Second,
@@ -184,36 +243,24 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 		// Default: a quarter generation per round, so late-joining clients
 		// wait at most a short interleave for every segment, but at least 4
 		// to amortize dispatch.
-		cfg.batchBlocks = max(4, p.BlockCount/4)
-	}
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = rlnc.SharedPool().Workers()
-	}
-	penc, err := rlnc.NewParallelEncoder(workers, rlnc.FullBlock)
-	if err != nil {
-		return nil, err
+		cfg.batchBlocks = max(4, blockCount/4)
 	}
 	if cfg.mode > ModeSystematic {
-		return nil, fmt.Errorf("netio: unknown wire mode %d", cfg.mode)
+		return cfg, fmt.Errorf("netio: unknown wire mode %d", cfg.mode)
 	}
+	return cfg, nil
+}
+
+func newServer(src RecordSource, cfg serverConfig) (*Server, error) {
 	s := &Server{
-		object:   obj,
+		src:      src,
 		cfg:      cfg,
-		penc:     penc,
 		sessions: make(map[*session]struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		wake:     make(chan struct{}, 1),
 		consumed: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
-	}
-	if cfg.mode == ModeSystematic {
-		rng := rand.New(rand.NewSource(cfg.seed))
-		s.sysEncs = make([]*rlnc.SystematicEncoder, len(obj.Segments))
-		for i, seg := range obj.Segments {
-			s.sysEncs[i] = rlnc.NewSystematicEncoder(seg, rng)
-		}
 	}
 	if cfg.metrics != nil {
 		if err := s.registerMetrics(cfg.metrics); err != nil {
@@ -254,11 +301,14 @@ func (s *Server) registerMetrics(reg *obs.Registry) error {
 }
 
 // Segments returns the number of media segments served.
-func (s *Server) Segments() int { return len(s.object.Segments) }
+func (s *Server) Segments() int { return s.src.Info().Segments }
 
 // Mode returns the session coding discipline the server declares in every
 // handshake.
-func (s *Server) Mode() WireMode { return s.cfg.mode }
+func (s *Server) Mode() WireMode { return s.src.Info().Mode }
+
+// Info returns the session handshake the server declares.
+func (s *Server) Info() SessionInfo { return s.src.Info() }
 
 // session is one connected client on the session path.
 type session struct {
@@ -403,12 +453,7 @@ func (s *Server) runSession(ss *session) {
 	defer s.wg.Done()
 	defer ss.conn.Close()
 
-	h := sessionHeader{
-		params:   s.object.Params,
-		segments: len(s.object.Segments),
-		length:   int64(s.object.Length),
-		mode:     s.cfg.mode,
-	}
+	h := s.src.Info().header()
 	// The handshake gets one deadline window and no retry: a peer that
 	// connects and never reads must not pin the session goroutine.
 	if s.cfg.writeDeadline > 0 {
@@ -506,15 +551,16 @@ func (s *Server) startPump() {
 	s.pumpOnce.Do(func() { go s.pump() })
 }
 
-// pump is the shared encoder loop: it batch-encodes each segment in turn on
-// the parallel encoder and fans the framed records out to every session's
-// queue without ever blocking on a client. When no session can take a block
+// pump is the shared record loop: it pulls a batch from the source for each
+// segment in turn and fans the framed records out to every session's queue
+// without ever blocking on a client. When no session can take a block
 // (every queue full) the pump parks briefly and the wait is charged to the
 // encode-stall counters; when no session exists at all it sleeps until one
-// arrives, with nothing charged.
+// arrives, with nothing charged. A dry source (a relay whose recoders have
+// no rank yet) parks the pump briefly without charging a stall.
 func (s *Server) pump() {
 	defer close(s.pumpDone)
-	seed := s.cfg.seed
+	segments := s.src.Info().Segments
 	segIdx := 0
 	live := make([]*session, 0, 16)
 	for {
@@ -539,40 +585,19 @@ func (s *Server) pump() {
 			continue
 		}
 
-		seg := s.object.Segments[segIdx]
-		var recs [][]byte
-		if s.cfg.mode == ModeSystematic {
-			// Systematic schedule: the per-segment encoder cycles sweep →
-			// XOR repair → dense tail; binary blocks go out in the compact
-			// GF(2) encoding. Block is the non-retaining emit — the record
-			// is marshaled before the next call reuses its storage.
-			se := s.sysEncs[segIdx]
-			recs = make([][]byte, 0, s.cfg.batchBlocks)
-			for i := 0; i < s.cfg.batchBlocks; i++ {
-				rec, err := frameSystematicRecord(se.Block())
-				if err != nil {
-					continue
-				}
-				recs = append(recs, rec)
+		recs := s.src.Records(segIdx, s.cfg.batchBlocks)
+		segIdx = (segIdx + 1) % segments
+		if len(recs) == 0 {
+			// Nothing to say for this segment yet. Park briefly — this is
+			// source starvation, not client backpressure, so no stall is
+			// charged.
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(2 * time.Millisecond):
 			}
-		} else {
-			blocks, err := s.penc.Encode(seg, s.cfg.batchBlocks, seed)
-			seed++
-			if err != nil {
-				// Unreachable for a validated object; drop the batch.
-				segIdx = (segIdx + 1) % len(s.object.Segments)
-				continue
-			}
-			recs = make([][]byte, 0, len(blocks))
-			for _, blk := range blocks {
-				rec, err := frameRecord(blk)
-				if err != nil {
-					continue
-				}
-				recs = append(recs, rec)
-			}
+			continue
 		}
-		segIdx = (segIdx + 1) % len(s.object.Segments)
 		s.counters.AddEncoded(int64(len(recs)))
 
 		delivered := false
@@ -598,6 +623,13 @@ func (s *Server) pump() {
 			case <-time.After(2 * time.Millisecond):
 			}
 			s.counters.AddEncodeStall(time.Since(t0))
+		}
+		if s.cfg.pace > 0 {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.pace):
+			}
 		}
 	}
 }
@@ -639,7 +671,7 @@ func frameBody(body []byte) []byte {
 // live session.
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
-		Mode:             s.cfg.mode,
+		Mode:             s.Mode(),
 		SessionsTotal:    s.sessionsTotal.Load(),
 		SessionsRejected: s.sessionsRejected.Load(),
 		SessionSeconds:   time.Duration(s.sessionSecs.Load()).Seconds(),
@@ -705,6 +737,12 @@ func (s *Server) Shutdown() {
 // the same counters.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+
+	if s.object == nil {
+		// Source-backed servers (NewSourceServer) have no media to encode
+		// per connection; only the pump path serves them.
+		return
+	}
 
 	s.mu.Lock()
 	if s.closed {

@@ -1,0 +1,169 @@
+package netio
+
+import (
+	"io"
+	"math/rand"
+
+	"extremenc/internal/rlnc"
+)
+
+// SessionInfo describes the object a server declares in its session
+// handshake: the coding parameters, segment count, reassembled byte length,
+// and wire mode. It is the exported face of the wire header — a relay that
+// fetches upstream learns the SessionInfo from its fetcher's session hook
+// and re-declares the same object (possibly in a different mode) downstream.
+type SessionInfo struct {
+	Params   rlnc.Params
+	Segments int
+	Length   int64
+	Mode     WireMode
+}
+
+// header converts to the wire-protocol form.
+func (si SessionInfo) header() sessionHeader {
+	return sessionHeader{params: si.Params, segments: si.Segments, length: si.Length, mode: si.Mode}
+}
+
+// info converts a parsed wire header to the exported form.
+func (h sessionHeader) info() SessionInfo {
+	return SessionInfo{Params: h.params, Segments: h.segments, Length: h.length, Mode: h.mode}
+}
+
+// Validate rejects a SessionInfo no handshake would accept.
+func (si SessionInfo) Validate() error {
+	if _, err := (sessionHeaderCodec{}).roundTrip(si.header()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RecordSource produces the framed records a Server's pump fans out. It
+// abstracts where coded blocks come from: a media-backed server encodes
+// fresh blocks from source segments (NewServer), while a mesh relay emits
+// recombinations of blocks it received upstream without ever decoding
+// (NewSourceServer). The pump is a single goroutine, so Records is never
+// called concurrently by one server; a source shared across servers must
+// synchronize internally.
+type RecordSource interface {
+	// Info returns the session handshake the server declares. It must be
+	// constant for the server's lifetime: fetchers treat a changed header
+	// across reconnects as fatal.
+	Info() SessionInfo
+
+	// Records returns up to batch framed records (length prefix included —
+	// use FrameRecord) for segment index seg. Returning fewer, or none, is
+	// allowed: a relay that has not yet accumulated rank for seg simply has
+	// nothing to say, and the pump backs off briefly instead of treating it
+	// as an error.
+	Records(seg, batch int) [][]byte
+}
+
+// FrameRecord marshals one coded block as a length-prefixed wire record in
+// the given mode's encoding: ModeSystematic frames binary blocks in the
+// compact XNC2 format and dense blocks as XNC1; ModeDense frames everything
+// as XNC1. This is the framing the Server pump uses internally, exported so
+// RecordSource implementations outside this package (mesh relays) produce
+// bit-identical records.
+func FrameRecord(b *rlnc.CodedBlock, mode WireMode) ([]byte, error) {
+	if mode == ModeSystematic {
+		return frameSystematicRecord(b)
+	}
+	return frameRecord(b)
+}
+
+// objectSource is the media-backed RecordSource behind NewServer: dense
+// batches through the shared parallel encoder, or the systematic sweep →
+// XOR repair → dense tail schedule per segment in ModeSystematic.
+type objectSource struct {
+	obj  *rlnc.Object
+	mode WireMode
+
+	// Dense path: the shared parallel encoder plus a per-batch seed
+	// counter (the pump is single-goroutine, so plain increments suffice).
+	penc *rlnc.ParallelEncoder
+	seed int64
+
+	// Systematic path: one cycling schedule encoder per segment.
+	sysEncs []*rlnc.SystematicEncoder
+}
+
+func newObjectSource(obj *rlnc.Object, mode WireMode, penc *rlnc.ParallelEncoder, seed int64) *objectSource {
+	src := &objectSource{obj: obj, mode: mode, penc: penc, seed: seed}
+	if mode == ModeSystematic {
+		rng := rand.New(rand.NewSource(seed))
+		src.sysEncs = make([]*rlnc.SystematicEncoder, len(obj.Segments))
+		for i, seg := range obj.Segments {
+			src.sysEncs[i] = rlnc.NewSystematicEncoder(seg, rng)
+		}
+	}
+	return src
+}
+
+func (o *objectSource) Info() SessionInfo {
+	return SessionInfo{
+		Params:   o.obj.Params,
+		Segments: len(o.obj.Segments),
+		Length:   int64(o.obj.Length),
+		Mode:     o.mode,
+	}
+}
+
+func (o *objectSource) Records(seg, batch int) [][]byte {
+	if o.mode == ModeSystematic {
+		// Systematic schedule: the per-segment encoder cycles sweep → XOR
+		// repair → dense tail; binary blocks go out in the compact GF(2)
+		// encoding. Block is the non-retaining emit — the record is
+		// marshaled before the next call reuses its storage.
+		se := o.sysEncs[seg]
+		recs := make([][]byte, 0, batch)
+		for i := 0; i < batch; i++ {
+			rec, err := frameSystematicRecord(se.Block())
+			if err != nil {
+				continue
+			}
+			recs = append(recs, rec)
+		}
+		return recs
+	}
+	blocks, err := o.penc.Encode(o.obj.Segments[seg], batch, o.seed)
+	o.seed++
+	if err != nil {
+		// Unreachable for a validated object; drop the batch.
+		return nil
+	}
+	recs := make([][]byte, 0, len(blocks))
+	for _, blk := range blocks {
+		rec, err := frameRecord(blk)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// sessionHeaderCodec bounces a header through the wire marshal/parse pair so
+// SessionInfo.Validate rejects exactly what a real handshake would.
+type sessionHeaderCodec struct{}
+
+func (sessionHeaderCodec) roundTrip(h sessionHeader) (sessionHeader, error) {
+	var buf headerBuffer
+	if err := writeSessionHeader(&buf, h); err != nil {
+		return sessionHeader{}, err
+	}
+	return readSessionHeader(&buf)
+}
+
+// headerBuffer is a minimal in-memory io.ReadWriter for the round trip.
+type headerBuffer struct{ b []byte }
+
+func (h *headerBuffer) Write(p []byte) (int, error) { h.b = append(h.b, p...); return len(p), nil }
+
+func (h *headerBuffer) Read(p []byte) (int, error) {
+	if len(h.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, h.b)
+	h.b = h.b[n:]
+	return n, nil
+}

@@ -108,29 +108,45 @@ type Recoder struct {
 	// probe tracks the rank of the received coefficient vectors so
 	// linearly dependent input is dropped at the door: storing it would
 	// waste memory and recombination work without enlarging the spanned
-	// subspace.
+	// subspace. At most BlockCount blocks are ever held, so a relay's
+	// memory is bounded no matter how long the upstream stream runs.
 	probe [][]byte
 	rank  int
 
 	// rng, when set via WithSeed, drives Emit so the caller does not have
 	// to thread a random source through every recombination.
 	rng *rand.Rand
+
+	// xorRecode (WithXorRecode) constrains emissions to GF(2)
+	// recombinations through the XOR kernels: binary coefficients, no
+	// table multiplies.
+	xorRecode bool
 }
 
 // NewRecoder returns a recoder for the given configuration. WithSeed gives
 // it a private deterministic source so Emit can draw recombination
-// coefficients without a caller-supplied rng.
+// coefficients without a caller-supplied rng; WithXorRecode constrains
+// emissions to XOR-only recombinations.
 func NewRecoder(p Params, opts ...Option) (*Recoder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := applyOptions(opts)
-	return &Recoder{params: p, probe: make([][]byte, p.BlockCount), rng: cfg.rng}, nil
+	return &Recoder{params: p, probe: make([][]byte, p.BlockCount), rng: cfg.rng, xorRecode: cfg.xorRecode}, nil
 }
 
 // Add registers a received coded block as recoding input. Blocks that are
 // linearly dependent with input already held are discarded (they cannot
-// change any recombination); Rank reports the span.
+// change any recombination); Rank reports the span. The block is cloned, so
+// the caller may keep mutating or reusing b — a relay can feed Add straight
+// from a receive loop that recycles its record storage.
+//
+// Binary blocks — a systematic sweep or GF(2) XOR repair stream, including
+// records parsed from the compact XNC2 encoding — are ordinary input: their
+// {0, 1} coefficients are valid GF(2^8) elements, so recombinations over
+// them decode identically downstream. Emissions from a default recoder are
+// dense regardless of input; under WithXorRecode binary input yields binary
+// output.
 func (r *Recoder) Add(b *CodedBlock) error {
 	if err := b.Validate(r.params); err != nil {
 		return err
@@ -142,7 +158,7 @@ func (r *Recoder) Add(b *CodedBlock) error {
 		return nil
 	}
 	r.segID = b.SegmentID
-	r.received = append(r.received, b)
+	r.received = append(r.received, b.Clone())
 	return nil
 }
 
@@ -182,8 +198,10 @@ func (r *Recoder) Count() int { return len(r.received) }
 func (r *Recoder) Rank() int { return r.rank }
 
 // Emit is NextBlock against the recoder's own random source (set with
-// WithSeed). It fails with ErrNoBlocks when nothing has been received and
-// with ErrNoSeed when the recoder was built without one.
+// WithSeed). It fails with ErrNoBlocks when nothing has been received (a
+// rank-0 recoder has no subspace to emit from — callers poll Rank and hold
+// off until input arrives) and with ErrNoSeed when the recoder was built
+// without one. Both failures leave the recoder unchanged and usable.
 func (r *Recoder) Emit() (*CodedBlock, error) {
 	if r.rng == nil {
 		return nil, fmt.Errorf("%w: build the recoder with WithSeed or call NextBlock", ErrNoSeed)
@@ -192,10 +210,46 @@ func (r *Recoder) Emit() (*CodedBlock, error) {
 }
 
 // NextBlock emits a random linear recombination of everything received.
-// It fails with ErrNoBlocks when no input blocks are available.
+// It fails with ErrNoBlocks when no input blocks are available. With a
+// single held input the emission degrades to a scaled passthrough of that
+// block (or, under WithXorRecode, the block verbatim) — still a valid coded
+// block for the original source, so a relay can start serving after its
+// very first upstream record.
 func (r *Recoder) NextBlock(rng *rand.Rand) (*CodedBlock, error) {
 	if len(r.received) == 0 {
 		return nil, fmt.Errorf("%w: recoder received nothing", ErrNoBlocks)
+	}
+	out := &CodedBlock{
+		SegmentID: r.segID,
+		Coeffs:    make([]byte, r.params.BlockCount),
+		Payload:   make([]byte, r.params.BlockSize),
+	}
+	if r.xorRecode {
+		// GF(2) discipline: each input is either folded in whole (XOR) or
+		// skipped. The selector is redrawn until non-zero, so the emission
+		// is never the zero vector; the ops are the wide-word XOR kernels —
+		// no multiply tables touched.
+		for {
+			any := false
+			cs := make([]bool, len(r.received))
+			for i := range cs {
+				if rng.Intn(2) == 1 {
+					cs[i] = true
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			for i, in := range r.received {
+				if !cs[i] {
+					continue
+				}
+				gf256.XorSlice(out.Coeffs, in.Coeffs)
+				gf256.XorSlice(out.Payload, in.Payload)
+			}
+			return out, nil
+		}
 	}
 	// Draw the recombination coefficients first, then apply them through the
 	// fused dot-product kernel: both the coefficient and payload rows are
@@ -207,11 +261,6 @@ func (r *Recoder) NextBlock(rng *rand.Rand) (*CodedBlock, error) {
 		cs[i] = byte(1 + rng.Intn(255))
 		crows[i] = in.Coeffs
 		prows[i] = in.Payload
-	}
-	out := &CodedBlock{
-		SegmentID: r.segID,
-		Coeffs:    make([]byte, r.params.BlockCount),
-		Payload:   make([]byte, r.params.BlockSize),
 	}
 	gf256.DotProduct(out.Coeffs, cs, crows)
 	gf256.DotProduct(out.Payload, cs, prows)

@@ -14,8 +14,9 @@ type DecoderOption = Option
 
 // config collects the settings an Option can carry.
 type config struct {
-	scratch *Scratch
-	rng     *rand.Rand
+	scratch   *Scratch
+	rng       *rand.Rand
+	xorRecode bool
 }
 
 func applyOptions(opts []Option) config {
@@ -40,4 +41,17 @@ func WithScratch(s *Scratch) Option {
 // deterministic, ignore it.
 func WithSeed(seed int64) Option {
 	return func(c *config) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithXorRecode constrains a Recoder to GF(2) recombinations: Emit and
+// NextBlock draw each input's coefficient from {0, 1} (never all zero) and
+// combine through the wide-word XOR kernels instead of the GF(2^8) multiply
+// tables — the fixed cheap-operation relay mode of the programmable-switch
+// literature. When every held input is binary (a systematic sweep or XOR
+// repair stream) the emitted block is binary too, so a relay can re-frame it
+// in the compact XNC2 encoding; one dense input makes the output dense but
+// the combination stays valid, since {0, 1} are GF(2^8) elements. Decoders
+// ignore this option.
+func WithXorRecode() Option {
+	return func(c *config) { c.xorRecode = true }
 }
