@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke loadtest bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -83,6 +83,25 @@ mesh-smoke:
 	$(GO) test -race -count=1 -v -run 'TestMeshSmoke' ./internal/mesh/
 	$(GO) test -race -count=1 -skip 'TestMeshSmoke' ./internal/mesh/
 
+# Serving-capacity CI gate: one scaled-down 1k-session saturation wave under
+# the race detector. ncload exits non-zero unless the ramp completes, every
+# canary fetch is byte-identical, the windowed p99 record latency stays under
+# its bound, and offered == sent + shed holds exactly in a scraped
+# Prometheus exposition.
+load-smoke:
+	$(GO) run -race ./cmd/ncload -smoke
+
+# Full serving-capacity ladder, committed as BENCH_serve.json: ramped waves
+# to 5120 concurrent sessions measuring the per-record single-pump baseline
+# against the amortized fan-out at 1/2/4 pump shards (plus one
+# systematic-wire wave at peak), with aggregate MB/s and windowed p50/p99
+# record latency per wave. Takes tens of minutes at full depth.
+loadtest:
+	$(GO) run ./cmd/ncload -sessions 5120 -steps 3 -shards 1,2,4 \
+		-window 3s -settle 1s -canaries 4 \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@cat BENCH_serve.json
+
 # Regenerate every paper table and figure as aligned text tables.
 figures:
 	$(GO) run ./cmd/ncbench -fig all
@@ -126,7 +145,15 @@ bench-smoke:
 # relative key (`_x` multiple, `_pct` percentage) must stay within tolerance
 # of its committed value. Absolute MB/s numbers are machine-specific and are
 # never gated; the 50% default tolerance absorbs runner-to-runner noise
-# while still catching an optimization rung that actually regressed.
+# while still catching an optimization rung that actually regressed. The
+# second stage re-runs a reduced serving ladder and gates its
+# sharded-over-single multiple against BENCH_serve.json with a wider 70%
+# tolerance: the committed ratio derives at the full ladder's 5120-session
+# depth where the single per-record pump collapses (~5.9x), while the CI
+# recheck stops at 2048 sessions where sharding's edge is structurally
+# smaller (~2.2-2.4x) — the extra slack covers that depth mismatch, and a
+# real fan-out regression (amortization broken, ratio near 1x) still lands
+# well below the floor.
 bench-check:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkMulAddLadder|BenchmarkXorLadder' \
 		-benchtime 1000x -count 1 ./internal/gf256/ ; \
@@ -135,9 +162,12 @@ bench-check:
 	  $(GO) test -run '^$$' -bench 'BenchmarkXorLadder' \
 		-benchtime 50x -count 1 ./internal/rlnc/ ; } \
 		| $(GO) run ./cmd/benchjson -check BENCH_host.json
+	$(GO) run ./cmd/ncload -sessions 2048 -steps 1 -shards 4 \
+		-window 2s -settle 500ms -canaries 2 -systematic=false \
+		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.7
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke
 
 # Run every example program.
 examples:

@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft open-file limit to the hard limit, best
+// effort: a peak wave holds both ends of every session in this process, so
+// N sessions cost ~2N descriptors.
+func raiseFDLimit() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+}

@@ -92,6 +92,8 @@ type serveFlags struct {
 	retries  int
 	maxSess  int
 	mode     string
+	shards   int
+	fanout   string
 }
 
 func (sf *serveFlags) register(fs *flag.FlagSet) {
@@ -101,6 +103,8 @@ func (sf *serveFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&sf.deadline, "deadline", 5*time.Second, "per-record write deadline (0 disables)")
 	fs.IntVar(&sf.retries, "retries", 1, "extra deadline windows before a timed-out session is dropped")
 	fs.IntVar(&sf.maxSess, "max-sessions", 0, "concurrent session cap (0 = unlimited)")
+	fs.IntVar(&sf.shards, "shards", 1, "independent encoder-pump shards")
+	fs.StringVar(&sf.fanout, "fanout", netio.FanoutAmortized.String(), "pump fan-out rung: amortized or record")
 	sf.registerMode(fs)
 }
 
@@ -113,13 +117,24 @@ func (sf *serveFlags) options() ([]netio.ServerOption, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []netio.ServerOption{
+	opts := []netio.ServerOption{
 		netio.WithQueueDepth(sf.queue),
 		netio.WithWriteDeadline(sf.deadline),
 		netio.WithWriteRetries(sf.retries),
 		netio.WithMaxSessions(sf.maxSess),
 		netio.WithWireMode(mode),
-	}, nil
+	}
+	if sf.shards > 0 {
+		opts = append(opts, netio.WithPumpShards(sf.shards))
+	}
+	if sf.fanout != "" {
+		fanout, err := netio.ParseFanoutMode(sf.fanout)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, netio.WithFanout(fanout))
+	}
+	return opts, nil
 }
 
 func runServe(args []string) error {
@@ -196,13 +211,23 @@ func snapshotJSON(s netio.Snapshot) map[string]any {
 	per := make([]map[string]any, 0, len(s.PerSession))
 	for _, ss := range s.PerSession {
 		per = append(per, map[string]any{
-			"id": ss.ID, "addr": ss.Addr,
+			"id": ss.ID, "shard": ss.Shard, "addr": ss.Addr,
 			"queue_len": ss.QueueLen, "queue_cap": ss.QueueCap,
 			"offered": ss.Offered, "sent": ss.Sent, "shed": ss.Shed,
 			"bytes": ss.Bytes, "duration_s": ss.Duration.Seconds(),
 		})
 	}
+	shards := make([]map[string]any, 0, len(s.Shards))
+	for _, sh := range s.Shards {
+		shards = append(shards, map[string]any{
+			"shard": sh.Shard, "sessions": sh.Sessions,
+			"blocks_encoded": sh.BlocksEncoded, "blocks_offered": sh.BlocksOffered,
+			"blocks_sent": sh.BlocksSent, "blocks_shed": sh.BlocksShed,
+			"bytes_sent": sh.BytesSent, "encode_stall_s": sh.EncodeStall.Seconds(),
+		})
+	}
 	return map[string]any{
+		"version":           s.Version,
 		"mode":              s.Mode.String(),
 		"sessions":          s.Sessions,
 		"sessions_total":    s.SessionsTotal,
@@ -215,6 +240,7 @@ func snapshotJSON(s netio.Snapshot) map[string]any {
 		"bytes_sent":        s.BytesSent,
 		"encode_stall_s":    s.EncodeStall.Seconds(),
 		"max_stall_s":       s.MaxEncodeStall.Seconds(),
+		"shards":            shards,
 		"per_session":       per,
 	}
 }

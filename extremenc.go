@@ -403,7 +403,75 @@ var (
 	// WithServePace floors the interval between pump rounds, modeling a
 	// capacity-constrained origin uplink.
 	WithServePace = netio.WithServePace
+	// WithPumpShards splits serving across independent encoder pumps;
+	// sessions join the least-loaded shard at handshake.
+	WithPumpShards = netio.WithPumpShards
+	// WithFanout selects the pump-to-queue hand-off rung (amortized bulk
+	// offers + vectored writes, or the per-record baseline).
+	WithFanout = netio.WithFanout
 )
+
+// Literal serving configuration (see internal/netio). The functional options
+// above and these structs are two spellings of one configuration path: both
+// run the same Validate/normalize pipeline, so a config that passes
+// Validate behaves identically however it was assembled.
+type (
+	// NetServerConfig is the complete serving configuration.
+	NetServerConfig = netio.ServerConfig
+	// NetFetcherConfig is the complete resilient-fetcher configuration.
+	NetFetcherConfig = netio.FetcherConfig
+	// FanoutMode selects how the encoder pump hands records to session
+	// queues — the serving-side optimization ladder.
+	FanoutMode = netio.FanoutMode
+	// NetShardSnapshot is one encoder pump's slice of a NetSnapshot.
+	NetShardSnapshot = netio.ShardSnapshot
+	// ShardedRecordSource is a RecordSource that can partition itself
+	// across pump shards instead of being serialized behind one lock.
+	ShardedRecordSource = netio.ShardedRecordSource
+)
+
+// Fan-out rungs.
+const (
+	// FanoutAmortized (default): bulk offers, batched counters, vectored
+	// writes.
+	FanoutAmortized = netio.FanoutAmortized
+	// FanoutPerRecord: the original one-offer-one-write-per-record cost
+	// profile, kept selectable so capacity ladders can measure the delta.
+	FanoutPerRecord = netio.FanoutPerRecord
+
+	// NetSnapshotVersion identifies the NetSnapshot schema.
+	NetSnapshotVersion = netio.SnapshotVersion
+)
+
+// ParseFanoutMode parses a FanoutMode from its flag spelling ("amortized",
+// "record").
+func ParseFanoutMode(s string) (FanoutMode, error) { return netio.ParseFanoutMode(s) }
+
+// DefaultNetServerConfig returns the serving defaults the option-based
+// constructors start from.
+func DefaultNetServerConfig() NetServerConfig { return netio.DefaultServerConfig() }
+
+// DefaultNetFetcherConfig returns the fetcher defaults the option-based
+// constructor starts from.
+func DefaultNetFetcherConfig() NetFetcherConfig { return netio.DefaultFetcherConfig() }
+
+// NewNetServerFromConfig builds a push-streaming server from a literal
+// config; cfg.Validate failures are returned.
+func NewNetServerFromConfig(media []byte, p Params, cfg NetServerConfig) (*NetServer, error) {
+	return netio.NewServerFromConfig(media, p, cfg)
+}
+
+// NewSourceServerFromConfig builds a RecordSource-backed server from a
+// literal config.
+func NewSourceServerFromConfig(src RecordSource, cfg NetServerConfig) (*NetServer, error) {
+	return netio.NewSourceServerFromConfig(src, cfg)
+}
+
+// NewFetcherFromConfig builds a resilient Fetcher from a literal config;
+// cfg.Validate failures are returned.
+func NewFetcherFromConfig(dial DialFunc, cfg NetFetcherConfig) (*Fetcher, error) {
+	return netio.NewFetcherFromConfig(dial, cfg)
+}
 
 // Pluggable serving sources (see internal/netio): a NetServer normally
 // serves a media object, but any RecordSource — most notably a mesh relay's

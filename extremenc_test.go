@@ -7,11 +7,63 @@ import (
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"extremenc"
 )
+
+// chanListener adapts net.Pipe connections into a net.Listener so facade
+// servers can be driven entirely in memory.
+type chanListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error { l.once.Do(func() { close(l.done) }); return nil }
+
+type chanListenerAddr struct{}
+
+func (chanListenerAddr) Network() string { return "pipe" }
+func (chanListenerAddr) String() string  { return "pipe" }
+
+func (l *chanListener) Addr() net.Addr { return chanListenerAddr{} }
+
+// pipeServer serves srv over an in-memory listener for the test's lifetime
+// and returns a dialer handing out fresh client sessions.
+func pipeServer(t *testing.T, srv *extremenc.NetServer) func() net.Conn {
+	t.Helper()
+	l := &chanListener{conns: make(chan net.Conn), done: make(chan struct{})}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		l.Close()
+		<-serveDone
+	})
+	return func() net.Conn {
+		client, server := net.Pipe()
+		select {
+		case l.conns <- server:
+			return client
+		case <-l.done:
+			client.Close()
+			server.Close()
+			return nil
+		}
+	}
+}
 
 // TestQuickstart exercises the documented public-API flow end to end.
 func TestQuickstart(t *testing.T) {
@@ -282,9 +334,8 @@ func TestSystematicXorFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, server := net.Pipe()
-	go srv.ServeConn(server)
-	f := extremenc.NewFetcher(func(context.Context) (net.Conn, error) { return client, nil },
+	dialPipe := pipeServer(t, srv)
+	f := extremenc.NewFetcher(func(context.Context) (net.Conn, error) { return dialPipe(), nil },
 		extremenc.WithMaxAttempts(1))
 	res, err := f.Fetch(context.Background())
 	if err != nil {
@@ -321,9 +372,7 @@ func TestFileAndNetFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, server := net.Pipe()
-	go srv.ServeConn(server)
-	got, stats, err := extremenc.Fetch(context.Background(), client)
+	got, stats, err := extremenc.Fetch(context.Background(), pipeServer(t, srv)())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,6 +556,85 @@ func TestServingFacade(t *testing.T) {
 	if snap.BlocksOffered != snap.BlocksSent+snap.BlocksShed {
 		t.Fatalf("accounting: offered %d != sent %d + shed %d",
 			snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed)
+	}
+}
+
+// TestConfigAPIFacade exercises the literal-config construction surface
+// through the facade: a sharded server and a fetcher built from config
+// structs, the versioned shard-aware snapshot, and the fanout-mode spelling
+// round-trip.
+func TestConfigAPIFacade(t *testing.T) {
+	p := extremenc.Params{BlockCount: 8, BlockSize: 256}
+	payload := make([]byte, 2*p.SegmentSize()-19)
+	rand.New(rand.NewSource(41)).Read(payload)
+
+	fanout, err := extremenc.ParseFanoutMode("amortized")
+	if err != nil || fanout != extremenc.FanoutAmortized {
+		t.Fatalf("ParseFanoutMode(amortized) = %v, %v", fanout, err)
+	}
+	if fanout.String() != "amortized" || extremenc.FanoutPerRecord.String() != "record" {
+		t.Fatal("fanout spellings do not round-trip")
+	}
+
+	scfg := extremenc.DefaultNetServerConfig()
+	scfg.PumpShards = 2
+	scfg.Fanout = fanout
+	scfg.Seed = 7
+	scfg.WriteDeadline = 2 * time.Second
+	if err := scfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := extremenc.NewNetServerFromConfig(payload, p, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialPipe := pipeServer(t, srv)
+
+	fcfg := extremenc.DefaultNetFetcherConfig()
+	fcfg.MaxAttempts = 2
+	f, err := extremenc.NewFetcherFromConfig(
+		func(context.Context) (net.Conn, error) { return dialPipe(), nil }, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("config-built fetch payload differs")
+	}
+
+	// The offered == sent + shed ledger is exact only after teardown;
+	// Shutdown is idempotent, so the pipeServer cleanup re-running it is
+	// fine.
+	srv.Shutdown()
+	snap := srv.Snapshot()
+	if snap.Version != extremenc.NetSnapshotVersion {
+		t.Fatalf("snapshot version = %d, want %d", snap.Version, extremenc.NetSnapshotVersion)
+	}
+	var shardSum int64
+	for _, sh := range snap.Shards {
+		if !sh.Consistent() {
+			t.Fatalf("shard %d ledger: offered %d != sent %d + shed %d",
+				sh.Shard, sh.BlocksOffered, sh.BlocksSent, sh.BlocksShed)
+		}
+		shardSum += sh.BlocksOffered
+	}
+	if len(snap.Shards) != 2 || shardSum != snap.BlocksOffered {
+		t.Fatalf("shard rollup: %d shards, offered sum %d vs aggregate %d",
+			len(snap.Shards), shardSum, snap.BlocksOffered)
+	}
+
+	// Validate failures surface through the FromConfig constructors.
+	if _, err := extremenc.NewNetServerFromConfig(payload, p,
+		extremenc.NetServerConfig{PumpShards: -1}); err == nil {
+		t.Fatal("NewNetServerFromConfig accepted negative shards")
+	}
+	if _, err := extremenc.NewFetcherFromConfig(
+		func(context.Context) (net.Conn, error) { return nil, context.Canceled },
+		extremenc.NetFetcherConfig{Jitter: 3}); err == nil {
+		t.Fatal("NewFetcherFromConfig accepted out-of-range jitter")
 	}
 }
 

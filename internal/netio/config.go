@@ -1,0 +1,437 @@
+package netio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"extremenc/internal/obs"
+	"extremenc/internal/rlnc"
+)
+
+// FanoutMode selects how the encoder pump hands records to session queues —
+// the serving-side optimization ladder, kept as selectable rungs so the load
+// harness can measure each against the next (the serving analogue of the
+// host-codec kernel rungs).
+type FanoutMode uint8
+
+const (
+	// FanoutAmortized (the default) offers each pump round to a session in
+	// one bulk operation — one lock and one batched counter update per
+	// session per round instead of per record — and lets writers drain their
+	// queue in vectored batches (one writev-style flush for many records).
+	FanoutAmortized FanoutMode = iota
+	// FanoutPerRecord is the baseline rung: one offer per record per session
+	// and one wire write per record, the original single-pump cost profile.
+	// It exists so capacity ladders can measure what amortization buys.
+	FanoutPerRecord
+)
+
+func (m FanoutMode) String() string {
+	switch m {
+	case FanoutAmortized:
+		return "amortized"
+	case FanoutPerRecord:
+		return "record"
+	default:
+		return fmt.Sprintf("FanoutMode(%d)", uint8(m))
+	}
+}
+
+// ParseFanoutMode is the inverse of FanoutMode.String.
+func ParseFanoutMode(s string) (FanoutMode, error) {
+	switch s {
+	case "amortized":
+		return FanoutAmortized, nil
+	case "record":
+		return FanoutPerRecord, nil
+	default:
+		return 0, fmt.Errorf("netio: unknown fanout mode %q", s)
+	}
+}
+
+// ServerConfig is the complete serving configuration. NewServer and
+// NewSourceServer build one from DefaultServerConfig plus functional options;
+// NewServerFromConfig and NewSourceServerFromConfig accept a literal struct.
+// Both construction paths share the same Validate/normalize pipeline, so a
+// config that passes Validate behaves identically however it was assembled.
+//
+// Zero fields marked "0 → default" are replaced during normalization; the
+// other zero values are meaningful (no write deadline, no session cap, no
+// pacing) and taken literally — start from DefaultServerConfig to get the
+// option-path defaults.
+type ServerConfig struct {
+	// QueueDepth bounds each session's send queue, in records (0 → 64,
+	// negative → 1). When a client drains slower than the pump produces,
+	// records beyond the bound are shed instead of stalling the pump — RLNC
+	// makes the loss harmless, the peer only needs enough blocks, not
+	// specific ones.
+	QueueDepth int
+	// WriteDeadline bounds every record flush; a flush that misses it is
+	// retried (resuming at the byte where it stopped) WriteRetries times and
+	// the session is then dropped. Zero disables deadlines
+	// (DefaultServerConfig sets 5s).
+	WriteDeadline time.Duration
+	// WriteRetries is how many extra deadline windows a timed-out flush gets
+	// before the session is dropped (negative → 0; DefaultServerConfig
+	// sets 1).
+	WriteRetries int
+	// EncodeBatch is how many coded blocks each pump generates per segment
+	// per round (0 → max(4, blockCount/4)).
+	EncodeBatch int
+	// MaxSessions caps concurrent sessions across all shards; connections
+	// beyond the cap are closed immediately and counted in
+	// Snapshot.SessionsRejected. Zero means unlimited.
+	MaxSessions int
+	// EncoderWorkers is the worker count of each shard's parallel encoder
+	// (0 → the SharedPool's worker count). Media-backed servers only.
+	EncoderWorkers int
+	// Seed is the base seed of the coefficient stream (0 → 1). Shard i
+	// derives its stream from Seed and i, so a single-shard server
+	// reproduces the unsharded block sequence exactly.
+	Seed int64
+	// Mode is the session coding discipline declared in every handshake
+	// (default ModeDense). NewSourceServer overrides it with the source's
+	// declared mode.
+	Mode WireMode
+	// Pace floors the interval between pump rounds, bounding each shard's
+	// emission rate at EncodeBatch records per Pace regardless of CPU
+	// headroom. It models a capacity-constrained coding engine; with S
+	// shards the server models S engines. Zero leaves pumps unpaced.
+	Pace time.Duration
+	// PumpShards is the number of independent encoder pumps; sessions are
+	// assigned to the least-loaded shard at handshake (0 → 1). Each shard
+	// owns its sessions, its record source, and its slice of the
+	// accounting, rolled up in Snapshot.
+	PumpShards int
+	// Fanout selects the pump-to-queue hand-off rung; see FanoutMode.
+	Fanout FanoutMode
+	// Metrics, when non-nil, registers the server's counters and session
+	// gauges under the "netio" prefix. Each registry admits one server.
+	Metrics *obs.Registry
+}
+
+// DefaultServerConfig returns the defaults the functional-option path starts
+// from: queue depth 64, a 5s write deadline with one retry, base seed 1,
+// dense mode, one pump shard, amortized fan-out.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		QueueDepth:    64,
+		WriteDeadline: 5 * time.Second,
+		WriteRetries:  1,
+		Seed:          1,
+		PumpShards:    1,
+	}
+}
+
+// Validate rejects a configuration no construction path would accept:
+// an unknown wire or fanout mode, or a negative shard count. Out-of-range
+// numeric fields are not errors — normalization clamps or defaults them,
+// matching the historical option behavior.
+func (c *ServerConfig) Validate() error {
+	if c.Mode > ModeSystematic {
+		return fmt.Errorf("netio: unknown wire mode %d", c.Mode)
+	}
+	if c.Fanout > FanoutPerRecord {
+		return fmt.Errorf("netio: unknown fanout mode %d", c.Fanout)
+	}
+	if c.PumpShards < 0 {
+		return fmt.Errorf("netio: negative pump shards %d", c.PumpShards)
+	}
+	return nil
+}
+
+// normalized returns a copy with every "0 → default" field resolved, using
+// blockCount for the batch default. Both constructors call Validate first.
+func (c ServerConfig) normalized(blockCount int) ServerConfig {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 1
+	}
+	if c.WriteRetries < 0 {
+		c.WriteRetries = 0
+	}
+	if c.EncodeBatch <= 0 {
+		// Default: a quarter generation per round, so late-joining clients
+		// wait at most a short interleave for every segment, but at least 4
+		// to amortize dispatch.
+		c.EncodeBatch = max(4, blockCount/4)
+	}
+	if c.EncoderWorkers <= 0 {
+		c.EncoderWorkers = rlnc.SharedPool().Workers()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PumpShards == 0 {
+		c.PumpShards = 1
+	}
+	return c
+}
+
+// ServerOption configures a Server built through the functional-option
+// constructors. Options mutate a ServerConfig, so the two construction
+// styles compose: an option-built server is exactly a
+// DefaultServerConfig-plus-mutations FromConfig server.
+type ServerOption func(*ServerConfig)
+
+// WithQueueDepth bounds each session's send queue to n coded-block records;
+// see ServerConfig.QueueDepth.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *ServerConfig) { c.QueueDepth = n }
+}
+
+// WithWriteDeadline bounds every record flush to d; see
+// ServerConfig.WriteDeadline. Zero disables deadlines.
+func WithWriteDeadline(d time.Duration) ServerOption {
+	return func(c *ServerConfig) { c.WriteDeadline = d }
+}
+
+// WithWriteRetries sets how many extra deadline windows a timed-out flush
+// gets before the session is dropped (default 1: retry once, then drop).
+func WithWriteRetries(n int) ServerOption {
+	return func(c *ServerConfig) { c.WriteRetries = n }
+}
+
+// WithEncodeBatch sets how many coded blocks each pump generates per segment
+// per round. Larger batches amortize encoder dispatch; smaller ones tighten
+// the round-robin interleave across segments. The default adapts to the
+// segment's block count.
+func WithEncodeBatch(n int) ServerOption {
+	return func(c *ServerConfig) { c.EncodeBatch = n }
+}
+
+// WithMaxSessions caps concurrent sessions; see ServerConfig.MaxSessions.
+func WithMaxSessions(n int) ServerOption {
+	return func(c *ServerConfig) { c.MaxSessions = n }
+}
+
+// WithServePace floors the interval between pump rounds at d, bounding each
+// shard's aggregate emission rate at batch-size records per d regardless of
+// CPU headroom. It models a capacity-constrained origin uplink — the regime
+// where a recoding relay tier multiplies effective serving capacity — and
+// keeps capacity comparisons meaningful on machines where every tier is
+// otherwise compute-bound. Zero (the default) leaves the pumps unpaced.
+func WithServePace(d time.Duration) ServerOption {
+	return func(c *ServerConfig) { c.Pace = d }
+}
+
+// WithEncoderWorkers sets the worker count of each shard's parallel encoder
+// (default: the SharedPool's worker count).
+func WithEncoderWorkers(n int) ServerOption {
+	return func(c *ServerConfig) { c.EncoderWorkers = n }
+}
+
+// WithServerSeed fixes the base seed of the pump coefficient streams, making
+// the served block sequence reproducible; see ServerConfig.Seed.
+func WithServerSeed(seed int64) ServerOption {
+	return func(c *ServerConfig) { c.Seed = seed }
+}
+
+// WithWireMode sets the session coding discipline the server declares in
+// every handshake (default ModeDense). In ModeSystematic the pumps cycle
+// each segment through the systematic + GF(2) XOR repair + dense tail
+// schedule of rlnc.SystematicEncoder, framing binary blocks in the compact
+// XNC2 encoding; queueing, shedding, deadlines, and reconnect semantics are
+// unchanged.
+func WithWireMode(m WireMode) ServerOption {
+	return func(c *ServerConfig) { c.Mode = m }
+}
+
+// WithPumpShards splits the serving load across n independent encoder pumps;
+// see ServerConfig.PumpShards.
+func WithPumpShards(n int) ServerOption {
+	return func(c *ServerConfig) { c.PumpShards = n }
+}
+
+// WithFanout selects the pump-to-queue hand-off rung; see FanoutMode.
+func WithFanout(m FanoutMode) ServerOption {
+	return func(c *ServerConfig) { c.Fanout = m }
+}
+
+// WithMetricsRegistry registers the server's counters and session gauges
+// into reg under the "netio" prefix, so the server scrapes alongside every
+// other obs surface. Each registry admits one server: NewServer fails on a
+// second registration with the same names.
+func WithMetricsRegistry(reg *obs.Registry) ServerOption {
+	return func(c *ServerConfig) { c.Metrics = reg }
+}
+
+// FetcherConfig is the complete download-client configuration. NewFetcher
+// builds one from DefaultFetcherConfig plus functional options;
+// NewFetcherFromConfig accepts a literal struct. Both paths share the same
+// validation, so a config that passes Validate behaves identically however
+// it was assembled.
+//
+// Zero backoff fields default during normalization; a zero Jitter is taken
+// literally (no jitter) — start from DefaultFetcherConfig to get the
+// option-path defaults.
+type FetcherConfig struct {
+	// MaxAttempts caps total connection attempts (dials), counting the
+	// first. Zero means unlimited: the fetch is bounded only by its context.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the reconnect schedule: the delay
+	// before retry r doubles from BackoffBase (0 → 50ms), is capped at
+	// BackoffMax (0 → 2s), and is then jittered. The schedule resets after
+	// any session that delivered records.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter is the backoff jitter fraction in [0, 1]: each delay d is drawn
+	// uniformly from [d·(1−Jitter), d·(1+Jitter)], still capped at
+	// BackoffMax. DefaultFetcherConfig sets 0.5.
+	Jitter float64
+	// Seed fixes the jitter's random source for reproducible schedules
+	// (0 → a random seed).
+	Seed int64
+	// ReconnectHook, when non-nil, runs after every successful reconnect
+	// handshake with the 1-based reconnect number and the per-segment
+	// decoder ranks carried into the new session.
+	ReconnectHook func(reconnect int, ranks map[uint32]int)
+	// SessionHook, when non-nil, runs with the declared SessionInfo after
+	// every successful handshake, before any record of that session is read.
+	SessionHook func(SessionInfo)
+	// RecordTap, when non-nil, runs with every structurally valid coded
+	// block the fetch receives, before (and regardless of) decoder
+	// absorption. Each block is freshly allocated; the tap may retain it.
+	RecordTap func(*rlnc.CodedBlock)
+	// ResumeState preloads the decoders from a Fetcher.State blob saved by
+	// an earlier fetch of the same object.
+	ResumeState []byte
+	// Metrics, when non-nil, registers the fetch ledger under the "fetch"
+	// prefix. Each registry admits one fetcher; a second registration is
+	// dropped (the typed stats still work).
+	Metrics *obs.Registry
+}
+
+// DefaultFetcherConfig returns the defaults the functional-option path
+// starts from: unlimited attempts, 50ms backoff doubling to a 2s cap with
+// 0.5 jitter.
+func DefaultFetcherConfig() FetcherConfig {
+	return FetcherConfig{
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		Jitter:      0.5,
+	}
+}
+
+// Validate rejects a configuration NewFetcherFromConfig would refuse:
+// negative attempt budget, negative backoff, an inverted backoff range, or
+// jitter outside [0, 1].
+func (c *FetcherConfig) Validate() error {
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("netio: negative attempt budget %d", c.MaxAttempts)
+	}
+	if c.BackoffBase < 0 || c.BackoffMax < 0 {
+		return fmt.Errorf("netio: negative backoff (base %v, max %v)", c.BackoffBase, c.BackoffMax)
+	}
+	if c.BackoffBase > 0 && c.BackoffMax > 0 && c.BackoffBase > c.BackoffMax {
+		return fmt.Errorf("netio: backoff base %v exceeds max %v", c.BackoffBase, c.BackoffMax)
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		return fmt.Errorf("netio: jitter %v outside [0, 1]", c.Jitter)
+	}
+	return nil
+}
+
+// normalized resolves the backoff defaults and the jitter random source.
+func (c FetcherConfig) normalized() (FetcherConfig, *rand.Rand) {
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return c, rand.New(rand.NewSource(seed))
+}
+
+// FetcherOption configures a Fetcher built through NewFetcher. Options
+// mutate a FetcherConfig, so the two construction styles compose.
+type FetcherOption func(*FetcherConfig)
+
+// WithMaxAttempts caps the total number of connection attempts (dials),
+// counting the first. Zero, the default, means unlimited.
+func WithMaxAttempts(n int) FetcherOption {
+	return func(c *FetcherConfig) { c.MaxAttempts = n }
+}
+
+// WithBackoff sets the reconnect backoff schedule; see
+// FetcherConfig.BackoffBase. The defaults are 50ms doubling to a 2s cap.
+func WithBackoff(base, max time.Duration) FetcherOption {
+	return func(c *FetcherConfig) {
+		c.BackoffBase = base
+		c.BackoffMax = max
+	}
+}
+
+// WithBackoffJitter sets the jitter fraction j ∈ [0, 1], clamping
+// out-of-range values. Jitter (default 0.5) keeps a fleet of clients that
+// lost the same server from reconnecting in lockstep.
+func WithBackoffJitter(j float64) FetcherOption {
+	return func(c *FetcherConfig) {
+		c.Jitter = min(max(j, 0), 1)
+	}
+}
+
+// WithBackoffSeed fixes the jitter's random source, making the backoff
+// schedule reproducible.
+func WithBackoffSeed(seed int64) FetcherOption {
+	return func(c *FetcherConfig) { c.Seed = seed }
+}
+
+// WithReconnectHook installs fn; see FetcherConfig.ReconnectHook.
+// Observability only: the fetch blocks until fn returns.
+func WithReconnectHook(fn func(reconnect int, ranks map[uint32]int)) FetcherOption {
+	return func(c *FetcherConfig) { c.ReconnectHook = fn }
+}
+
+// WithSessionHook installs fn, called with the declared SessionInfo after
+// every successful handshake (the first connection and each reconnect),
+// before any record of that session is read. A mesh relay uses it to learn
+// the upstream object's shape so it can re-declare the same object
+// downstream. Hooks compose: each WithSessionHook appends, and hooks run
+// in installation order. The fetch blocks until fn returns.
+func WithSessionHook(fn func(SessionInfo)) FetcherOption {
+	return func(c *FetcherConfig) {
+		if prev := c.SessionHook; prev != nil {
+			c.SessionHook = func(info SessionInfo) { prev(info); fn(info) }
+			return
+		}
+		c.SessionHook = fn
+	}
+}
+
+// WithRecordTap installs fn, called with every structurally valid coded
+// block the fetch receives — after checksum, shape, and segment-range
+// checks, before (and regardless of) decoder absorption, so the tap also
+// sees blocks that are linearly dependent for this fetcher's decoders.
+// This is the relay feed: a mesh relay taps its upstream fetch straight into
+// per-segment recoders. Taps compose: each WithRecordTap appends, and taps
+// run in installation order. The fetch blocks until fn returns.
+func WithRecordTap(fn func(*rlnc.CodedBlock)) FetcherOption {
+	return func(c *FetcherConfig) {
+		if prev := c.RecordTap; prev != nil {
+			c.RecordTap = func(b *rlnc.CodedBlock) { prev(b); fn(b) }
+			return
+		}
+		c.RecordTap = fn
+	}
+}
+
+// WithResumeState preloads the decoders from a Fetcher.State blob saved by
+// an earlier (possibly failed) fetch of the same object, so the new fetch
+// starts from the saved per-segment rank instead of zero.
+func WithResumeState(state []byte) FetcherOption {
+	return func(c *FetcherConfig) { c.ResumeState = state }
+}
+
+// WithMetrics registers the fetcher's stat counters into reg under the
+// "fetch" prefix; see FetcherConfig.Metrics.
+func WithMetrics(reg *obs.Registry) FetcherOption {
+	return func(c *FetcherConfig) { c.Metrics = reg }
+}

@@ -1,0 +1,189 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"extremenc/internal/rlnc"
+)
+
+// TestServerConfigValidate pins exactly what the shared validation path
+// rejects: unknown wire and fanout modes and negative shard counts. Numeric
+// fields outside their range are normalization's job, not errors.
+func TestServerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*ServerConfig)
+		wantErr string
+	}{
+		{"default", func(c *ServerConfig) {}, ""},
+		{"zero value", func(c *ServerConfig) { *c = ServerConfig{} }, ""},
+		{"bad wire mode", func(c *ServerConfig) { c.Mode = WireMode(9) }, "wire mode"},
+		{"bad fanout", func(c *ServerConfig) { c.Fanout = FanoutMode(7) }, "fanout"},
+		{"negative shards", func(c *ServerConfig) { c.PumpShards = -1 }, "pump shards"},
+		{"negative queue ok", func(c *ServerConfig) { c.QueueDepth = -5 }, ""},
+		{"negative retries ok", func(c *ServerConfig) { c.WriteRetries = -1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultServerConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServerConfigNormalized pins the zero-to-default resolution both
+// construction paths share.
+func TestServerConfigNormalized(t *testing.T) {
+	got := (ServerConfig{QueueDepth: 0, WriteRetries: -2, Seed: 0}).normalized(16)
+	if got.QueueDepth != 64 {
+		t.Fatalf("QueueDepth 0 -> %d, want 64", got.QueueDepth)
+	}
+	if got.WriteRetries != 0 {
+		t.Fatalf("WriteRetries -2 -> %d, want 0", got.WriteRetries)
+	}
+	if got.EncodeBatch != 4 { // max(4, 16/4)
+		t.Fatalf("EncodeBatch 0 -> %d, want 4", got.EncodeBatch)
+	}
+	if got.Seed != 1 {
+		t.Fatalf("Seed 0 -> %d, want 1", got.Seed)
+	}
+	if got.PumpShards != 1 {
+		t.Fatalf("PumpShards 0 -> %d, want 1", got.PumpShards)
+	}
+	if got.EncoderWorkers <= 0 {
+		t.Fatalf("EncoderWorkers 0 -> %d, want > 0", got.EncoderWorkers)
+	}
+	if (ServerConfig{QueueDepth: -3}).normalized(16).QueueDepth != 1 {
+		t.Fatal("negative QueueDepth must clamp to 1")
+	}
+	if (ServerConfig{EncodeBatch: 0}).normalized(64).EncodeBatch != 16 {
+		t.Fatal("EncodeBatch default must scale with block count")
+	}
+	// Meaningful zeros survive normalization untouched.
+	z := (ServerConfig{}).normalized(16)
+	if z.WriteDeadline != 0 || z.MaxSessions != 0 || z.Pace != 0 {
+		t.Fatalf("meaningful zeros were defaulted: %+v", z)
+	}
+}
+
+// TestFetcherConfigValidate pins the fetcher-side rejections.
+func TestFetcherConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*FetcherConfig)
+		wantErr string
+	}{
+		{"default", func(c *FetcherConfig) {}, ""},
+		{"zero value", func(c *FetcherConfig) { *c = FetcherConfig{} }, ""},
+		{"negative attempts", func(c *FetcherConfig) { c.MaxAttempts = -1 }, "attempt budget"},
+		{"negative backoff", func(c *FetcherConfig) { c.BackoffBase = -time.Second }, "negative backoff"},
+		{"inverted backoff", func(c *FetcherConfig) {
+			c.BackoffBase = 3 * time.Second
+			c.BackoffMax = time.Second
+		}, "exceeds max"},
+		{"jitter too big", func(c *FetcherConfig) { c.Jitter = 1.5 }, "jitter"},
+		{"jitter negative", func(c *FetcherConfig) { c.Jitter = -0.1 }, "jitter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultFetcherConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFromConfigMatchesOptions proves the two construction styles are one
+// path: a literal-config server and an option-built server with the same
+// settings serve identical block streams, and the FromConfig constructors
+// reject what Validate rejects.
+func TestFromConfigMatchesOptions(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 128}
+	media := testMedia(t, 2*p.SegmentSize()-7, 61)
+
+	cfg := DefaultServerConfig()
+	cfg.QueueDepth = 16
+	cfg.WriteDeadline = 2 * time.Second
+	cfg.Seed = 42
+	cfg.PumpShards = 2
+	byConfig, err := NewServerFromConfig(media, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOptions, err := NewServer(media, p,
+		WithQueueDepth(16),
+		WithWriteDeadline(2*time.Second),
+		WithServerSeed(42),
+		WithPumpShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, srv := range map[string]*Server{"config": byConfig, "options": byOptions} {
+		if srv.Shards() != 2 {
+			t.Fatalf("%s-built server shards = %d, want 2", name, srv.Shards())
+		}
+		l := startPipeServer(t, srv)
+		payload, _, err := Fetch(context.Background(), l.Dial())
+		if err != nil {
+			t.Fatalf("%s-built server fetch: %v", name, err)
+		}
+		if !bytes.Equal(payload, media) {
+			t.Fatalf("%s-built server payload differs", name)
+		}
+	}
+
+	if _, err := NewServerFromConfig(media, p, ServerConfig{PumpShards: -2}); err == nil {
+		t.Fatal("NewServerFromConfig accepted a config Validate rejects")
+	}
+	if _, err := NewFetcherFromConfig(
+		func(context.Context) (net.Conn, error) { return nil, context.Canceled },
+		FetcherConfig{Jitter: 2},
+	); err == nil {
+		t.Fatal("NewFetcherFromConfig accepted a config Validate rejects")
+	}
+
+	// And the valid literal-config fetcher path works end to end.
+	srv, err := NewServerFromConfig(media, p, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := startPipeServer(t, srv)
+	fcfg := DefaultFetcherConfig()
+	fcfg.MaxAttempts = 1
+	f, err := NewFetcherFromConfig(
+		func(context.Context) (net.Conn, error) { return l.Dial(), nil }, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("config-built fetcher: %v", err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("config-built fetcher payload differs")
+	}
+}

@@ -43,114 +43,6 @@ var (
 // for the initial connection and again for every reconnect.
 type DialFunc func(ctx context.Context) (net.Conn, error)
 
-// FetcherOption configures a Fetcher.
-type FetcherOption func(*fetcherConfig)
-
-type fetcherConfig struct {
-	maxAttempts int
-	backoffBase time.Duration
-	backoffMax  time.Duration
-	jitter      float64
-	rng         *rand.Rand
-	hook        func(reconnect int, ranks map[uint32]int)
-	sessionHook func(SessionInfo)
-	tap         func(*rlnc.CodedBlock)
-	state       []byte
-	metrics     *obs.Registry
-}
-
-// WithMaxAttempts caps the total number of connection attempts (dials),
-// counting the first. Zero, the default, means unlimited: the fetch is
-// bounded only by its context.
-func WithMaxAttempts(n int) FetcherOption {
-	return func(c *fetcherConfig) { c.maxAttempts = n }
-}
-
-// WithBackoff sets the reconnect backoff schedule: the delay before retry r
-// doubles from base, is capped at max, and is then jittered. The schedule
-// resets after any session that delivered records, so only consecutive
-// barren attempts escalate. The defaults are 50ms doubling to a 2s cap.
-func WithBackoff(base, max time.Duration) FetcherOption {
-	return func(c *fetcherConfig) {
-		c.backoffBase = base
-		c.backoffMax = max
-	}
-}
-
-// WithBackoffJitter sets the jitter fraction j ∈ [0, 1]: each backoff delay
-// d is drawn uniformly from [d·(1−j), d·(1+j)], still capped at the backoff
-// maximum. Jitter (default 0.5) keeps a fleet of clients that lost the same
-// server from reconnecting in lockstep.
-func WithBackoffJitter(j float64) FetcherOption {
-	return func(c *fetcherConfig) {
-		c.jitter = min(max(j, 0), 1)
-	}
-}
-
-// WithBackoffSeed fixes the jitter's random source, making the backoff
-// schedule reproducible.
-func WithBackoffSeed(seed int64) FetcherOption {
-	return func(c *fetcherConfig) { c.rng = rand.New(rand.NewSource(seed)) }
-}
-
-// WithReconnectHook installs fn, called after every successful reconnect
-// handshake with the 1-based reconnect number and the per-segment decoder
-// ranks carried into the new session. Observability only: the fetch blocks
-// until fn returns.
-func WithReconnectHook(fn func(reconnect int, ranks map[uint32]int)) FetcherOption {
-	return func(c *fetcherConfig) { c.hook = fn }
-}
-
-// WithSessionHook installs fn, called with the declared SessionInfo after
-// every successful handshake (the first connection and each reconnect),
-// before any record of that session is read. A mesh relay uses it to learn
-// the upstream object's shape so it can re-declare the same object
-// downstream. Hooks compose: each WithSessionHook appends, and hooks run
-// in installation order. The fetch blocks until fn returns.
-func WithSessionHook(fn func(SessionInfo)) FetcherOption {
-	return func(c *fetcherConfig) {
-		if prev := c.sessionHook; prev != nil {
-			c.sessionHook = func(info SessionInfo) { prev(info); fn(info) }
-			return
-		}
-		c.sessionHook = fn
-	}
-}
-
-// WithRecordTap installs fn, called with every structurally valid coded
-// block the fetch receives — after checksum, shape, and segment-range
-// checks, before (and regardless of) decoder absorption, so the tap also
-// sees blocks that are linearly dependent for this fetcher's decoders.
-// Each block is freshly allocated per record; the tap may retain it. This
-// is the relay feed: a mesh relay taps its upstream fetch straight into
-// per-segment recoders. Taps compose: each WithRecordTap appends, and taps
-// run in installation order. The fetch blocks until fn returns.
-func WithRecordTap(fn func(*rlnc.CodedBlock)) FetcherOption {
-	return func(c *fetcherConfig) {
-		if prev := c.tap; prev != nil {
-			c.tap = func(b *rlnc.CodedBlock) { prev(b); fn(b) }
-			return
-		}
-		c.tap = fn
-	}
-}
-
-// WithResumeState preloads the decoders from a Fetcher.State blob saved by
-// an earlier (possibly failed) fetch of the same object, so the new fetch
-// starts from the saved per-segment rank instead of zero.
-func WithResumeState(state []byte) FetcherOption {
-	return func(c *fetcherConfig) { c.state = state }
-}
-
-// WithMetrics registers the fetcher's stat counters into reg under the
-// "fetch" prefix, so the download ledger scrapes alongside the server and
-// chaos-link counters. The counters are owned by this fetcher — FetchStats
-// stays a per-fetch view — so each registry admits one fetcher; a second
-// fetcher's registration is dropped (its typed stats still work).
-func WithMetrics(reg *obs.Registry) FetcherOption {
-	return func(c *fetcherConfig) { c.metrics = reg }
-}
-
 // FetchResult is everything a fetch produced, returned even when the fetch
 // failed: RLNC progress is rank, and rank is never worth discarding.
 type FetchResult struct {
@@ -180,7 +72,8 @@ type FetchResult struct {
 // Fetch once, then optionally State.
 type Fetcher struct {
 	dial DialFunc
-	cfg  fetcherConfig
+	cfg  FetcherConfig // normalized
+	rng  *rand.Rand    // jitter source
 
 	hdr         *sessionHeader
 	established bool
@@ -255,22 +148,29 @@ func (m *fetcherMetrics) register(reg *obs.Registry, prefix string) error {
 
 // NewFetcher returns a Fetcher that downloads through dial.
 func NewFetcher(dial DialFunc, opts ...FetcherOption) *Fetcher {
-	cfg := fetcherConfig{
-		backoffBase: 50 * time.Millisecond,
-		backoffMax:  2 * time.Second,
-		jitter:      0.5,
-	}
+	cfg := DefaultFetcherConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.rng == nil {
-		cfg.rng = rand.New(rand.NewSource(rand.Int63()))
+	return newFetcher(dial, cfg)
+}
+
+// NewFetcherFromConfig is NewFetcher with a literal, validated
+// configuration; see FetcherConfig for the zero-value semantics.
+func NewFetcherFromConfig(dial DialFunc, cfg FetcherConfig) (*Fetcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	f := &Fetcher{dial: dial, cfg: cfg}
-	if cfg.metrics != nil {
+	return newFetcher(dial, cfg), nil
+}
+
+func newFetcher(dial DialFunc, cfg FetcherConfig) *Fetcher {
+	norm, rng := cfg.normalized()
+	f := &Fetcher{dial: dial, cfg: norm, rng: rng}
+	if norm.Metrics != nil {
 		// Best-effort: a name collision (second fetcher on one registry)
 		// drops the registration but never the ledger itself.
-		f.stats.register(cfg.metrics, "fetch") //nolint:errcheck
+		f.stats.register(norm.Metrics, "fetch") //nolint:errcheck
 	}
 	return f
 }
@@ -281,11 +181,11 @@ func NewFetcher(dial DialFunc, opts ...FetcherOption) *Fetcher {
 // even alongside an error — a budget-exhausted fetch degrades to a partial
 // result instead of discarding progress.
 func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
-	if f.cfg.state != nil {
-		if err := f.restoreState(f.cfg.state); err != nil {
+	if f.cfg.ResumeState != nil {
+		if err := f.restoreState(f.cfg.ResumeState); err != nil {
 			return f.result(), err
 		}
-		f.cfg.state = nil
+		f.cfg.ResumeState = nil
 	}
 	var lastErr error
 	// retry drives the backoff schedule and resets whenever a session
@@ -299,7 +199,7 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 		if ctx.Err() != nil {
 			return f.result(), cancelErr(ctx)
 		}
-		if f.cfg.maxAttempts > 0 && attempt >= f.cfg.maxAttempts {
+		if f.cfg.MaxAttempts > 0 && attempt >= f.cfg.MaxAttempts {
 			return f.result(), budgetErr(attempt, lastErr)
 		}
 		if retry > 0 {
@@ -452,13 +352,13 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 		f.stats.resumedRank.Add(int64(f.totalRank()))
 		f.reconnSpan.End()
 		f.reconnSpan = obs.Span{}
-		if f.cfg.hook != nil {
-			f.cfg.hook(int(f.stats.reconnects.Load()), f.Ranks())
+		if f.cfg.ReconnectHook != nil {
+			f.cfg.ReconnectHook(int(f.stats.reconnects.Load()), f.Ranks())
 		}
 	}
 	f.established = true
-	if f.cfg.sessionHook != nil {
-		f.cfg.sessionHook(h.info())
+	if f.cfg.SessionHook != nil {
+		f.cfg.SessionHook(h.info())
 	}
 
 	// Every record of a session is a marshaled CodedBlock for the
@@ -553,8 +453,8 @@ func (f *Fetcher) absorb(rec []byte) error {
 		discard()
 		return nil
 	}
-	if f.cfg.tap != nil {
-		f.cfg.tap(&blk)
+	if f.cfg.RecordTap != nil {
+		f.cfg.RecordTap(&blk)
 	}
 	dec := f.decoders[blk.SegmentID]
 	if dec == nil {
@@ -583,7 +483,7 @@ func (f *Fetcher) absorb(rec []byte) error {
 // sleepBackoff waits out the backoff before retry r (1-based), returning
 // early with the context error if ctx ends mid-backoff.
 func (f *Fetcher) sleepBackoff(ctx context.Context, retry int) error {
-	d := backoffDelay(retry, f.cfg.backoffBase, f.cfg.backoffMax, f.cfg.jitter, f.cfg.rng)
+	d := backoffDelay(retry, f.cfg.BackoffBase, f.cfg.BackoffMax, f.cfg.Jitter, f.rng)
 	if d <= 0 {
 		return ctx.Err()
 	}

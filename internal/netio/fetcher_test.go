@@ -44,7 +44,7 @@ func flakyServer(t *testing.T, l *pipeListener, media []byte, p rlnc.Params, rec
 				encoders[i] = rlnc.NewEncoder(seg, rng)
 			}
 			for r := 0; r < recordsPerSession; r++ {
-				rec, err := frameRecord(encoders[r%len(encoders)].NextBlock())
+				rec, err := frameRecord(encoders[r%len(encoders)].NextBlock(), nil)
 				if err != nil {
 					break
 				}
@@ -126,7 +126,7 @@ func TestFetcherBudgetReturnsPartialProgress(t *testing.T) {
 		obj, _ := rlnc.Split(media, p)
 		enc := rlnc.NewEncoder(obj.Segments[0], rand.New(rand.NewSource(int64(session))))
 		for i := 0; i < p.BlockCount+2; i++ {
-			rec, _ := frameRecord(enc.NextBlock())
+			rec, _ := frameRecord(enc.NextBlock(), nil)
 			if _, err := conn.Write(rec); err != nil {
 				return true
 			}
@@ -245,7 +245,7 @@ func TestFetcherRejectClassification(t *testing.T) {
 			Payload:   make([]byte, p.BlockSize),
 		}
 		hostile.Coeffs[0] = 1
-		rec, err := frameRecord(hostile)
+		rec, err := frameRecord(hostile, nil)
 		if err != nil || writeAll(conn, rec) != nil {
 			return true
 		}
@@ -255,7 +255,7 @@ func TestFetcherRejectClassification(t *testing.T) {
 			Payload:   make([]byte, p.BlockSize-1),
 		}
 		shape.Coeffs[0] = 1
-		rec, err = frameRecord(shape)
+		rec, err = frameRecord(shape, nil)
 		if err != nil || writeAll(conn, rec) != nil {
 			return true
 		}

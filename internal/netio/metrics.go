@@ -117,6 +117,7 @@ func (v CounterView) Consistent() bool {
 // SessionSnapshot describes one live session.
 type SessionSnapshot struct {
 	ID       int64
+	Shard    int // encoder-pump shard feeding this session
 	Addr     string
 	QueueLen int
 	QueueCap int
@@ -127,14 +128,33 @@ type SessionSnapshot struct {
 	Duration time.Duration
 }
 
-// Snapshot is the server-wide observability surface: aggregate counters plus
-// one entry per live session. Counters for finished sessions remain in the
-// aggregates. Once every session has ended, CounterView.Consistent holds
-// exactly — each offered block was either fully written or explicitly shed
-// (full queue, failed write, or teardown residue) — which the serving tests
+// ShardSnapshot is one encoder-pump shard's slice of the traffic ledger:
+// its live session count and its own CounterView. Summed over every shard,
+// the counter fields equal the aggregate CounterView of the Snapshot they
+// arrived in (modulo in-flight increments when taken live), and the
+// offered == sent + shed ledger holds per shard after teardown exactly as
+// it does in aggregate.
+type ShardSnapshot struct {
+	Shard    int
+	Sessions int
+	CounterView
+}
+
+// SnapshotVersion is the schema version of the Snapshot struct. Version 2
+// added the version field itself, the per-shard ledger (Shards), and
+// SessionSnapshot.Shard.
+const SnapshotVersion = 2
+
+// Snapshot is the server-wide observability surface: aggregate counters,
+// each pump shard's slice of them, and one entry per live session. Counters
+// for finished sessions remain in the aggregates. Once every session has
+// ended, CounterView.Consistent holds exactly — each offered block was
+// either fully written or explicitly shed (full queue, failed write, or
+// teardown residue) — per shard and in aggregate, which the serving tests
 // assert block-for-block; while sessions are live, queued blocks make the
 // ledger lag and only Offered >= Sent + Shed is guaranteed.
 type Snapshot struct {
+	Version          int      // SnapshotVersion of the producing server
 	Mode             WireMode // session coding discipline declared in handshakes
 	Sessions         int
 	SessionsTotal    int64
@@ -143,5 +163,6 @@ type Snapshot struct {
 
 	CounterView
 
+	Shards     []ShardSnapshot
 	PerSession []SessionSnapshot
 }

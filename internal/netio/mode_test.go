@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"net"
-	"sync"
 	"testing"
 
 	"extremenc/internal/rlnc"
@@ -73,21 +72,13 @@ func TestSystematicFetchOverPipe(t *testing.T) {
 		t.Fatalf("server mode = %v", srv.Mode())
 	}
 
-	client, server := net.Pipe()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		srv.ServeConn(server)
-	}()
-
-	f := NewFetcher(func(context.Context) (net.Conn, error) { return client, nil },
+	l := startPipeServer(t, srv)
+	f := NewFetcher(func(context.Context) (net.Conn, error) { return l.Dial(), nil },
 		WithMaxAttempts(1))
 	res, err := f.Fetch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wg.Wait()
 	if res.Mode != ModeSystematic {
 		t.Fatalf("negotiated mode = %v, want systematic", res.Mode)
 	}

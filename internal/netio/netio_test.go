@@ -32,19 +32,11 @@ func TestFetchOverPipe(t *testing.T) {
 		t.Fatalf("segments = %d", srv.Segments())
 	}
 
-	client, server := net.Pipe()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		srv.ServeConn(server)
-	}()
-
-	payload, stats, err := Fetch(context.Background(), client)
+	l := startPipeServer(t, srv)
+	payload, stats, err := Fetch(context.Background(), l.Dial())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wg.Wait()
 	if !bytes.Equal(payload, media) {
 		t.Fatal("fetched payload differs")
 	}
@@ -135,9 +127,8 @@ func TestFetchSkipsCorruptRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, mangler := net.Pipe()
-	upstreamClient, server := net.Pipe()
+	upstreamClient := startPipeServer(t, srv).Dial()
 
-	go srv.ServeConn(server)
 	// A relay that corrupts every third record's payload region.
 	go func() {
 		defer mangler.Close()
@@ -217,15 +208,16 @@ func BenchmarkFetchPipe(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	l := startPipeServer(b, srv)
 	b.SetBytes(int64(len(media)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		client, server := net.Pipe()
-		go srv.ServeConn(server)
-		payload, _, err := Fetch(context.Background(), client)
+		conn := l.Dial()
+		payload, _, err := Fetch(context.Background(), conn)
 		if err != nil {
 			b.Fatal(err)
 		}
+		conn.Close()
 		if len(payload) != len(media) {
 			b.Fatal("short payload")
 		}

@@ -1,0 +1,83 @@
+package netio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"extremenc/internal/rlnc"
+)
+
+// RawClient consumes a serving session at wire speed without decoding: it
+// validates the handshake, then reads length-prefixed records and discards
+// their payloads. It exists for capacity measurement — the ncload harness
+// drives thousands of these against one server so the saturation curve
+// reflects server-side coding and framing cost, not client decode speed.
+// Records are framing-checked only (plausible length prefix); checksum and
+// shape validation are the decoding client's job.
+//
+// A RawClient is not safe for concurrent use. Close unblocks a pending Next.
+type RawClient struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	hdr     sessionHeader
+	records int64
+	bytes   int64
+}
+
+// NewRawClient performs the client side of the handshake on conn and returns
+// a reader positioned at the first record. On handshake failure the
+// connection is closed.
+func NewRawClient(conn net.Conn) (*RawClient, error) {
+	br := bufio.NewReaderSize(conn, 32<<10)
+	hdr, err := readSessionHeader(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &RawClient{conn: conn, br: br, hdr: hdr}, nil
+}
+
+// Params returns the coding parameters declared in the handshake.
+func (c *RawClient) Params() rlnc.Params { return c.hdr.params }
+
+// Mode returns the wire mode declared in the handshake.
+func (c *RawClient) Mode() WireMode { return c.hdr.mode }
+
+// Segments returns the segment count declared in the handshake.
+func (c *RawClient) Segments() int { return c.hdr.segments }
+
+// Length returns the payload length declared in the handshake.
+func (c *RawClient) Length() int64 { return c.hdr.length }
+
+// Next reads and discards one record, returning its wire size (payload plus
+// the 4-byte length prefix). It blocks until a record arrives, the peer
+// closes, or Close is called; stream errors (including io.EOF at hang-up)
+// are returned verbatim.
+func (c *RawClient) Next() (int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxRecordLen {
+		return 0, fmt.Errorf("%w: %d", ErrRecordLength, n)
+	}
+	if _, err := c.br.Discard(int(n)); err != nil {
+		return 0, err
+	}
+	c.records++
+	c.bytes += int64(n) + 4
+	return int(n) + 4, nil
+}
+
+// Records returns how many complete records Next has consumed.
+func (c *RawClient) Records() int64 { return c.records }
+
+// Bytes returns the total wire bytes consumed in complete records.
+func (c *RawClient) Bytes() int64 { return c.bytes }
+
+// Close closes the underlying connection, unblocking a pending Next.
+func (c *RawClient) Close() error { return c.conn.Close() }

@@ -43,16 +43,19 @@ func (r *Redirector) Target() string {
 
 // SetTarget re-points the Redirector at addr; subsequent Dial calls connect
 // there. It reports whether the target actually changed (a no-op re-point
-// at the current target is not counted as a redirect).
+// at the current target is not counted as a redirect). The redirect count is
+// bumped inside the same critical section that swaps the target, so an
+// observer reading Target then Redirects never sees a new target with a
+// stale count or vice versa.
 func (r *Redirector) SetTarget(addr string) bool {
 	r.mu.Lock()
-	changed := addr != r.target
-	r.target = addr
-	r.mu.Unlock()
-	if changed {
-		r.redirects.Add(1)
+	defer r.mu.Unlock()
+	if addr == r.target {
+		return false
 	}
-	return changed
+	r.target = addr
+	r.redirects.Add(1)
+	return true
 }
 
 // Redirects returns how many times SetTarget changed the target.
@@ -63,8 +66,14 @@ func (r *Redirector) Redirects() int64 { return r.redirects.Load() }
 func (r *Redirector) Dials() int64 { return r.dials.Load() }
 
 // Dial connects to the current target. It is a DialFunc: pass r.Dial to
-// NewFetcher.
+// NewFetcher. The target snapshot and the dial count share one critical
+// section, so a SetTarget racing an in-flight Dial either lands entirely
+// before the attempt (which then dials the new target) or entirely after —
+// never a dial accounted against a target it did not use.
 func (r *Redirector) Dial(ctx context.Context) (net.Conn, error) {
+	r.mu.Lock()
+	target := r.target
 	r.dials.Add(1)
-	return r.dialer.DialContext(ctx, "tcp", r.Target())
+	r.mu.Unlock()
+	return r.dialer.DialContext(ctx, "tcp", target)
 }

@@ -62,6 +62,21 @@ func (pipeListenerAddr) String() string  { return "pipe" }
 
 func (l *pipeListener) Addr() net.Addr { return pipeListenerAddr{} }
 
+// startPipeServer serves srv on a fresh in-memory listener for the lifetime
+// of the test, shutting both down at cleanup. Sessions come from l.Dial().
+func startPipeServer(t testing.TB, srv *Server) *pipeListener {
+	t.Helper()
+	l := newPipeListener()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		l.Close()
+		<-done
+	})
+	return l
+}
+
 // checkAccounting asserts the snapshot's core invariant once all sessions
 // have ended: every offered block was either fully written or shed.
 func checkAccounting(t *testing.T, snap Snapshot) {

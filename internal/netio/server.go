@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -17,8 +16,10 @@ import (
 
 // Serving-stage spans. Free when no obs sink is installed; with one, each
 // records a latency sample per operation (not per byte): one handshake span
-// per session, one queue-offer span per fanned-out record, one record-send
-// span per wire write.
+// per session, one queue-offer span per fan-out operation (per record in
+// FanoutPerRecord, per pump round in FanoutAmortized), one record-send span
+// per wire flush (per record in FanoutPerRecord, per vectored batch in
+// FanoutAmortized).
 var (
 	stageHandshake  = obs.StageOf("netio.handshake")
 	stageQueueOffer = obs.StageOf("netio.queue_offer")
@@ -34,172 +35,127 @@ var (
 	ErrShortWrite = errors.New("netio: short record write")
 )
 
-// ServerOption configures a Server.
-type ServerOption func(*serverConfig)
+// writerBatch caps how many queued records one vectored flush covers in the
+// amortized fan-out rung; FanoutPerRecord always flushes one.
+const writerBatch = 16
 
-type serverConfig struct {
-	queueDepth    int
-	writeDeadline time.Duration
-	writeRetries  int
-	batchBlocks   int
-	maxSessions   int
-	workers       int
-	seed          int64
-	mode          WireMode
-	pace          time.Duration
-	metrics       *obs.Registry
-}
-
-// WithQueueDepth bounds each session's send queue to n coded-block records.
-// When a client drains slower than the encoder produces, records beyond the
-// bound are shed instead of stalling the shared encoder — RLNC makes the
-// loss harmless, the peer only needs *enough* blocks, not specific ones.
-func WithQueueDepth(n int) ServerOption {
-	return func(c *serverConfig) { c.queueDepth = n }
-}
-
-// WithWriteDeadline bounds every record write to d. A write that misses the
-// deadline is retried (resuming at the byte where it stopped) up to the
-// configured retry count and the session is then dropped — slow clients cost
-// bounded writer time, never unbounded blocking. Zero disables deadlines.
-func WithWriteDeadline(d time.Duration) ServerOption {
-	return func(c *serverConfig) { c.writeDeadline = d }
-}
-
-// WithWriteRetries sets how many extra deadline windows a timed-out record
-// write gets before the session is dropped (default 1: retry once, then
-// drop).
-func WithWriteRetries(n int) ServerOption {
-	return func(c *serverConfig) { c.writeRetries = n }
-}
-
-// WithEncodeBatch sets how many coded blocks the pump generates per segment
-// per round. Larger batches amortize encoder dispatch; smaller ones tighten
-// the round-robin interleave across segments. The default adapts to the
-// segment's block count.
-func WithEncodeBatch(n int) ServerOption {
-	return func(c *serverConfig) { c.batchBlocks = n }
-}
-
-// WithMaxSessions caps concurrent sessions; connections beyond the cap are
-// closed immediately and counted in Snapshot.SessionsRejected. Zero (the
-// default) means unlimited.
-func WithMaxSessions(n int) ServerOption {
-	return func(c *serverConfig) { c.maxSessions = n }
-}
-
-// WithServePace floors the interval between pump rounds at d, bounding the
-// server's aggregate emission rate at batch-size records per d regardless of
-// CPU headroom. It models a capacity-constrained origin uplink — the regime
-// where a recoding relay tier multiplies effective serving capacity — and
-// keeps capacity comparisons meaningful on machines where every tier is
-// otherwise compute-bound. Zero (the default) leaves the pump unpaced.
-func WithServePace(d time.Duration) ServerOption {
-	return func(c *serverConfig) { c.pace = d }
-}
-
-// WithEncoderWorkers sets the worker count of the shared parallel encoder
-// the pump dispatches on (default: the SharedPool's worker count).
-func WithEncoderWorkers(n int) ServerOption {
-	return func(c *serverConfig) { c.workers = n }
-}
-
-// WithServerSeed fixes the base seed of the pump's coefficient stream, making
-// the served block sequence reproducible.
-func WithServerSeed(seed int64) ServerOption {
-	return func(c *serverConfig) { c.seed = seed }
-}
-
-// WithWireMode sets the session coding discipline the server declares in
-// every handshake (default ModeDense). In ModeSystematic the pump cycles each
-// segment through the systematic + GF(2) XOR repair + dense tail schedule of
-// rlnc.SystematicEncoder, framing binary blocks in the compact XNC2 encoding;
-// queueing, shedding, deadlines, and reconnect semantics are unchanged.
-func WithWireMode(m WireMode) ServerOption {
-	return func(c *serverConfig) { c.mode = m }
-}
-
-// WithMetricsRegistry registers the server's counters and session gauges
-// into reg under the "netio" prefix, so the server scrapes alongside every
-// other obs surface. Each registry admits one server: NewServer fails on a
-// second registration with the same names.
-func WithMetricsRegistry(reg *obs.Registry) ServerOption {
-	return func(c *serverConfig) { c.metrics = reg }
-}
-
-// Server pushes coded blocks for one object to every connection.
-//
-// Two serving paths share the Server:
-//
-//   - The session path (Serve): one goroutine per accepted connection, all
-//     fed from a single shared record-source pump. For a media-backed server
-//     (NewServer) the source batch-encodes through a rlnc.ParallelEncoder on
-//     the process-wide worker pool; a source server (NewSourceServer) pulls
-//     records from any RecordSource — a mesh relay's recoders, a generator,
-//     a replayed capture. The pump fans each framed record out to every
-//     session's bounded queue without blocking; a full queue sheds the
-//     record for that session only. Per-connection write deadlines with
-//     retry-then-drop semantics bound the cost of a stuck peer.
-//
-//   - The one-shot path (ServeConn): the original single-connection blocking
-//     push loop, kept for direct pipe/test use on media-backed servers only.
-//     Deprecated: it encodes per connection and a slow peer stalls its
-//     goroutine.
-//
-// Metrics for both paths accumulate in the same counters, exposed via
-// Snapshot.
+// Server pushes coded blocks for one object to every connection. Sessions
+// are partitioned across one or more encoder-pump shards: each shard owns a
+// record source, a pump goroutine, and its sessions' queues, and new
+// sessions join the least-loaded shard. Within a shard the pump frames each
+// record once and fans the same refcounted buffer out to every session's
+// bounded queue without blocking; a full queue sheds the record for that
+// session only, and per-connection write deadlines with retry-then-drop
+// semantics bound the cost of a stuck peer. Metrics accumulate both in the
+// aggregate counters and per shard, exposed via Snapshot.
 type Server struct {
-	src RecordSource
-	cfg serverConfig
+	cfg  ServerConfig // normalized
+	info SessionInfo
 
-	// object is non-nil only for media-backed servers (NewServer); it backs
-	// the deprecated per-connection ServeConn path.
-	object *rlnc.Object
+	frames *framePool
+	shards []*pumpShard
 
 	counters         Counters
 	sessionsTotal    obs.Counter
 	sessionsRejected obs.Counter
 	sessionSecs      atomic.Int64 // summed finished-session durations, in ns
 
-	mu       sync.Mutex
-	sessions map[*session]struct{}
-	conns    map[net.Conn]struct{} // one-shot ServeConn connections
-	closed   bool
-	nextID   int64
+	mu     sync.Mutex
+	joined int // sessions currently past handshake, across all shards
+	closed bool
+	nextID int64
 
-	wake     chan struct{} // pump wake-up: a session arrived
-	consumed chan struct{} // pump wake-up: a session drained a record
 	stop     chan struct{} // closed by Shutdown
 	pumpOnce sync.Once
-	pumpDone chan struct{}
+	pumpWG   sync.WaitGroup
 	wg       sync.WaitGroup
+}
+
+// pumpShard is one encoder pump and the sessions it feeds. Every shard runs
+// the same loop as the original single shared pump; sharding multiplies the
+// number of independent fan-out loops, and the per-shard counters make the
+// offered == sent + shed ledger checkable shard by shard.
+type pumpShard struct {
+	id     int
+	s      *Server
+	src    RecordSource
+	pooled bool // src allocates its frames from s.frames
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+
+	wake     chan struct{} // a session arrived
+	consumed chan struct{} // a session drained a record
+
+	c shardCounters
+}
+
+// shardCounters is a shard's slice of the traffic ledger, kept as plain
+// atomics (the obs-registered aggregate counters stay server-wide so metric
+// cardinality does not scale with the shard count).
+type shardCounters struct {
+	encoded, offered, sent, shed, bytes atomic.Int64
+	stallNs, maxStallNs                 atomic.Int64
+}
+
+func (c *shardCounters) addStall(d time.Duration) {
+	ns := d.Nanoseconds()
+	c.stallNs.Add(ns)
+	for {
+		cur := c.maxStallNs.Load()
+		if ns <= cur || c.maxStallNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+func (c *shardCounters) view() CounterView {
+	return CounterView{
+		BlocksEncoded:  c.encoded.Load(),
+		BlocksOffered:  c.offered.Load(),
+		BlocksSent:     c.sent.Load(),
+		BlocksShed:     c.shed.Load(),
+		BytesSent:      c.bytes.Load(),
+		EncodeStall:    time.Duration(c.stallNs.Load()),
+		MaxEncodeStall: time.Duration(c.maxStallNs.Load()),
+	}
 }
 
 // NewServer builds a media-backed server over media split at p: the server
 // encodes fresh coded blocks from the source segments.
 func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, error) {
+	cfg := DefaultServerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewServerFromConfig(media, p, cfg)
+}
+
+// NewServerFromConfig is NewServer with a literal configuration; see
+// ServerConfig for the zero-value semantics.
+func NewServerFromConfig(media []byte, p rlnc.Params, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	obj, err := rlnc.Split(media, p)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := buildServerConfig(p.BlockCount, opts)
-	if err != nil {
-		return nil, err
+	cfg = cfg.normalized(p.BlockCount)
+	pool := &framePool{}
+	srcs := make([]RecordSource, cfg.PumpShards)
+	pooled := make([]bool, cfg.PumpShards)
+	for i := range srcs {
+		penc, err := rlnc.NewParallelEncoder(cfg.EncoderWorkers, rlnc.FullBlock)
+		if err != nil {
+			return nil, err
+		}
+		osrc := newObjectSource(obj, cfg.Mode, penc, shardSeed(cfg.Seed, i))
+		osrc.alloc = pool.allocBuf
+		srcs[i] = osrc
+		pooled[i] = true
 	}
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = rlnc.SharedPool().Workers()
-	}
-	penc, err := rlnc.NewParallelEncoder(workers, rlnc.FullBlock)
-	if err != nil {
-		return nil, err
-	}
-	s, err := newServer(newObjectSource(obj, cfg.mode, penc, cfg.seed), cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.object = obj
-	return s, nil
+	return newServer(srcs[0].Info(), cfg, pool, srcs, pooled)
 }
 
 // NewSourceServer builds a server over an arbitrary RecordSource: the
@@ -209,61 +165,76 @@ func NewServer(media []byte, p rlnc.Params, opts ...ServerOption) (*Server, erro
 // caps, metrics — is identical to a media-backed server; only where records
 // come from differs. The handshake is declared by src.Info(), so the
 // WithWireMode option is ignored here; WithEncodeBatch sizes the per-round
-// Records request. The deprecated ServeConn path is unavailable (it needs
-// source media) and closes the connection immediately.
+// Records request. With more than one pump shard, a source implementing
+// ShardedRecordSource provides one sub-source per shard; any other source is
+// shared behind a lock, serializing Records calls across the shards.
 func NewSourceServer(src RecordSource, opts ...ServerOption) (*Server, error) {
+	cfg := DefaultServerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewSourceServerFromConfig(src, cfg)
+}
+
+// NewSourceServerFromConfig is NewSourceServer with a literal configuration.
+func NewSourceServerFromConfig(src RecordSource, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	info := src.Info()
 	if err := info.Validate(); err != nil {
 		return nil, fmt.Errorf("netio: bad source session info: %w", err)
 	}
-	cfg, err := buildServerConfig(info.Params.BlockCount, opts)
-	if err != nil {
-		return nil, err
+	cfg = cfg.normalized(info.Params.BlockCount)
+	cfg.Mode = info.Mode
+	srcs := make([]RecordSource, cfg.PumpShards)
+	switch {
+	case cfg.PumpShards == 1:
+		srcs[0] = src
+	default:
+		if sh, ok := src.(ShardedRecordSource); ok {
+			for i := range srcs {
+				srcs[i] = sh.ShardSource(i, cfg.PumpShards)
+			}
+		} else {
+			shared := &lockedSource{src: src}
+			for i := range srcs {
+				srcs[i] = shared
+			}
+		}
 	}
-	cfg.mode = info.Mode
-	return newServer(src, cfg)
+	return newServer(info, cfg, &framePool{}, srcs, make([]bool, cfg.PumpShards))
 }
 
-// buildServerConfig applies options over the defaults, deriving the batch
-// default from the generation size.
-func buildServerConfig(blockCount int, opts []ServerOption) (serverConfig, error) {
-	cfg := serverConfig{
-		queueDepth:    64,
-		writeDeadline: 5 * time.Second,
-		writeRetries:  1,
-		seed:          1,
-	}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	if cfg.queueDepth <= 0 {
-		cfg.queueDepth = 1
-	}
-	if cfg.batchBlocks <= 0 {
-		// Default: a quarter generation per round, so late-joining clients
-		// wait at most a short interleave for every segment, but at least 4
-		// to amortize dispatch.
-		cfg.batchBlocks = max(4, blockCount/4)
-	}
-	if cfg.mode > ModeSystematic {
-		return cfg, fmt.Errorf("netio: unknown wire mode %d", cfg.mode)
-	}
-	return cfg, nil
+// shardSeed derives shard i's coefficient-stream seed. Shard 0 keeps the
+// base seed unchanged, so a single-shard server reproduces the historical
+// block sequence exactly.
+func shardSeed(seed int64, i int) int64 {
+	const lane = int64(0x5851F42D4C957F2D) // odd multiplier: distinct lanes per shard
+	return seed + int64(i)*lane
 }
 
-func newServer(src RecordSource, cfg serverConfig) (*Server, error) {
+func newServer(info SessionInfo, cfg ServerConfig, pool *framePool, srcs []RecordSource, pooled []bool) (*Server, error) {
 	s := &Server{
-		src:      src,
-		cfg:      cfg,
-		sessions: make(map[*session]struct{}),
-		conns:    make(map[net.Conn]struct{}),
-		wake:     make(chan struct{}, 1),
-		consumed: make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		pumpDone: make(chan struct{}),
+		cfg:    cfg,
+		info:   info,
+		frames: pool,
+		stop:   make(chan struct{}),
 	}
-	if cfg.metrics != nil {
-		if err := s.registerMetrics(cfg.metrics); err != nil {
+	s.shards = make([]*pumpShard, len(srcs))
+	for i, src := range srcs {
+		s.shards[i] = &pumpShard{
+			id:       i,
+			s:        s,
+			src:      src,
+			pooled:   pooled[i],
+			sessions: make(map[*session]struct{}),
+			wake:     make(chan struct{}, 1),
+			consumed: make(chan struct{}, 1),
+		}
+	}
+	if cfg.Metrics != nil {
+		if err := s.registerMetrics(cfg.Metrics); err != nil {
 			return nil, err
 		}
 	}
@@ -288,9 +259,15 @@ func (s *Server) registerMetrics(reg *obs.Registry) error {
 	if err := reg.RegisterFunc("netio.sessions_live",
 		"sessions currently connected", func() float64 {
 			s.mu.Lock()
-			n := len(s.sessions)
+			n := s.joined
 			s.mu.Unlock()
 			return float64(n)
+		}); err != nil {
+		return err
+	}
+	if err := reg.RegisterFunc("netio.pump_shards",
+		"independent encoder pumps serving sessions", func() float64 {
+			return float64(len(s.shards))
 		}); err != nil {
 		return err
 	}
@@ -301,20 +278,24 @@ func (s *Server) registerMetrics(reg *obs.Registry) error {
 }
 
 // Segments returns the number of media segments served.
-func (s *Server) Segments() int { return s.src.Info().Segments }
+func (s *Server) Segments() int { return s.info.Segments }
 
 // Mode returns the session coding discipline the server declares in every
 // handshake.
-func (s *Server) Mode() WireMode { return s.src.Info().Mode }
+func (s *Server) Mode() WireMode { return s.info.Mode }
 
 // Info returns the session handshake the server declares.
-func (s *Server) Info() SessionInfo { return s.src.Info() }
+func (s *Server) Info() SessionInfo { return s.info }
 
-// session is one connected client on the session path.
+// Shards returns the number of encoder-pump shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// session is one connected client.
 type session struct {
 	id      int64
 	conn    net.Conn
-	q       chan []byte
+	shard   *pumpShard // set at join; nil for sessions that never joined
+	q       *frameQueue
 	started time.Time
 
 	offered atomic.Int64
@@ -322,59 +303,12 @@ type session struct {
 	shed    atomic.Int64
 	bytes   atomic.Int64
 
-	mu       sync.Mutex
-	draining bool // no further offers may enter q
-
 	stop chan struct{} // closed on server shutdown
-}
-
-// offer hands one framed record to the session without blocking. It reports
-// whether the record was enqueued; a full queue or a draining session sheds
-// it instead.
-func (ss *session) offer(rec []byte, agg *Counters) bool {
-	ss.offered.Add(1)
-	agg.AddOffered(1)
-	ss.mu.Lock()
-	if ss.draining {
-		ss.mu.Unlock()
-		ss.shed.Add(1)
-		agg.AddShed(1)
-		return false
-	}
-	ok := false
-	select {
-	case ss.q <- rec:
-		ok = true
-	default:
-	}
-	ss.mu.Unlock()
-	if !ok {
-		ss.shed.Add(1)
-		agg.AddShed(1)
-	}
-	return ok
-}
-
-// drain marks the session closed to offers and sheds whatever is still
-// queued, so offered == sent + shed holds exactly at teardown.
-func (ss *session) drain(agg *Counters) {
-	ss.mu.Lock()
-	ss.draining = true
-	ss.mu.Unlock()
-	for {
-		select {
-		case <-ss.q:
-			ss.shed.Add(1)
-			agg.AddShed(1)
-		default:
-			return
-		}
-	}
 }
 
 // Serve accepts connections from l until ctx is cancelled, the listener
 // fails, or the server is shut down. Every accepted connection becomes a
-// session fed from the shared encoder pump. It returns nil after a clean
+// session fed from a shard's encoder pump. It returns nil after a clean
 // Shutdown and ctx.Err() after cancellation (which also shuts the server
 // down).
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
@@ -384,7 +318,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		return ErrServerClosed
 	}
 	s.mu.Unlock()
-	s.startPump()
+	s.startPumps()
 
 	unhook := context.AfterFunc(ctx, func() { l.Close() })
 	defer unhook()
@@ -425,7 +359,7 @@ func (s *Server) startSession(conn net.Conn) bool {
 		s.mu.Unlock()
 		return false
 	}
-	if s.cfg.maxSessions > 0 && len(s.sessions) >= s.cfg.maxSessions {
+	if s.cfg.MaxSessions > 0 && s.joined >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		s.sessionsRejected.Add(1)
 		return false
@@ -434,7 +368,7 @@ func (s *Server) startSession(conn net.Conn) bool {
 	ss := &session{
 		id:      s.nextID,
 		conn:    conn,
-		q:       make(chan []byte, s.cfg.queueDepth),
+		q:       newFrameQueue(s.cfg.QueueDepth),
 		started: time.Now(),
 		stop:    s.stop,
 	}
@@ -446,18 +380,18 @@ func (s *Server) startSession(conn net.Conn) bool {
 	return true
 }
 
-// runSession writes the handshake, joins the fan-out set, and streams queued
-// records until the peer hangs up, a write fails its deadline budget, or the
-// server shuts down.
+// runSession writes the handshake, joins the least-loaded shard's fan-out
+// set, and streams queued records until the peer hangs up, a write fails its
+// deadline budget, or the server shuts down.
 func (s *Server) runSession(ss *session) {
 	defer s.wg.Done()
 	defer ss.conn.Close()
 
-	h := s.src.Info().header()
+	h := s.info.header()
 	// The handshake gets one deadline window and no retry: a peer that
 	// connects and never reads must not pin the session goroutine.
-	if s.cfg.writeDeadline > 0 {
-		ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline))
+	if s.cfg.WriteDeadline > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteDeadline))
 	}
 	hsp := stageHandshake.Start()
 	err := writeSessionHeader(ss.conn, h)
@@ -466,57 +400,135 @@ func (s *Server) runSession(ss *session) {
 		s.mu.Lock()
 		joined := !s.closed
 		if joined {
-			s.sessions[ss] = struct{}{}
+			sh := s.leastLoadedShard()
+			ss.shard = sh
+			sh.mu.Lock()
+			sh.sessions[ss] = struct{}{}
+			sh.mu.Unlock()
+			s.joined++
 		}
 		s.mu.Unlock()
 		if joined {
-			s.signalWake()
+			ss.shard.signalWake()
 			s.writeLoop(ss)
 			s.mu.Lock()
-			delete(s.sessions, ss)
+			ss.shard.mu.Lock()
+			delete(ss.shard.sessions, ss)
+			ss.shard.mu.Unlock()
+			s.joined--
 			s.mu.Unlock()
 		}
 	}
-	ss.drain(&s.counters)
+	s.shedResidue(ss)
 	s.sessionSecs.Add(int64(time.Since(ss.started)))
 }
 
-// writeLoop drains the session queue onto the connection.
+// leastLoadedShard picks the shard with the fewest sessions (ties go to the
+// lowest id). Called with s.mu held.
+func (s *Server) leastLoadedShard() *pumpShard {
+	best := s.shards[0]
+	if len(s.shards) == 1 {
+		return best
+	}
+	best.mu.Lock()
+	bestN := len(best.sessions)
+	best.mu.Unlock()
+	for _, sh := range s.shards[1:] {
+		sh.mu.Lock()
+		n := len(sh.sessions)
+		sh.mu.Unlock()
+		if n < bestN {
+			best, bestN = sh, n
+		}
+	}
+	return best
+}
+
+// shedResidue empties the session queue at teardown, shedding and releasing
+// whatever never reached the wire so offered == sent + shed holds exactly.
+func (s *Server) shedResidue(ss *session) {
+	rest := ss.q.drain()
+	if len(rest) == 0 {
+		return
+	}
+	n := int64(len(rest))
+	ss.shed.Add(n)
+	s.counters.AddShed(n)
+	if ss.shard != nil {
+		ss.shard.c.shed.Add(n)
+	}
+	for _, fr := range rest {
+		fr.release()
+	}
+}
+
+// writeLoop drains the session queue onto the connection, flushing up to
+// writerBatch records per vectored write in the amortized rung and exactly
+// one in the per-record rung.
 func (s *Server) writeLoop(ss *session) {
+	batchCap := 1
+	if s.cfg.Fanout == FanoutAmortized {
+		batchCap = min(writerBatch, s.cfg.QueueDepth)
+	}
+	batch := make([]*frameRef, batchCap)
+	bufs := make(net.Buffers, 0, batchCap)
 	for {
-		select {
-		case rec := <-ss.q:
-			s.signalConsumed()
-			wsp := stageRecordSend.Start()
-			err := s.writeRecord(ss, rec)
-			wsp.End()
-			if err != nil {
-				ss.shed.Add(1)
-				s.counters.AddShed(1)
+		n := ss.q.popBatch(batch)
+		if n == 0 {
+			select {
+			case <-ss.q.bell:
+				continue
+			case <-ss.stop:
 				return
 			}
-			ss.sent.Add(1)
-			ss.bytes.Add(int64(len(rec)))
-			s.counters.AddSent(1, int64(len(rec)))
-		case <-ss.stop:
+		}
+		ss.shard.signalConsumed()
+		wsp := stageRecordSend.Start()
+		sentN, sentBytes, err := s.writeFrames(ss, batch[:n], &bufs)
+		wsp.End()
+		if sentN > 0 {
+			ss.sent.Add(int64(sentN))
+			ss.bytes.Add(sentBytes)
+			s.counters.AddSent(int64(sentN), sentBytes)
+			ss.shard.c.sent.Add(int64(sentN))
+			ss.shard.c.bytes.Add(sentBytes)
+		}
+		if dropped := int64(n - sentN); dropped > 0 {
+			ss.shed.Add(dropped)
+			s.counters.AddShed(dropped)
+			ss.shard.c.shed.Add(dropped)
+		}
+		for i := 0; i < n; i++ {
+			batch[i].release()
+			batch[i] = nil
+		}
+		if err != nil {
 			return
 		}
 	}
 }
 
-// writeRecord writes one framed record under the session's write deadline,
-// resuming partial writes. A write that times out gets writeRetries extra
-// deadline windows (retry-then-drop); any other error, or exhausting the
-// budget, fails the session.
-func (s *Server) writeRecord(ss *session, rec []byte) error {
-	retries := s.cfg.writeRetries
-	off := 0
-	for off < len(rec) {
-		if s.cfg.writeDeadline > 0 {
-			ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline))
+// writeFrames flushes frs in one vectored write (TCP connections use a
+// single writev per attempt) under the session's write deadline, resuming
+// partial writes. A flush that times out gets WriteRetries extra deadline
+// windows (retry-then-drop); any other error, or exhausting the budget,
+// fails the session. It returns how many frames were fully written and
+// their byte count — on failure the remainder is the caller's to shed.
+func (s *Server) writeFrames(ss *session, frs []*frameRef, scratch *net.Buffers) (int, int64, error) {
+	bufs := (*scratch)[:0]
+	total := 0
+	for _, fr := range frs {
+		bufs = append(bufs, fr.buf)
+		total += len(fr.buf)
+	}
+	written := 0
+	retries := s.cfg.WriteRetries
+	for written < total {
+		if s.cfg.WriteDeadline > 0 {
+			ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteDeadline))
 		}
-		n, err := ss.conn.Write(rec[off:])
-		off += n
+		n, err := bufs.WriteTo(ss.conn)
+		written += int(n)
 		if err == nil {
 			continue
 		}
@@ -525,44 +537,71 @@ func (s *Server) writeRecord(ss *session, rec []byte) error {
 			retries--
 			continue
 		}
-		if off > 0 && off < len(rec) {
-			return fmt.Errorf("%w: %d of %d bytes: %v", ErrShortWrite, off, len(rec), err)
+		sentN, sentBytes, partial := framesDone(frs, written)
+		if partial {
+			err = fmt.Errorf("%w: %d of %d bytes: %v", ErrShortWrite, written, total, err)
 		}
-		return err
+		return sentN, sentBytes, err
 	}
-	return nil
+	return len(frs), int64(total), nil
 }
 
-func (s *Server) signalWake() {
+// framesDone maps a written byte count onto the frame sequence: how many
+// frames the bytes fully cover, their summed length, and whether the count
+// ends inside a frame.
+func framesDone(frs []*frameRef, written int) (int, int64, bool) {
+	var k int
+	var bytes int64
+	for _, fr := range frs {
+		l := len(fr.buf)
+		if written < l {
+			return k, bytes, written > 0
+		}
+		k++
+		bytes += int64(l)
+		written -= l
+	}
+	return k, bytes, false
+}
+
+func (sh *pumpShard) signalWake() {
 	select {
-	case s.wake <- struct{}{}:
+	case sh.wake <- struct{}{}:
 	default:
 	}
 }
 
-func (s *Server) signalConsumed() {
+func (sh *pumpShard) signalConsumed() {
 	select {
-	case s.consumed <- struct{}{}:
+	case sh.consumed <- struct{}{}:
 	default:
 	}
 }
 
-func (s *Server) startPump() {
-	s.pumpOnce.Do(func() { go s.pump() })
+func (s *Server) startPumps() {
+	s.pumpOnce.Do(func() {
+		for _, sh := range s.shards {
+			s.pumpWG.Add(1)
+			go sh.run()
+		}
+	})
 }
 
-// pump is the shared record loop: it pulls a batch from the source for each
-// segment in turn and fans the framed records out to every session's queue
-// without ever blocking on a client. When no session can take a block
-// (every queue full) the pump parks briefly and the wait is charged to the
-// encode-stall counters; when no session exists at all it sleeps until one
-// arrives, with nothing charged. A dry source (a relay whose recoders have
-// no rank yet) parks the pump briefly without charging a stall.
-func (s *Server) pump() {
-	defer close(s.pumpDone)
-	segments := s.src.Info().Segments
-	segIdx := 0
+// run is one shard's record loop: it pulls a batch from the shard's source
+// for each segment in turn and fans the framed records out to every shard
+// session's queue without ever blocking on a client. When no session can
+// take a block (every queue full) the pump parks briefly and the wait is
+// charged to the encode-stall counters; when no session exists at all it
+// sleeps until one arrives, with nothing charged. A dry source (a relay
+// whose recoders have no rank yet) parks the pump briefly without charging
+// a stall.
+func (sh *pumpShard) run() {
+	s := sh.s
+	defer s.pumpWG.Done()
+	segments := sh.src.Info().Segments
+	segIdx := sh.id % segments // stagger shards across segments
 	live := make([]*session, 0, 16)
+	frames := make([]*frameRef, 0, s.cfg.EncodeBatch)
 	for {
 		select {
 		case <-s.stop:
@@ -570,22 +609,22 @@ func (s *Server) pump() {
 		default:
 		}
 
-		s.mu.Lock()
+		sh.mu.Lock()
 		live = live[:0]
-		for ss := range s.sessions {
+		for ss := range sh.sessions {
 			live = append(live, ss)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if len(live) == 0 {
 			select {
-			case <-s.wake:
+			case <-sh.wake:
 			case <-s.stop:
 				return
 			}
 			continue
 		}
 
-		recs := s.src.Records(segIdx, s.cfg.batchBlocks)
+		recs := sh.src.Records(segIdx, s.cfg.EncodeBatch)
 		segIdx = (segIdx + 1) % segments
 		if len(recs) == 0 {
 			// Nothing to say for this segment yet. Park briefly — this is
@@ -599,54 +638,112 @@ func (s *Server) pump() {
 			continue
 		}
 		s.counters.AddEncoded(int64(len(recs)))
+		sh.c.encoded.Add(int64(len(recs)))
 
-		delivered := false
+		frames = frames[:0]
 		for _, rec := range recs {
-			osp := stageQueueOffer.Start()
-			for _, ss := range live {
-				if ss.offer(rec, &s.counters) {
-					delivered = true
-				}
-			}
-			osp.End()
+			frames = append(frames, s.frames.wrap(rec, sh.pooled))
+		}
+		delivered := sh.fanOut(frames, live)
+		// Drop the pump's own reference; queued copies keep the frames
+		// alive until their writers flush or shed them.
+		for i := range frames {
+			frames[i].release()
+			frames[i] = nil
 		}
 		if !delivered {
 			// Backpressure: every queue is full. Park until a writer drains
 			// a record (or briefly, as a backstop) and charge the wait as
 			// encoder stall time.
 			t0 := time.Now()
+			stopped := false
 			select {
-			case <-s.consumed:
+			case <-sh.consumed:
 			case <-s.stop:
-				s.counters.AddEncodeStall(time.Since(t0))
-				return
+				stopped = true
 			case <-time.After(2 * time.Millisecond):
 			}
-			s.counters.AddEncodeStall(time.Since(t0))
+			d := time.Since(t0)
+			s.counters.AddEncodeStall(d)
+			sh.c.addStall(d)
+			if stopped {
+				return
+			}
 		}
-		if s.cfg.pace > 0 {
+		if s.cfg.Pace > 0 {
 			select {
 			case <-s.stop:
 				return
-			case <-time.After(s.cfg.pace):
+			case <-time.After(s.cfg.Pace):
 			}
 		}
 	}
 }
 
+// fanOut offers the round's frames to every live session and reports whether
+// any session accepted at least one record. FanoutAmortized takes one bulk
+// offer (one lock, one batched counter update) per session per round;
+// FanoutPerRecord replays the original per-record cost profile.
+func (sh *pumpShard) fanOut(frames []*frameRef, live []*session) bool {
+	s := sh.s
+	delivered := false
+	if s.cfg.Fanout == FanoutPerRecord {
+		one := make([]*frameRef, 1)
+		for _, fr := range frames {
+			one[0] = fr
+			osp := stageQueueOffer.Start()
+			for _, ss := range live {
+				ss.offered.Add(1)
+				s.counters.AddOffered(1)
+				sh.c.offered.Add(1)
+				if ss.q.offerBatch(one) == 1 {
+					delivered = true
+				} else {
+					ss.shed.Add(1)
+					s.counters.AddShed(1)
+					sh.c.shed.Add(1)
+				}
+			}
+			osp.End()
+		}
+		return delivered
+	}
+	nf := int64(len(frames))
+	var roundOffered, roundShed int64
+	osp := stageQueueOffer.Start()
+	for _, ss := range live {
+		acc := int64(ss.q.offerBatch(frames))
+		ss.offered.Add(nf)
+		if acc < nf {
+			ss.shed.Add(nf - acc)
+			roundShed += nf - acc
+		}
+		if acc > 0 {
+			delivered = true
+		}
+		roundOffered += nf
+	}
+	osp.End()
+	s.counters.AddOffered(roundOffered)
+	s.counters.AddShed(roundShed)
+	sh.c.offered.Add(roundOffered)
+	sh.c.shed.Add(roundShed)
+	return delivered
+}
+
 // frameRecord marshals a coded block with its length prefix.
-func frameRecord(b *rlnc.CodedBlock) ([]byte, error) {
+func frameRecord(b *rlnc.CodedBlock, alloc func(int) []byte) ([]byte, error) {
 	body, err := b.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	return frameBody(body), nil
+	return frameBody(body, alloc), nil
 }
 
 // frameSystematicRecord marshals a coded block in the systematic session's
 // per-block encoding: the compact XNC2 GF(2) format for binary blocks
 // (systematic sweep and XOR repair), XNC1 for the dense tail.
-func frameSystematicRecord(b *rlnc.CodedBlock) ([]byte, error) {
+func frameSystematicRecord(b *rlnc.CodedBlock, alloc func(int) []byte) ([]byte, error) {
 	var body []byte
 	var err error
 	if b.IsBinary() {
@@ -657,43 +754,58 @@ func frameSystematicRecord(b *rlnc.CodedBlock) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return frameBody(body), nil
+	return frameBody(body, alloc), nil
 }
 
-func frameBody(body []byte) []byte {
-	rec := make([]byte, 4+len(body))
+// frameBody prefixes body with its length, writing into a buffer from alloc
+// (pooled for the server's own sources, plain make elsewhere).
+func frameBody(body []byte, alloc func(int) []byte) []byte {
+	if alloc == nil {
+		alloc = func(n int) []byte { return make([]byte, n) }
+	}
+	rec := alloc(4 + len(body))
 	binary.BigEndian.PutUint32(rec, uint32(len(body)))
 	copy(rec[4:], body)
 	return rec
 }
 
-// Snapshot copies the server's aggregate counters and the state of every
-// live session.
+// Snapshot copies the server's aggregate counters, each shard's slice of
+// them, and the state of every live session.
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
+		Version:          SnapshotVersion,
 		Mode:             s.Mode(),
 		SessionsTotal:    s.sessionsTotal.Load(),
 		SessionsRejected: s.sessionsRejected.Load(),
 		SessionSeconds:   time.Duration(s.sessionSecs.Load()).Seconds(),
 		CounterView:      s.counters.View(),
 	}
-	s.mu.Lock()
-	snap.Sessions = len(s.sessions)
-	snap.PerSession = make([]SessionSnapshot, 0, len(s.sessions))
-	for ss := range s.sessions {
-		snap.PerSession = append(snap.PerSession, SessionSnapshot{
-			ID:       ss.id,
-			Addr:     remoteAddr(ss.conn),
-			QueueLen: len(ss.q),
-			QueueCap: cap(ss.q),
-			Offered:  ss.offered.Load(),
-			Sent:     ss.sent.Load(),
-			Shed:     ss.shed.Load(),
-			Bytes:    ss.bytes.Load(),
-			Duration: time.Since(ss.started),
-		})
+	snap.Shards = make([]ShardSnapshot, len(s.shards))
+	snap.PerSession = make([]SessionSnapshot, 0, 16)
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		snap.Shards[i] = ShardSnapshot{
+			Shard:       sh.id,
+			Sessions:    len(sh.sessions),
+			CounterView: sh.c.view(),
+		}
+		for ss := range sh.sessions {
+			snap.PerSession = append(snap.PerSession, SessionSnapshot{
+				ID:       ss.id,
+				Shard:    sh.id,
+				Addr:     remoteAddr(ss.conn),
+				QueueLen: ss.q.len(),
+				QueueCap: ss.q.cap(),
+				Offered:  ss.offered.Load(),
+				Sent:     ss.sent.Load(),
+				Shed:     ss.shed.Load(),
+				Bytes:    ss.bytes.Load(),
+				Duration: time.Since(ss.started),
+			})
+		}
+		sh.mu.Unlock()
+		snap.Sessions += snap.Shards[i].Sessions
 	}
-	s.mu.Unlock()
 	return snap
 }
 
@@ -705,96 +817,25 @@ func remoteAddr(c net.Conn) string {
 }
 
 // Shutdown stops accepting, closes every live connection and waits for the
-// sessions and the pump to exit. The caller closes the listener.
+// sessions and the pumps to exit. The caller closes the listener.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
-	for ss := range s.sessions {
-		ss.conn.Close()
-	}
-	for c := range s.conns {
-		c.Close()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for ss := range sh.sessions {
+			ss.conn.Close()
+		}
+		sh.mu.Unlock()
 	}
 	s.mu.Unlock()
 	if !alreadyClosed {
 		close(s.stop)
 	}
-	// Stop the pump even if Serve was never called (startPump not run).
-	s.pumpOnce.Do(func() { close(s.pumpDone) })
-	<-s.pumpDone
+	// Ensure no pump can start after this point, even if Serve was never
+	// called; a started pump set observes s.stop and exits.
+	s.pumpOnce.Do(func() {})
+	s.pumpWG.Wait()
 	s.wg.Wait()
-}
-
-// ServeConn streams to a single connection until the peer closes (the
-// normal end: the client has decoded) or a write fails. Each connection
-// gets its own coefficient stream and its own encoder.
-//
-// Deprecated: this is the one-shot single-connection path kept for direct
-// use over pipes and for backward compatibility; a slow peer blocks its
-// goroutine indefinitely. Servers should use Serve, which multiplexes the
-// shared encoder with backpressure and deadlines. Traffic still lands in
-// the same counters.
-func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
-
-	if s.object == nil {
-		// Source-backed servers (NewSourceServer) have no media to encode
-		// per connection; only the pump path serves them.
-		return
-	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.conns[conn] = struct{}{}
-	s.nextID++
-	seed := s.nextID*int64(0x5851F42D4C957F2D) + 1
-	s.mu.Unlock()
-	s.sessionsTotal.Add(1)
-	start := time.Now()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.sessionSecs.Add(int64(time.Since(start)))
-	}()
-
-	h := sessionHeader{
-		params:   s.object.Params,
-		segments: len(s.object.Segments),
-		length:   int64(s.object.Length),
-		mode:     s.cfg.mode,
-	}
-	if err := writeSessionHeader(conn, h); err != nil {
-		return
-	}
-	rng := rand.New(rand.NewSource(seed))
-	next := make([]func() ([]byte, error), len(s.object.Segments))
-	if s.cfg.mode == ModeSystematic {
-		for i, seg := range s.object.Segments {
-			se := rlnc.NewSystematicEncoder(seg, rng)
-			next[i] = func() ([]byte, error) { return frameSystematicRecord(se.Block()) }
-		}
-	} else {
-		for i, seg := range s.object.Segments {
-			enc := rlnc.NewEncoder(seg, rng)
-			next[i] = func() ([]byte, error) { return frameRecord(enc.NextBlock()) }
-		}
-	}
-	for i := 0; ; i = (i + 1) % len(next) {
-		rec, err := next[i]()
-		if err != nil {
-			return
-		}
-		s.counters.AddEncoded(1)
-		s.counters.AddOffered(1)
-		if _, err := conn.Write(rec); err != nil {
-			s.counters.AddShed(1)
-			return // client hung up: done
-		}
-		s.counters.AddSent(1, int64(len(rec)))
-	}
 }

@@ -3,6 +3,7 @@ package netio
 import (
 	"io"
 	"math/rand"
+	"sync"
 
 	"extremenc/internal/rlnc"
 )
@@ -58,28 +59,62 @@ type RecordSource interface {
 	Records(seg, batch int) [][]byte
 }
 
+// ShardedRecordSource is a RecordSource that can split itself into
+// independent per-shard sub-sources. A server configured with more than one
+// pump shard asks for one sub-source per shard, each called only from that
+// shard's pump goroutine; a plain RecordSource is instead shared behind a
+// lock, serializing Records across the shards.
+type ShardedRecordSource interface {
+	RecordSource
+
+	// ShardSource returns the sub-source for shard (0 ≤ shard < shards).
+	// Every sub-source must declare the same Info as the parent.
+	ShardSource(shard, shards int) RecordSource
+}
+
+// lockedSource shares one RecordSource across several pump shards by
+// serializing Records; Info stays lock-free (it must be constant anyway).
+type lockedSource struct {
+	mu  sync.Mutex
+	src RecordSource
+}
+
+func (l *lockedSource) Info() SessionInfo { return l.src.Info() }
+
+func (l *lockedSource) Records(seg, batch int) [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src.Records(seg, batch)
+}
+
 // FrameRecord marshals one coded block as a length-prefixed wire record in
 // the given mode's encoding: ModeSystematic frames binary blocks in the
 // compact XNC2 format and dense blocks as XNC1; ModeDense frames everything
-// as XNC1. This is the framing the Server pump uses internally, exported so
+// as XNC1. This is the framing the Server pumps use internally, exported so
 // RecordSource implementations outside this package (mesh relays) produce
 // bit-identical records.
 func FrameRecord(b *rlnc.CodedBlock, mode WireMode) ([]byte, error) {
 	if mode == ModeSystematic {
-		return frameSystematicRecord(b)
+		return frameSystematicRecord(b, nil)
 	}
-	return frameRecord(b)
+	return frameRecord(b, nil)
 }
 
 // objectSource is the media-backed RecordSource behind NewServer: dense
 // batches through the shared parallel encoder, or the systematic sweep →
-// XOR repair → dense tail schedule per segment in ModeSystematic.
+// XOR repair → dense tail schedule per segment in ModeSystematic. A sharded
+// server builds one objectSource per shard, each with its own seed lane.
 type objectSource struct {
 	obj  *rlnc.Object
 	mode WireMode
 
+	// alloc supplies record buffers; the server points it at its frame pool
+	// so fan-out frames recycle instead of churning the GC. Nil means plain
+	// allocation.
+	alloc func(int) []byte
+
 	// Dense path: the shared parallel encoder plus a per-batch seed
-	// counter (the pump is single-goroutine, so plain increments suffice).
+	// counter (each pump is single-goroutine, so plain increments suffice).
 	penc *rlnc.ParallelEncoder
 	seed int64
 
@@ -117,7 +152,7 @@ func (o *objectSource) Records(seg, batch int) [][]byte {
 		se := o.sysEncs[seg]
 		recs := make([][]byte, 0, batch)
 		for i := 0; i < batch; i++ {
-			rec, err := frameSystematicRecord(se.Block())
+			rec, err := frameSystematicRecord(se.Block(), o.alloc)
 			if err != nil {
 				continue
 			}
@@ -133,7 +168,7 @@ func (o *objectSource) Records(seg, batch int) [][]byte {
 	}
 	recs := make([][]byte, 0, len(blocks))
 	for _, blk := range blocks {
-		rec, err := frameRecord(blk)
+		rec, err := frameRecord(blk, o.alloc)
 		if err != nil {
 			continue
 		}

@@ -138,6 +138,42 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return v.quantile(q)
 }
 
+// Quantile returns the q-quantile of the view's observations under the same
+// bucket-upper-bound semantics as Histogram.Quantile. Exposed on the view so
+// windowed measurements (a Sub of two snapshots) can extract quantiles from
+// the delta.
+func (v *HistogramView) Quantile(q float64) time.Duration {
+	return v.quantile(q)
+}
+
+// Sub returns the view of the observations recorded between prev and v, v
+// and prev being two snapshots of the same histogram with prev taken first:
+// bucket-wise and count/sum differences, quantiles recomputed from the
+// differenced buckets. Max cannot be windowed from snapshots and reports the
+// later view's running max. Mid-observation skew (count ahead of bucket
+// adds) can leave individual deltas off by the observations in flight;
+// negative differences clamp to zero.
+func (v HistogramView) Sub(prev HistogramView) HistogramView {
+	var d HistogramView
+	d.BucketBounds = v.BucketBounds
+	for i := range v.Buckets {
+		if n := v.Buckets[i] - prev.Buckets[i]; n > 0 {
+			d.Buckets[i] = n
+		}
+	}
+	if d.Count = v.Count - prev.Count; d.Count < 0 {
+		d.Count = 0
+	}
+	if d.Sum = v.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	d.Max = v.Max
+	d.P50 = d.quantile(0.50)
+	d.P95 = d.quantile(0.95)
+	d.P99 = d.quantile(0.99)
+	return d
+}
+
 func (v *HistogramView) quantile(q float64) time.Duration {
 	// Quantiles come from the bucket totals, not v.Count: a concurrent View
 	// can catch count ahead of the bucket adds, and the rank must stay

@@ -178,3 +178,43 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Fatalf("bucket total %d != count %d after quiesce", sum, v.Count)
 	}
 }
+
+// TestHistogramViewSub pins the windowed-delta semantics: the Sub of two
+// snapshots reports exactly the observations recorded between them, with
+// quantiles recomputed from the differenced buckets.
+func TestHistogramViewSub(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond) // early window: all fast
+	}
+	before := h.View()
+	for i := 0; i < 50; i++ {
+		h.Observe(10 * time.Millisecond) // late window: all slow
+	}
+	after := h.View()
+
+	d := after.Sub(before)
+	if d.Count != 50 {
+		t.Fatalf("windowed count = %d, want 50", d.Count)
+	}
+	if d.Sum != 50*10*time.Millisecond {
+		t.Fatalf("windowed sum = %v, want 500ms", d.Sum)
+	}
+	// The whole-histogram p50 is dominated by the 100 fast samples, but the
+	// window holds only slow ones: its p50 must bound 10ms from above within
+	// one octave.
+	if d.P50 < 10*time.Millisecond || d.P50 >= 20*time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want in [10ms, 20ms)", d.P50)
+	}
+	if after.P50 >= 10*time.Millisecond {
+		t.Fatalf("whole-histogram p50 = %v, expected fast-dominated", after.P50)
+	}
+	if got := d.Quantile(0.99); got != d.P99 {
+		t.Fatalf("Quantile(0.99) = %v, P99 = %v", got, d.P99)
+	}
+	// Sub against a fresh zero view is the identity on buckets and count.
+	id := after.Sub(HistogramView{})
+	if id.Count != after.Count || id.Buckets != after.Buckets {
+		t.Fatal("Sub of zero view is not the identity")
+	}
+}
