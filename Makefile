@@ -8,7 +8,7 @@ GO ?= go
 # and mirrored by the CI workflow.
 RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke loadtest bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke loadtest bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -81,7 +81,26 @@ xor-smoke:
 # included), so ./internal/mesh/ needs no separate RACE_PKGS entry.
 mesh-smoke:
 	$(GO) test -race -count=1 -v -run 'TestMeshSmoke' ./internal/mesh/
-	$(GO) test -race -count=1 -skip 'TestMeshSmoke' ./internal/mesh/
+	$(GO) test -race -count=1 -skip 'TestMeshSmoke|TestMeshRollingRestart' ./internal/mesh/
+
+# Graceful-degradation drain gate, under the race detector: rolling relay
+# restarts while leaves fetch through faultnet chaos. Each drained relay must
+# REDIRECT its connected leaves to a survivor (rank carried over, redirects
+# observed in leaf fetch stats), rejoin the rotation at a fresh address, and
+# finish with zero failed leaves, byte-identical payloads, zero rank
+# regressions, and exact offered == sent + shed ledgers for drained AND
+# surviving relays in one scraped exposition.
+drain-chaos:
+	$(GO) test -race -count=1 -v -run 'TestMeshRollingRestart' ./internal/mesh/
+
+# Randomized chaos soak, CI slice: a fixed-seed schedule of leaf waves,
+# drain-restarts, kills, and slow-client brownout pressure against a
+# chaos-wrapped mesh. ncsoak exits non-zero unless every transfer is
+# byte-identical, rank never regresses, every relay ledger balances exactly,
+# the brownout ladder engaged and stepped back down, and no goroutine
+# outlives teardown.
+soak-smoke:
+	$(GO) run -race ./cmd/ncsoak -smoke
 
 # Serving-capacity CI gate: one scaled-down 1k-session saturation wave under
 # the race detector. ncload exits non-zero unless the ramp completes, every
@@ -167,7 +186,7 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.7
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke
 
 # Run every example program.
 examples:

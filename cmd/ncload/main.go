@@ -116,6 +116,7 @@ func run(args []string, out io.Writer) error {
 		rampChunk  = fs.Int("ramp-chunk", 256, "sessions dialed per ramp chunk")
 		smoke      = fs.Bool("smoke", false, "one gated 1k-session wave (CI mode, -race friendly)")
 		maxP99     = fs.Duration("max-p99", 2*time.Second, "smoke gate: max windowed p99 record latency")
+		brownout   = fs.Bool("brownout", false, "run the gated brownout wave instead of the ladder: slow readers push past saturation, the degradation ladder must engage and step back, canaries must still decode byte-identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +146,9 @@ func run(args []string, out io.Writer) error {
 	raiseFDLimit()
 
 	lg := log.New(os.Stderr, "ncload: ", log.Ltime)
+	if *brownout {
+		return runBrownoutWave(opt, out, lg)
+	}
 	fmt.Fprintf(out, "goos: %s\ngoarch: %s\npkg: extremenc/cmd/ncload\n", runtime.GOOS, runtime.GOARCH)
 
 	for _, wave := range buildWaves(opt) {
@@ -454,5 +458,236 @@ func smokeGates(reg *obs.Registry, wave waveCfg, window obs.HistogramView, maxP9
 	if got := int(vals["netio_pump_shards"]); got != wave.shards {
 		return fmt.Errorf("scraped netio_pump_shards = %d, want %d", got, wave.shards)
 	}
+	return nil
+}
+
+// runBrownoutWave is the graceful-degradation gate (`ncload -brownout`): a
+// fleet of deliberately slow readers pushes one server well past saturation
+// and holds it there, and the brownout ladder must visibly engage — at least
+// one rung up, with transitions observable — then step all the way back down
+// once the fleet hangs up. Canary fetchers launched at peak pressure must
+// still finish byte-identical: they absorb BUSY refusals while the ladder
+// sits at reject and are admitted as it unwinds, which is the whole point of
+// lossless degradation. The run is reproducible from -seed; exact
+// offered == sent + shed accounting is re-checked after teardown.
+func runBrownoutWave(opt options, out io.Writer, lg *log.Logger) error {
+	fleetSize := opt.sessions
+	if opt.smoke {
+		fleetSize = 128
+	}
+	reg := obs.NewRegistry()
+	obs.SetSink(reg)
+	defer obs.SetSink(nil)
+
+	p := rlnc.Params{BlockCount: opt.blockCount, BlockSize: opt.blockSize}
+	media := makeMedia(opt.segments*p.SegmentSize()-13, opt.seed)
+
+	var transitions int
+	scfg := netio.DefaultServerConfig()
+	// A shallow queue and wide write deadlines: slow readers must saturate
+	// the queues (occupancy and pump stalls are the pressure signal), not be
+	// evicted as hostile peers.
+	scfg.QueueDepth = 8
+	scfg.WriteDeadline = 30 * time.Second
+	scfg.WriteRetries = 4
+	scfg.Seed = opt.seed
+	scfg.Metrics = reg
+	scfg.RetryAfter = 20 * time.Millisecond
+	scfg.Brownout = netio.BrownoutConfig{
+		Interval: 25 * time.Millisecond,
+		StepUp:   0.5,
+		StepDown: 0.1,
+		Hold:     3,
+		OnTransition: func(from, to netio.BrownoutRung, pressure float64) {
+			transitions++
+			lg.Printf("brownout: %s -> %s (pressure %.2f)", from, to, pressure)
+		},
+	}
+	srv, err := netio.NewServerFromConfig(media, p, scfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(serveCtx, l) }()
+	defer func() {
+		srv.Shutdown()
+		stopServe()
+		l.Close()
+		<-serveDone
+	}()
+	addr := l.Addr().String()
+
+	// The overload: every session reads one record then naps, so the queues
+	// stay pinned full no matter how fast the pumps produce.
+	lg.Printf("brownout wave: ramping %d slow readers", fleetSize)
+	var (
+		fleetMu sync.Mutex
+		fleet   []*netio.RawClient
+		drain   sync.WaitGroup
+	)
+	closeFleet := func() {
+		fleetMu.Lock()
+		for _, rc := range fleet {
+			rc.Close()
+		}
+		fleet = nil
+		fleetMu.Unlock()
+		drain.Wait()
+	}
+	defer closeFleet()
+	for off := 0; off < fleetSize; off += opt.rampChunk {
+		n := min(opt.rampChunk, fleetSize-off)
+		errc := make(chan error, n)
+		var chunk sync.WaitGroup
+		for i := 0; i < n; i++ {
+			chunk.Add(1)
+			go func() {
+				defer chunk.Done()
+				conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+				if err != nil {
+					errc <- err
+					return
+				}
+				rc, err := netio.NewRawClient(conn)
+				if err != nil {
+					errc <- err
+					return
+				}
+				fleetMu.Lock()
+				fleet = append(fleet, rc)
+				fleetMu.Unlock()
+				drain.Add(1)
+				go func() {
+					defer drain.Done()
+					for {
+						if _, err := rc.Next(); err != nil {
+							return
+						}
+						time.Sleep(5 * time.Millisecond)
+					}
+				}()
+			}()
+		}
+		chunk.Wait()
+		close(errc)
+		for err := range errc {
+			return fmt.Errorf("ramp: %w", err)
+		}
+	}
+
+	// Gate 1: the ladder engages under sustained pressure.
+	engageStart := time.Now()
+	peak := netio.BrownoutOff
+	for deadline := time.Now().Add(time.Minute); ; time.Sleep(5 * time.Millisecond) {
+		if r := srv.Rung(); r > peak {
+			peak = r
+		}
+		if peak > netio.BrownoutOff {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ladder never engaged under %d slow readers (snapshot %+v)",
+				fleetSize, srv.Snapshot().CounterView)
+		}
+	}
+	lg.Printf("ladder engaged (rung %s) %v after ramp", srv.Rung(), time.Since(engageStart).Round(time.Millisecond))
+
+	// Canaries launch at peak pressure: BUSY refusals while the ladder sits
+	// at reject, admission as it unwinds, and a byte-identical payload
+	// regardless.
+	canaryCtx, cancelCanaries := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelCanaries()
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	type canaryResult struct {
+		err  error
+		busy int
+	}
+	canaryDone := make(chan canaryResult, opt.canaries)
+	for i := 0; i < opt.canaries; i++ {
+		go func(i int) {
+			f := netio.NewFetcher(dial,
+				netio.WithMaxAttempts(0),
+				netio.WithBackoff(10*time.Millisecond, 250*time.Millisecond),
+				netio.WithBackoffSeed(opt.seed+int64(i)))
+			fres, err := f.Fetch(canaryCtx)
+			if err != nil {
+				canaryDone <- canaryResult{err: fmt.Errorf("canary %d: %w", i, err)}
+				return
+			}
+			if !bytes.Equal(fres.Payload, media) {
+				canaryDone <- canaryResult{err: fmt.Errorf("canary %d: payload differs", i)}
+				return
+			}
+			canaryDone <- canaryResult{busy: f.Stats().AdmissionBusy}
+		}(i)
+	}
+
+	// Hold the saturation plateau, tracking the peak rung, then release.
+	holdUntil := time.Now().Add(opt.settle + 500*time.Millisecond)
+	for time.Now().Before(holdUntil) {
+		if r := srv.Rung(); r > peak {
+			peak = r
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	closeFleet()
+
+	// Gate 2: with the pressure lifted the ladder steps all the way back.
+	releaseStart := time.Now()
+	for deadline := time.Now().Add(time.Minute); srv.Rung() != netio.BrownoutOff; time.Sleep(5 * time.Millisecond) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ladder never stepped back down after release (rung %s)", srv.Rung())
+		}
+	}
+	recovery := time.Since(releaseStart)
+	lg.Printf("ladder back to off %v after release", recovery.Round(time.Millisecond))
+
+	// Gate 3: every canary decodes byte-identical despite the brownout.
+	busyTotal := 0
+	for i := 0; i < opt.canaries; i++ {
+		res := <-canaryDone
+		if res.err != nil {
+			return res.err
+		}
+		busyTotal += res.busy
+	}
+
+	// The canaries are load too — with shallow queues their own decode churn
+	// can tick the ladder back up — so wait for the controller to settle at
+	// off again now that every client is gone before freezing the snapshot.
+	for deadline := time.Now().Add(time.Minute); srv.Rung() != netio.BrownoutOff; time.Sleep(5 * time.Millisecond) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ladder never settled at off after the canaries (rung %s)", srv.Rung())
+		}
+	}
+
+	// Gate 4: exactness after teardown, scraped from the snapshot the
+	// controller was driving.
+	srv.Shutdown()
+	final := srv.Snapshot()
+	if !final.Consistent() {
+		return fmt.Errorf("ledger after brownout wave: offered %d != sent %d + shed %d",
+			final.BlocksOffered, final.BlocksSent, final.BlocksShed)
+	}
+	if final.BrownoutTransitions < 2 || transitions < 2 {
+		return fmt.Errorf("only %d ladder transitions observed (callback saw %d), want >= 2",
+			final.BrownoutTransitions, transitions)
+	}
+	if final.BrownoutRung != int(netio.BrownoutOff) {
+		return fmt.Errorf("final snapshot rung %d, want off", final.BrownoutRung)
+	}
+
+	lg.Printf("brownout wave ok: peak rung %s, %d transitions, %d canary BUSY refusals honored, %d blocks shed",
+		peak, final.BrownoutTransitions, busyTotal, final.BlocksShed)
+	fmt.Fprintf(out, "BenchmarkServeBrownout/sessions=%d \t%8d\t%12d peak-rung\t%12d transitions\t%12d recover-ns\t%8d busy\n",
+		fleetSize, 1, int(peak), final.BrownoutTransitions, recovery.Nanoseconds(), busyTotal)
 	return nil
 }

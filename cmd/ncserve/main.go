@@ -143,6 +143,12 @@ func runServe(args []string) error {
 	inPath := fs.String("in", "", "media file to serve")
 	metricsAddr := fs.String("metrics", "", "HTTP address for /metrics, /metrics.json and /debug/pprof/ (empty = off)")
 	logEvery := fs.Duration("log-every", 0, "interval between structured progress lines on stderr (0 = off)")
+	drain := fs.Duration("drain", 10*time.Second,
+		"graceful drain deadline on SIGINT/SIGTERM: in-flight sessions run to rank completion while new connections get a structured refusal (0 = immediate shutdown)")
+	drainRedirect := fs.String("drain-redirect", "",
+		"address carried in REDIRECT admission decisions while draining (empty = refuse with BUSY)")
+	brownout := fs.Duration("brownout", 0,
+		"brownout controller sampling interval (0 = off): under sustained pressure the server paces its pumps, leans the systematic schedule, then refuses new sessions, stepping back down as pressure lifts")
 	var sf serveFlags
 	sf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +170,14 @@ func runServe(args []string) error {
 		return err
 	}
 	opts = append(opts, netio.WithMetricsRegistry(reg))
+	if *brownout > 0 {
+		opts = append(opts, netio.WithBrownout(netio.BrownoutConfig{
+			Interval: *brownout,
+			OnTransition: func(from, to netio.BrownoutRung, pressure float64) {
+				fmt.Fprintf(os.Stderr, "ncserve: brownout %s -> %s (pressure %.2f)\n", from, to, pressure)
+			},
+		}))
+	}
 	srv, err := netio.NewServer(media, rlnc.Params{BlockCount: sf.n, BlockSize: sf.k}, opts...)
 	if err != nil {
 		return err
@@ -174,8 +188,40 @@ func runServe(args []string) error {
 	}
 	defer l.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// The first SIGINT/SIGTERM starts a graceful drain bounded by -drain; a
+	// second signal (or -drain 0) shuts down immediately, shedding whatever
+	// the ledger then reports as shed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case sig := <-sigs:
+			if *drain <= 0 {
+				cancel()
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ncserve: %v: draining for up to %v (redirect %q); signal again to shut down now\n",
+				sig, *drain, *drainRedirect)
+			dctx, dcancel := context.WithTimeout(ctx, *drain)
+			defer dcancel()
+			go func() {
+				select {
+				case <-sigs:
+					dcancel()
+				case <-dctx.Done():
+				}
+			}()
+			if err := srv.Drain(dctx, *drainRedirect); err != nil {
+				fmt.Fprintf(os.Stderr, "ncserve: drain: %v\n", err)
+			}
+			cancel()
+		}
+	}()
 
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
@@ -195,9 +241,16 @@ func runServe(args []string) error {
 	fmt.Printf("serving %d bytes as %d segments (n=%d, k=%d, mode=%s) on %s\n",
 		len(media), srv.Segments(), sf.n, sf.k, srv.Mode(), l.Addr())
 	err = srv.Serve(ctx, l)
-	if ctx.Err() != nil {
-		// Interrupted: the server already shut down cleanly.
-		snap := srv.Snapshot()
+	if snap := srv.Snapshot(); ctx.Err() != nil || snap.Draining {
+		// Interrupted: the server already shut down — gracefully when a
+		// drain ran. The exit ledger must balance exactly: every offered
+		// block was either fully written or explicitly shed.
+		if snap.Draining {
+			fmt.Printf("drain ledger: offered %d = sent %d + shed %d (consistent=%v), %d sessions served, %d busy, %d redirected, %d bytes\n",
+				snap.BlocksOffered, snap.BlocksSent, snap.BlocksShed, snap.Consistent(),
+				snap.SessionsTotal, snap.AdmissionBusy, snap.AdmissionRedirected, snap.BytesSent)
+			return nil
+		}
 		fmt.Printf("shutdown: %d sessions served, %d blocks sent, %d shed, %d bytes\n",
 			snap.SessionsTotal, snap.BlocksSent, snap.BlocksShed, snap.BytesSent)
 		return nil
@@ -227,21 +280,26 @@ func snapshotJSON(s netio.Snapshot) map[string]any {
 		})
 	}
 	return map[string]any{
-		"version":           s.Version,
-		"mode":              s.Mode.String(),
-		"sessions":          s.Sessions,
-		"sessions_total":    s.SessionsTotal,
-		"sessions_rejected": s.SessionsRejected,
-		"session_seconds":   s.SessionSeconds,
-		"blocks_encoded":    s.BlocksEncoded,
-		"blocks_offered":    s.BlocksOffered,
-		"blocks_sent":       s.BlocksSent,
-		"blocks_shed":       s.BlocksShed,
-		"bytes_sent":        s.BytesSent,
-		"encode_stall_s":    s.EncodeStall.Seconds(),
-		"max_stall_s":       s.MaxEncodeStall.Seconds(),
-		"shards":            shards,
-		"per_session":       per,
+		"version":              s.Version,
+		"mode":                 s.Mode.String(),
+		"sessions":             s.Sessions,
+		"sessions_total":       s.SessionsTotal,
+		"sessions_rejected":    s.SessionsRejected,
+		"session_seconds":      s.SessionSeconds,
+		"admission_busy":       s.AdmissionBusy,
+		"admission_redirected": s.AdmissionRedirected,
+		"brownout_rung":        s.BrownoutRung,
+		"brownout_transitions": s.BrownoutTransitions,
+		"draining":             s.Draining,
+		"blocks_encoded":       s.BlocksEncoded,
+		"blocks_offered":       s.BlocksOffered,
+		"blocks_sent":          s.BlocksSent,
+		"blocks_shed":          s.BlocksShed,
+		"bytes_sent":           s.BytesSent,
+		"encode_stall_s":       s.EncodeStall.Seconds(),
+		"max_stall_s":          s.MaxEncodeStall.Seconds(),
+		"shards":               shards,
+		"per_session":          per,
 	}
 }
 

@@ -409,6 +409,34 @@ var (
 	// WithFanout selects the pump-to-queue hand-off rung (amortized bulk
 	// offers + vectored writes, or the per-record baseline).
 	WithFanout = netio.WithFanout
+	// WithRetryAfter sets the retry hint carried by BUSY admission
+	// decisions.
+	WithRetryAfter = netio.WithRetryAfter
+	// WithBrownout enables the overload degradation ladder (pace → lean
+	// schedule → reject) driven by the server's pressure signal.
+	WithBrownout = netio.WithBrownout
+)
+
+// Graceful degradation (see internal/netio): a server under pressure climbs
+// a deterministic brownout ladder, and a retiring server drains — new
+// handshakes get structured BUSY/REDIRECT decisions while in-flight sessions
+// run to rank completion (NetServer.Drain).
+type (
+	// BrownoutConfig tunes the overload degradation ladder.
+	BrownoutConfig = netio.BrownoutConfig
+	// BrownoutRung is a position on the ladder.
+	BrownoutRung = netio.BrownoutRung
+	// DegradableSource is a RecordSource with a cheaper degraded schedule
+	// the brownout controller can toggle.
+	DegradableSource = netio.DegradableSource
+)
+
+// Brownout ladder rungs, in escalation order.
+const (
+	BrownoutOff    = netio.BrownoutOff
+	BrownoutPaced  = netio.BrownoutPaced
+	BrownoutLean   = netio.BrownoutLean
+	BrownoutReject = netio.BrownoutReject
 )
 
 // Literal serving configuration (see internal/netio). The functional options
@@ -573,6 +601,12 @@ var (
 	// WithSessionHook observes each session's outcome; hooks compose and
 	// run in installation order.
 	WithSessionHook = netio.WithSessionHook
+	// WithFetchTimeout bounds the whole fetch wall clock; on expiry the
+	// partial FetchResult is returned with ErrFetchTimeout.
+	WithFetchTimeout = netio.WithFetchTimeout
+	// WithRedirector lets the fetcher honor REDIRECT admission decisions
+	// by re-pointing the given Redirector at the named survivor.
+	WithRedirector = netio.WithRedirector
 )
 
 // Deterministic fault injection (see internal/faultnet): a seeded chaos
@@ -803,4 +837,14 @@ var (
 	ErrServerClosed = netio.ErrServerClosed
 	// ErrShortWrite reports a record write that missed its deadline budget.
 	ErrShortWrite = netio.ErrShortWrite
+	// ErrAdmissionBusy reports a handshake answered with a BUSY admission
+	// decision: the server is at its session cap or shedding load.
+	ErrAdmissionBusy = netio.ErrAdmissionBusy
+	// ErrAdmissionRedirect reports a handshake answered with a REDIRECT
+	// admission decision: the server is draining toward a named survivor.
+	ErrAdmissionRedirect = netio.ErrAdmissionRedirect
+	// ErrFetchTimeout reports a fetch that exhausted its WithFetchTimeout
+	// wall-clock budget; the partial FetchResult alongside it still carries
+	// all accumulated progress.
+	ErrFetchTimeout = netio.ErrFetchTimeout
 )

@@ -49,7 +49,10 @@ func (h *Health) Sweep() []Transition {
 	now := p.now()
 	var trs []Transition
 	for _, m := range p.members {
-		if m.state == StateDead {
+		// Dead is terminal; draining is a deliberate absence the drain's own
+		// deadline bounds — judging either would only misfire (a drained
+		// member must not be buried mid-restart, Rejoin resets its clocks).
+		if m.state == StateDead || m.state == StateDraining {
 			continue
 		}
 		if m.rankFn != nil {

@@ -64,6 +64,12 @@ type Topology struct {
 	// LeafFetchOpts, when non-nil, appends extra fetcher options for each
 	// leaf (test hooks, attempt budgets).
 	LeafFetchOpts func(leaf int) []netio.FetcherOption
+
+	// RelayServerOpts, when non-nil, appends extra server options for each
+	// relay's downstream server (queue tuning, brownout, retry-after hints).
+	// The options are reapplied to every replacement server a Restart builds,
+	// so they must not bind single-use resources like a metrics registry.
+	RelayServerOpts func(relay int) []netio.ServerOption
 }
 
 // withDefaults fills in the fast-sweep defaults.
@@ -89,6 +95,7 @@ type Leaf struct {
 	ID int
 
 	rd         *netio.Redirector
+	f          *netio.Fetcher
 	records    atomic.Int64
 	reconnects atomic.Int64
 
@@ -115,6 +122,10 @@ func (l *Leaf) Reconnects() int64 { return l.reconnects.Load() }
 
 // Redirector exposes the leaf's dial target for inspection.
 func (l *Leaf) Redirector() *netio.Redirector { return l.rd }
+
+// FetchStats snapshots the leaf's fetch ledger — including the admission
+// counters that record BUSY and REDIRECT decisions — safe during the fetch.
+func (l *Leaf) FetchStats() *netio.FetchStats { return l.f.Stats() }
 
 // Duration returns the leaf's fetch wall-clock time; valid after Done.
 func (l *Leaf) Duration() time.Duration { return l.finished.Sub(l.started) }
@@ -268,6 +279,10 @@ func (m *Mesh) Start(ctx context.Context) error {
 			up = chaosDial(*m.topo.UpstreamFaults, m.upCtr, &m.upSeq, up)
 		}
 		id := fmt.Sprintf("relay-%d", i)
+		var srvOpts []netio.ServerOption
+		if m.topo.RelayServerOpts != nil {
+			srvOpts = m.topo.RelayServerOpts(i)
+		}
 		relay, err := StartRelay(m.ctx, RelayConfig{
 			ID:        id,
 			Upstream:  up,
@@ -278,8 +293,9 @@ func (m *Mesh) Start(ctx context.Context) error {
 				netio.WithBackoff(2*time.Millisecond, 50*time.Millisecond),
 				netio.WithBackoffSeed(m.topo.Seed + int64(i)),
 			},
-			Tapped:  &m.tapped,
-			Emitted: &m.emitted,
+			ServerOpts: srvOpts,
+			Tapped:     &m.tapped,
+			Emitted:    &m.emitted,
 		})
 		if err != nil {
 			rln.Close()
@@ -287,6 +303,32 @@ func (m *Mesh) Start(ctx context.Context) error {
 			return err
 		}
 		m.relays = append(m.relays, relay)
+		if reg := m.topo.Registry; reg != nil {
+			// Per-relay downstream ledgers, accumulated across restarts, so a
+			// single scrape can check offered == sent + shed on drained and
+			// surviving relays alike.
+			relay := relay
+			for _, g := range []struct {
+				name, help string
+				value      func(netio.CounterView) int64
+			}{
+				{"blocks_offered", "blocks offered to delivery queues across restarts",
+					func(v netio.CounterView) int64 { return v.BlocksOffered }},
+				{"blocks_sent", "blocks fully written to peers across restarts",
+					func(v netio.CounterView) int64 { return v.BlocksSent }},
+				{"blocks_shed", "blocks dropped by backpressure or teardown across restarts",
+					func(v netio.CounterView) int64 { return v.BlocksShed }},
+			} {
+				g := g
+				if err := reg.RegisterFunc(fmt.Sprintf("mesh.relay%d_%s", i, g.name),
+					fmt.Sprintf("relay %d downstream %s", i, g.help), func() float64 {
+						return float64(g.value(relay.Ledger()))
+					}); err != nil {
+					m.Close()
+					return err
+				}
+			}
+		}
 		if err := m.pool.Add(id, relay.Addr(), relay.TotalRank, fullRank); err != nil {
 			m.Close()
 			return err
@@ -349,6 +391,11 @@ func (m *Mesh) startLeafFetch(ctx context.Context, leaf *Leaf) {
 	opts := []netio.FetcherOption{
 		netio.WithBackoff(2*time.Millisecond, 50*time.Millisecond),
 		netio.WithBackoffSeed(m.topo.Seed + int64(1000+leaf.ID)),
+		// A draining relay's REDIRECT decision walks the leaf straight to the
+		// named survivor — the protocol-level fast path; remediation's route
+		// sweep remains the control-plane backstop for leaves that were not
+		// connected during the drain window.
+		netio.WithRedirector(leaf.rd),
 		netio.WithRecordTap(func(*rlnc.CodedBlock) { leaf.records.Add(1) }),
 		netio.WithReconnectHook(func(reconnect int, ranks map[uint32]int) {
 			leaf.reconnects.Store(int64(reconnect))
@@ -369,6 +416,7 @@ func (m *Mesh) startLeafFetch(ctx context.Context, leaf *Leaf) {
 		dial = chaosDial(*m.topo.DownstreamFaults, m.downCtr, &m.downSeq, dial)
 	}
 	f := netio.NewFetcher(dial, opts...)
+	leaf.f = f
 	leaf.started = time.Now()
 	go func() {
 		res, err := f.Fetch(ctx)
@@ -422,6 +470,47 @@ func (m *Mesh) KillRelay(id string) error {
 		}
 	}
 	return fmt.Errorf("mesh: no relay %q", id)
+}
+
+// RestartRelay gracefully cycles relay id with zero loss: the pool marks it
+// draining (the coordinator stops assigning to it and remediation walks
+// routed leaves off), the relay's server drains — REDIRECT pointing
+// connected leaves at a surviving active relay, in-flight sessions running
+// to completion within ctx — and a fresh server over the same recoders
+// rejoins the rotation at a new address. Rank never regresses: the recoders
+// survive, and every redirected leaf carries its decoder state to the
+// survivor.
+func (m *Mesh) RestartRelay(ctx context.Context, id string) error {
+	var target *Relay
+	for _, r := range m.relays {
+		if r.ID() == id {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("mesh: no relay %q", id)
+	}
+	if !m.pool.SetDraining(id) {
+		return fmt.Errorf("mesh: relay %q is not eligible to drain", id)
+	}
+	// The redirect target is the least-loaded active survivor; with none
+	// available the drain answers BUSY and leaves fall back on remediation.
+	redirect := ""
+	for _, cand := range m.pool.InState(StateActive) {
+		if addr, ok := m.pool.Addr(cand); ok {
+			redirect = addr
+			break
+		}
+	}
+	addr, err := target.Restart(ctx, redirect)
+	if err != nil {
+		return err
+	}
+	if !m.pool.Rejoin(id, addr) {
+		return fmt.Errorf("mesh: relay %q could not rejoin the pool", id)
+	}
+	return nil
 }
 
 // Relays returns the mesh's relays in start order.

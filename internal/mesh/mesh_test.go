@@ -3,6 +3,7 @@ package mesh
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math/rand"
 	"net"
 	"strings"
@@ -392,3 +393,258 @@ var errFetchDiffers = errDiff{}
 type errDiff struct{}
 
 func (errDiff) Error() string { return "payload differs" }
+
+// TestMeshRollingRestart is the drain gate: relays are restarted in sequence
+// under faultnet chaos while leaves fetch through them, and nothing may be
+// lost. Each restart drains — new handshakes on the draining relay get a
+// REDIRECT naming an active survivor, which connected leaves must follow with
+// all their rank — then rejoins the rotation at a fresh address. Afterwards:
+// zero failed leaves, every payload byte-identical, zero rank regressions,
+// at least one REDIRECT honored per drain, and the per-relay ledgers —
+// drained and surviving alike, accumulated across restarts — balance exactly
+// in one scraped exposition.
+func TestMeshRollingRestart(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 256}
+	media := testMedia(t, 4*p.SegmentSize()-13, 91)
+
+	reg := obs.NewRegistry()
+	topo := Topology{
+		Media:      media,
+		Params:     p,
+		Relays:     3,
+		Leaves:     0, // leaves start per wave below
+		OriginMode: netio.ModeSystematic,
+		XorRecode:  true,
+		Seed:       19,
+		Registry:   reg,
+		Heartbeat:  10 * time.Millisecond,
+		// Remediation swept rarely on purpose: the REDIRECT protocol path,
+		// not the control-plane route sweep, must be what walks leaves off
+		// the draining relays.
+		Sweep: 5 * time.Second,
+		Health: HealthConfig{
+			SuspectAfter: 2 * time.Second,
+			DeadAfter:    10 * time.Second,
+		},
+		UpstreamFaults: &faultnet.Config{
+			Seed: 41, CorruptEvery: 9000, ResetEvery: 6000, MaxReadChunk: 2048,
+		},
+		// Reset-heavy downstream chaos: every leaf connection dies within
+		// ~8KB — well short of the ~20KB object — so every leaf reconnects
+		// through admission repeatedly and a drain is guaranteed to be seen.
+		DownstreamFaults: &faultnet.Config{
+			Seed: 43, CorruptEvery: 9000, ResetEvery: 4000, MaxReadChunk: 2048,
+		},
+		// Paced relay serving keeps each wave in flight long enough to drain
+		// a relay mid-transfer; the retry-after hint exercises the
+		// RelayServerOpts plumbing end to end.
+		RelayServerOpts: func(relay int) []netio.ServerOption {
+			return []netio.ServerOption{
+				netio.WithServePace(3 * time.Millisecond),
+				netio.WithEncodeBatch(1),
+				netio.WithRetryAfter(5 * time.Millisecond),
+			}
+		},
+	}
+	m, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Warm every relay so leaves never depend on the origin.
+	full := m.Origin().Segments() * p.BlockCount
+	for deadline := time.Now().Add(time.Minute); ; {
+		warm := 0
+		for _, r := range m.Relays() {
+			if r.TotalRank() == full {
+				warm++
+			}
+		}
+		if warm == len(m.Relays()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relays never warmed: %+v", m.Pool().Snapshot())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	redirected := func(leaves []*Leaf) int {
+		total := 0
+		for _, leaf := range leaves {
+			total += leaf.FetchStats().AdmissionRedirected
+		}
+		return total
+	}
+
+	// rollRestart drains relayID mid-wave and verifies the drain was followed:
+	// a pinned raw session holds the drain window open until at least one leaf
+	// has been walked to a survivor by a REDIRECT decision.
+	rollRestart := func(relayID string, relay *Relay, leaves []*Leaf) {
+		t.Helper()
+		pinConn, err := net.Dial("tcp", relay.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned, err := netio.NewRawClient(pinConn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinDone := make(chan struct{})
+		go func() {
+			defer close(pinDone)
+			for {
+				if _, err := pinned.Next(); err != nil {
+					return
+				}
+			}
+		}()
+
+		// Every leaf must be demonstrably mid-transfer before the drain.
+		for deadline := time.Now().Add(30 * time.Second); ; {
+			moving := 0
+			for _, leaf := range leaves {
+				if leaf.Records() > 0 {
+					moving++
+				}
+			}
+			if moving == len(leaves) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("wave never started moving before draining %s", relayID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		before := redirected(leaves)
+		restartDone := make(chan error, 1)
+		go func() { restartDone <- m.RestartRelay(ctx, relayID) }()
+
+		// The pool must report the drain, and some leaf must follow the
+		// REDIRECT to a survivor while the pinned session holds the drain open.
+		sawDraining := false
+		for deadline := time.Now().Add(30 * time.Second); redirected(leaves) == before; {
+			if st, ok := m.Pool().StateOf(relayID); ok && st == StateDraining {
+				sawDraining = true
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no leaf followed a REDIRECT off draining %s (pool %+v)",
+					relayID, m.Pool().Snapshot())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !sawDraining {
+			if st, ok := m.Pool().StateOf(relayID); !ok || st != StateDraining {
+				t.Fatalf("pool never reported %s draining (now %v)", relayID, st)
+			}
+		}
+
+		// Release the drain window; the restart must complete and the relay
+		// must rejoin the active rotation at its new address.
+		pinned.Close()
+		<-pinDone
+		if err := <-restartDone; err != nil {
+			t.Fatalf("RestartRelay(%s): %v", relayID, err)
+		}
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if st, _ := m.Pool().StateOf(relayID); st == StateActive {
+				break
+			}
+			if time.Now().After(deadline) {
+				st, _ := m.Pool().StateOf(relayID)
+				t.Fatalf("%s never rejoined the rotation (state %v)", relayID, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		addr, _ := m.Pool().Addr(relayID)
+		if addr != relay.Addr() {
+			t.Fatalf("pool addr %q disagrees with relay addr %q after restart", addr, relay.Addr())
+		}
+	}
+
+	// Rolling restarts: one relay per wave, in sequence.
+	for round, relayID := range []string{"relay-0", "relay-1"} {
+		var relay *Relay
+		for _, r := range m.Relays() {
+			if r.ID() == relayID {
+				relay = r
+			}
+		}
+		wave := make([]*Leaf, 0, 3)
+		for i := 0; i < 3; i++ {
+			leaf, err := m.AddLeaf(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wave = append(wave, leaf)
+		}
+		rollRestart(relayID, relay, wave)
+		if err := m.WaitLeaves(ctx, wave...); err != nil {
+			t.Fatalf("wave %d: %v (snapshot %+v)", round, err, m.Snapshot())
+		}
+		for _, leaf := range wave {
+			res, _ := leaf.Result()
+			if !bytes.Equal(res.Payload, media) {
+				t.Fatalf("wave %d leaf %d payload differs", round, leaf.ID)
+			}
+		}
+	}
+
+	// Monotone rank across every reconnect, redirects included.
+	if v, _ := reg.CounterValue("mesh.rank_regressions_total"); v != 0 {
+		t.Fatalf("rank regressed %d times across reconnects", v)
+	}
+
+	// The per-relay ledgers — drained relays across their restarts and the
+	// untouched survivor alike — must balance exactly once sessions settle.
+	balanced := func() bool {
+		for _, r := range m.Relays() {
+			if v := r.Ledger(); v.BlocksOffered != v.BlocksSent+v.BlocksShed {
+				return false
+			}
+		}
+		return true
+	}
+	for deadline := time.Now().Add(10 * time.Second); !balanced(); {
+		if time.Now().After(deadline) {
+			for _, r := range m.Relays() {
+				t.Logf("%s ledger: %+v", r.ID(), r.Ledger())
+			}
+			t.Fatal("relay ledgers never balanced after the waves")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the same invariant must be visible in one scraped exposition.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Key()] = s.Value
+	}
+	for i := range m.Relays() {
+		offered := byName[fmt.Sprintf("mesh_relay%d_blocks_offered", i)]
+		sent := byName[fmt.Sprintf("mesh_relay%d_blocks_sent", i)]
+		shed := byName[fmt.Sprintf("mesh_relay%d_blocks_shed", i)]
+		if offered == 0 {
+			t.Errorf("relay %d exposition ledger empty", i)
+		}
+		if offered != sent+shed {
+			t.Errorf("relay %d exposition ledger: offered %v != sent %v + shed %v",
+				i, offered, sent, shed)
+		}
+	}
+}

@@ -32,6 +32,12 @@ const (
 	// StateDead: heartbeat long overdue. Terminal — a dead member never
 	// returns to the rotation.
 	StateDead
+	// StateDraining: deliberately leaving the rotation for a graceful
+	// restart — the relay itself redirects new handshakes while in-flight
+	// sessions run to completion. Unlike dead, draining is temporary: Rejoin
+	// returns the member to the rotation. Appended after StateDead so the
+	// numeric values of the original states are stable.
+	StateDraining
 )
 
 func (s State) String() string {
@@ -44,6 +50,8 @@ func (s State) String() string {
 		return "suspect"
 	case StateDead:
 		return "dead"
+	case StateDraining:
+		return "draining"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -127,7 +135,9 @@ func (p *Pool) Add(id, addr string, rankFn func() int, fullRank int) error {
 // Heartbeat records a liveness beat from id. The first beat promotes a
 // joining member to active; a suspect member that beats again is also
 // restored (it was slow, not gone). Beats from a dead member are ignored —
-// death is terminal, remediation has already moved its leaves.
+// death is terminal, remediation has already moved its leaves. A draining
+// member's beats refresh its liveness but never promote it: only Rejoin ends
+// a drain.
 func (p *Pool) Heartbeat(id string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -140,6 +150,41 @@ func (p *Pool) Heartbeat(id string) {
 		m.state = StateActive
 	}
 	p.heartbeats.Inc()
+}
+
+// SetDraining marks member id as gracefully leaving the rotation: the
+// coordinator stops assigning leaves to it and remediation walks existing
+// leaves off it, while the relay's own drain redirects new handshakes. It
+// reports whether the member was eligible (registered and not dead).
+func (p *Pool) SetDraining(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.members[id]
+	if m == nil || m.state == StateDead {
+		return false
+	}
+	m.state = StateDraining
+	return true
+}
+
+// Rejoin returns a draining member to the rotation at a (possibly new)
+// serving address. It re-enters as joining — the next heartbeat promotes it
+// to active — with its liveness and rank-progress clocks reset so the
+// restart window is not misread as a stall. It reports whether the member
+// was eligible (registered and not dead).
+func (p *Pool) Rejoin(id, addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.members[id]
+	if m == nil || m.state == StateDead {
+		return false
+	}
+	now := p.now()
+	m.addr = addr
+	m.state = StateJoining
+	m.lastBeat = now
+	m.lastRankChange = now
+	return true
 }
 
 // Addr returns the serving address of member id.

@@ -55,12 +55,17 @@ type RelayConfig struct {
 type Relay struct {
 	id  string
 	cfg RelayConfig
-	ln  net.Listener
-	srv *netio.Server
 
 	mu       sync.Mutex
+	ln       net.Listener  // current downstream listener; swapped by Restart
+	srv      *netio.Server // current downstream server; swapped by Restart
+	retired  netio.CounterView
 	info     netio.SessionInfo // learned from the upstream handshake
 	recoders []*rlnc.Recoder
+
+	// serveCtx bounds every downstream server the relay ever starts,
+	// including post-Restart replacements.
+	serveCtx context.Context
 
 	ready       chan struct{} // closed once info and recoders exist
 	fetchCancel context.CancelFunc
@@ -81,6 +86,7 @@ func StartRelay(ctx context.Context, cfg RelayConfig) (*Relay, error) {
 		id:        cfg.ID,
 		cfg:       cfg,
 		ln:        cfg.Listener,
+		serveCtx:  ctx,
 		ready:     make(chan struct{}),
 		fetchDone: make(chan struct{}),
 	}
@@ -169,8 +175,13 @@ func (r *Relay) onRecord(b *rlnc.CodedBlock) {
 // ID returns the relay's control-plane name.
 func (r *Relay) ID() string { return r.id }
 
-// Addr returns the relay's downstream serving address.
-func (r *Relay) Addr() string { return r.ln.Addr().String() }
+// Addr returns the relay's current downstream serving address; Restart moves
+// it to a fresh listener.
+func (r *Relay) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ln.Addr().String()
+}
 
 // Info returns the session the relay declares downstream (valid once
 // StartRelay has returned).
@@ -203,19 +214,96 @@ func (r *Relay) SegmentRanks() []int {
 	return ranks
 }
 
-// Server exposes the downstream server for snapshots; nil until StartRelay
-// returns.
-func (r *Relay) Server() *netio.Server { return r.srv }
+// Server exposes the current downstream server for snapshots; nil until
+// StartRelay returns.
+func (r *Relay) Server() *netio.Server {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv
+}
+
+// Restart gracefully cycles the relay's downstream server: the serving side
+// drains — new handshakes are answered with a REDIRECT to redirectAddr (BUSY
+// when empty), in-flight sessions run to rank completion, bounded by ctx —
+// then a fresh listener and server over the same recoders take its place.
+// The recoders, and therefore all accumulated rank, survive the restart; the
+// serving address changes, so the caller re-registers the relay with the
+// control plane (Pool.Rejoin). The drained server's traffic ledger is folded
+// into Ledger before the swap, keeping offered == sent + shed exact across
+// the relay's whole history. Returns the new serving address.
+func (r *Relay) Restart(ctx context.Context, redirectAddr string) (string, error) {
+	r.mu.Lock()
+	oldSrv, oldLn := r.srv, r.ln
+	r.mu.Unlock()
+	if err := oldSrv.Drain(ctx, redirectAddr); err != nil {
+		return "", fmt.Errorf("mesh: relay %q drain: %w", r.id, err)
+	}
+	oldLn.Close()
+	drained := oldSrv.Snapshot().CounterView
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("mesh: relay %q relisten: %w", r.id, err)
+	}
+	srv, err := netio.NewSourceServer((*relaySource)(r), r.cfg.ServerOpts...)
+	if err != nil {
+		ln.Close()
+		return "", fmt.Errorf("mesh: relay %q restart: %w", r.id, err)
+	}
+	r.mu.Lock()
+	// Fold and swap in one critical section so a concurrent Ledger never
+	// double-counts the drained server or misses it.
+	r.retired = addCounterViews(r.retired, drained)
+	r.srv, r.ln = srv, ln
+	ctx = r.serveCtx
+	r.mu.Unlock()
+	go srv.Serve(ctx, ln)
+	return ln.Addr().String(), nil
+}
+
+// Ledger returns the relay's downstream traffic totals accumulated across
+// every server it has run, including servers retired by Restart. After all
+// sessions end (drain or shutdown) the ledger balances exactly:
+// BlocksOffered == BlocksSent + BlocksShed.
+func (r *Relay) Ledger() netio.CounterView {
+	r.mu.Lock()
+	retired, srv := r.retired, r.srv
+	r.mu.Unlock()
+	// Snapshot outside r.mu: the server's pump may be blocked in
+	// relaySource.Records, which holds r.mu while the snapshot walks the
+	// shard locks.
+	if srv == nil {
+		return retired
+	}
+	return addCounterViews(retired, srv.Snapshot().CounterView)
+}
+
+// addCounterViews merges two traffic ledgers: counters add, the stall
+// high-water mark takes the max.
+func addCounterViews(a, b netio.CounterView) netio.CounterView {
+	return netio.CounterView{
+		BlocksEncoded:  a.BlocksEncoded + b.BlocksEncoded,
+		BlocksOffered:  a.BlocksOffered + b.BlocksOffered,
+		BlocksSent:     a.BlocksSent + b.BlocksSent,
+		BlocksShed:     a.BlocksShed + b.BlocksShed,
+		BytesSent:      a.BytesSent + b.BytesSent,
+		EncodeStall:    a.EncodeStall + b.EncodeStall,
+		MaxEncodeStall: max(a.MaxEncodeStall, b.MaxEncodeStall),
+	}
+}
 
 // Close tears the relay down: upstream fetch cancelled, downstream server
 // shut down, listener closed. Idempotent.
 func (r *Relay) Close() {
 	r.closeOnce.Do(func() {
 		r.fetchCancel()
-		if r.srv != nil {
-			r.srv.Shutdown()
+		r.mu.Lock()
+		srv, ln := r.srv, r.ln
+		r.mu.Unlock()
+		if srv != nil {
+			srv.Shutdown()
 		}
-		r.ln.Close()
+		ln.Close()
 		<-r.fetchDone
 	})
 }

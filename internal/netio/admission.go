@@ -1,0 +1,185 @@
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// Admission decision record: the structured answer a server gives a new
+// connection before (or instead of) the session header, making session-cap
+// rejects, brownout sheds, and drains protocol events rather than silent
+// hang-ups.
+//
+//	decision: magic "XNCD" | u8 code | u8 addr length | u32 retry-after ms |
+//	          addr bytes | u32 CRC-32 (IEEE) over everything above
+//
+// Codes: 0 ACCEPT (a full session header follows), 1 BUSY (retry-after hint,
+// no addr), 2 REDIRECT (addr of a surviving server, no hint). A server that
+// admits a session may write the bare "XNCP" header with no decision record
+// at all — the compact ACCEPT spelling, and the only one servers predating
+// the decision record ever produced — so the client dispatches on the first
+// four magic bytes and accepts both.
+const (
+	decisionMagic    = "XNCD"
+	decisionFixedLen = 4 + 1 + 1 + 4 // magic | code | addr length | retry-after ms
+	decisionCRCLen   = 4
+	// maxRedirectAddr bounds a redirect target; addr length rides in one byte.
+	maxRedirectAddr = 255
+)
+
+// admissionCode is the decision discriminator on the wire.
+type admissionCode uint8
+
+const (
+	admissionAccept admissionCode = iota
+	admissionBusy
+	admissionRedirect
+)
+
+// Admission errors. Both are delivered through the resilient Fetcher's retry
+// loop: BUSY floors the next backoff at the server's hint, REDIRECT re-points
+// the fetcher's Redirector (when one is configured) before the next dial.
+var (
+	// ErrAdmissionBusy reports a handshake answered with a BUSY decision:
+	// the server is at its session cap or shedding load under brownout.
+	ErrAdmissionBusy = errors.New("netio: server busy")
+	// ErrAdmissionRedirect reports a handshake answered with a REDIRECT
+	// decision: the server is draining and named a survivor to dial instead.
+	ErrAdmissionRedirect = errors.New("netio: session redirected")
+)
+
+// admissionDecision is the parsed decision record.
+type admissionDecision struct {
+	code       admissionCode
+	retryAfter time.Duration // BUSY only
+	addr       string        // REDIRECT only
+}
+
+// Err maps a non-ACCEPT decision onto its sentinel; nil for ACCEPT.
+func (d admissionDecision) Err() error {
+	switch d.code {
+	case admissionBusy:
+		return fmt.Errorf("%w (retry after %v)", ErrAdmissionBusy, d.retryAfter)
+	case admissionRedirect:
+		return fmt.Errorf("%w to %s", ErrAdmissionRedirect, d.addr)
+	}
+	return nil
+}
+
+// validate rejects a decision no server would write.
+func (d admissionDecision) validate() error {
+	switch d.code {
+	case admissionAccept:
+		if d.retryAfter != 0 || d.addr != "" {
+			return fmt.Errorf("%w: ACCEPT carries payload", ErrBadHandshake)
+		}
+	case admissionBusy:
+		if d.addr != "" {
+			return fmt.Errorf("%w: BUSY carries an address", ErrBadHandshake)
+		}
+	case admissionRedirect:
+		if d.addr == "" {
+			return fmt.Errorf("%w: REDIRECT without an address", ErrBadHandshake)
+		}
+		if d.retryAfter != 0 {
+			return fmt.Errorf("%w: REDIRECT carries a retry hint", ErrBadHandshake)
+		}
+	default:
+		return fmt.Errorf("%w: unknown decision code %d", ErrBadHandshake, d.code)
+	}
+	return nil
+}
+
+// appendDecision marshals d onto buf.
+func appendDecision(buf []byte, d admissionDecision) ([]byte, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if len(d.addr) > maxRedirectAddr {
+		return nil, fmt.Errorf("%w: redirect address %d bytes long", ErrBadHandshake, len(d.addr))
+	}
+	ms := d.retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	start := len(buf)
+	buf = append(buf, decisionMagic...)
+	buf = append(buf, byte(d.code), byte(len(d.addr)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(ms))
+	buf = append(buf, d.addr...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+// writeDecision marshals d and writes it in one call.
+func writeDecision(w io.Writer, d admissionDecision) error {
+	buf, err := appendDecision(make([]byte, 0, decisionFixedLen+len(d.addr)+decisionCRCLen), d)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// readDecisionTail parses a decision record whose magic has already been
+// consumed (and is passed in so the CRC covers the full record).
+func readDecisionTail(r io.Reader, magic [4]byte) (admissionDecision, error) {
+	buf := make([]byte, decisionFixedLen, decisionFixedLen+maxRedirectAddr)
+	copy(buf, magic[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return admissionDecision{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	addrLen := int(buf[5])
+	buf = buf[:decisionFixedLen+addrLen]
+	if _, err := io.ReadFull(r, buf[decisionFixedLen:]); err != nil {
+		return admissionDecision{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	var crc [decisionCRCLen]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return admissionDecision{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if crc32.ChecksumIEEE(buf) != binary.BigEndian.Uint32(crc[:]) {
+		return admissionDecision{}, fmt.Errorf("%w: decision checksum", ErrBadHandshake)
+	}
+	d := admissionDecision{
+		code:       admissionCode(buf[4]),
+		retryAfter: time.Duration(binary.BigEndian.Uint32(buf[6:])) * time.Millisecond,
+		addr:       string(buf[decisionFixedLen:]),
+	}
+	if err := d.validate(); err != nil {
+		return admissionDecision{}, err
+	}
+	return d, nil
+}
+
+// readHandshake reads the server's opening: either a bare session header
+// (implied ACCEPT) or a decision record, dispatched on the first four magic
+// bytes. For ACCEPT — explicit or implied — the returned header is valid;
+// for BUSY and REDIRECT the decision alone is returned and the header is
+// zero.
+func readHandshake(r io.Reader) (sessionHeader, *admissionDecision, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return sessionHeader{}, nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if string(magic[:]) != decisionMagic {
+		h, err := readSessionHeaderTail(r, magic)
+		return h, nil, err
+	}
+	d, err := readDecisionTail(r, magic)
+	if err != nil {
+		return sessionHeader{}, nil, err
+	}
+	if d.code != admissionAccept {
+		return sessionHeader{}, &d, nil
+	}
+	// An explicit ACCEPT promises a full session header next.
+	h, err := readSessionHeader(r)
+	return h, &d, err
+}

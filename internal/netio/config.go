@@ -106,6 +106,13 @@ type ServerConfig struct {
 	PumpShards int
 	// Fanout selects the pump-to-queue hand-off rung; see FanoutMode.
 	Fanout FanoutMode
+	// RetryAfter is the hint carried in BUSY admission decisions (session
+	// cap, brownout reject, address-less drain): how long the client should
+	// wait before redialing (0 → 250ms).
+	RetryAfter time.Duration
+	// Brownout enables the overload controller when Interval > 0; see
+	// BrownoutConfig. Zero disables brownout entirely.
+	Brownout BrownoutConfig
 	// Metrics, when non-nil, registers the server's counters and session
 	// gauges under the "netio" prefix. Each registry admits one server.
 	Metrics *obs.Registry
@@ -167,6 +174,12 @@ func (c ServerConfig) normalized(blockCount int) ServerConfig {
 	}
 	if c.PumpShards == 0 {
 		c.PumpShards = 1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.Brownout.Interval > 0 {
+		c.Brownout = c.Brownout.withDefaults()
 	}
 	return c
 }
@@ -251,6 +264,22 @@ func WithFanout(m FanoutMode) ServerOption {
 	return func(c *ServerConfig) { c.Fanout = m }
 }
 
+// WithRetryAfter sets the hint carried in BUSY admission decisions; see
+// ServerConfig.RetryAfter. The resilient Fetcher floors its next backoff
+// sleep at this hint.
+func WithRetryAfter(d time.Duration) ServerOption {
+	return func(c *ServerConfig) { c.RetryAfter = d }
+}
+
+// WithBrownout enables the overload controller: every cfg.Interval the
+// server samples its pressure signal (pump stall fraction, aggregate queue
+// occupancy, shed fraction) and walks the degradation ladder — pace the
+// pumps, thin the systematic schedule, reject new sessions with BUSY — with
+// hysteresis on the way down. See BrownoutConfig and BrownoutRung.
+func WithBrownout(cfg BrownoutConfig) ServerOption {
+	return func(c *ServerConfig) { c.Brownout = cfg }
+}
+
 // WithMetricsRegistry registers the server's counters and session gauges
 // into reg under the "netio" prefix, so the server scrapes alongside every
 // other obs surface. Each registry admits one server: NewServer fails on a
@@ -272,6 +301,17 @@ type FetcherConfig struct {
 	// MaxAttempts caps total connection attempts (dials), counting the
 	// first. Zero means unlimited: the fetch is bounded only by its context.
 	MaxAttempts int
+	// FetchTimeout bounds the whole fetch in wall-clock time, independent
+	// of the per-attempt budget: when it expires the fetch degrades to a
+	// partial FetchResult and ErrFetchTimeout. Zero means no overall
+	// timeout.
+	FetchTimeout time.Duration
+	// Redirector, when non-nil, is re-pointed at the address carried in
+	// every REDIRECT admission decision the fetch receives, so a drain
+	// walks the fetcher to the named survivor on its next dial. The
+	// Redirector is typically also the fetcher's DialFunc, but any
+	// control-plane target works.
+	Redirector *Redirector
 	// BackoffBase and BackoffMax shape the reconnect schedule: the delay
 	// before retry r doubles from BackoffBase (0 → 50ms), is capped at
 	// BackoffMax (0 → 2s), and is then jittered. The schedule resets after
@@ -323,6 +363,9 @@ func (c *FetcherConfig) Validate() error {
 	if c.MaxAttempts < 0 {
 		return fmt.Errorf("netio: negative attempt budget %d", c.MaxAttempts)
 	}
+	if c.FetchTimeout < 0 {
+		return fmt.Errorf("netio: negative fetch timeout %v", c.FetchTimeout)
+	}
 	if c.BackoffBase < 0 || c.BackoffMax < 0 {
 		return fmt.Errorf("netio: negative backoff (base %v, max %v)", c.BackoffBase, c.BackoffMax)
 	}
@@ -358,6 +401,22 @@ type FetcherOption func(*FetcherConfig)
 // counting the first. Zero, the default, means unlimited.
 func WithMaxAttempts(n int) FetcherOption {
 	return func(c *FetcherConfig) { c.MaxAttempts = n }
+}
+
+// WithFetchTimeout bounds the whole fetch in wall-clock time; see
+// FetcherConfig.FetchTimeout. Distinct from WithMaxAttempts: the attempt
+// budget bounds dials, this bounds elapsed time, and either limit degrades
+// the fetch to a partial result instead of discarding rank.
+func WithFetchTimeout(d time.Duration) FetcherOption {
+	return func(c *FetcherConfig) { c.FetchTimeout = d }
+}
+
+// WithRedirector makes the fetch honor REDIRECT admission decisions by
+// re-pointing r at the address a draining server names; see
+// FetcherConfig.Redirector. Pass the same Redirector whose Dial the fetcher
+// uses to have the very next reconnect land on the survivor.
+func WithRedirector(r *Redirector) FetcherOption {
+	return func(c *FetcherConfig) { c.Redirector = r }
 }
 
 // WithBackoff sets the reconnect backoff schedule; see

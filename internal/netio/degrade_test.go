@@ -1,0 +1,549 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"extremenc/internal/faultnet"
+	"extremenc/internal/rlnc"
+)
+
+// TestDecisionRoundTrip: the admission decision codec round-trips every legal
+// decision form and rejects every illegal one.
+func TestDecisionRoundTrip(t *testing.T) {
+	// BUSY with a retry hint.
+	var buf bytes.Buffer
+	if err := writeDecision(&buf, admissionDecision{code: admissionBusy, retryAfter: 750 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	_, dec, err := readHandshake(&buf)
+	if err != nil || dec == nil {
+		t.Fatalf("busy readHandshake: dec=%v err=%v", dec, err)
+	}
+	if dec.code != admissionBusy || dec.retryAfter != 750*time.Millisecond {
+		t.Fatalf("busy round trip: %+v", dec)
+	}
+	if !errors.Is(dec.Err(), ErrAdmissionBusy) {
+		t.Fatalf("busy Err: %v", dec.Err())
+	}
+
+	// REDIRECT with a survivor address.
+	buf.Reset()
+	if err := writeDecision(&buf, admissionDecision{code: admissionRedirect, addr: "10.1.2.3:9999"}); err != nil {
+		t.Fatal(err)
+	}
+	_, dec, err = readHandshake(&buf)
+	if err != nil || dec == nil {
+		t.Fatalf("redirect readHandshake: dec=%v err=%v", dec, err)
+	}
+	if dec.code != admissionRedirect || dec.addr != "10.1.2.3:9999" {
+		t.Fatalf("redirect round trip: %+v", dec)
+	}
+	if !errors.Is(dec.Err(), ErrAdmissionRedirect) {
+		t.Fatalf("redirect Err: %v", dec.Err())
+	}
+
+	// Explicit ACCEPT followed by a session header parses as a handshake.
+	hdr := sessionHeader{params: rlnc.Params{BlockCount: 4, BlockSize: 64}, segments: 2, length: 512}
+	buf.Reset()
+	if err := writeDecision(&buf, admissionDecision{code: admissionAccept}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSessionHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	h, dec, err := readHandshake(&buf)
+	if err != nil {
+		t.Fatalf("explicit accept: %v", err)
+	}
+	if dec == nil || dec.code != admissionAccept || h != hdr {
+		t.Fatalf("explicit accept: dec=%+v h=%+v", dec, h)
+	}
+
+	// A bare session header is an implied ACCEPT: nil decision.
+	buf.Reset()
+	if err := writeSessionHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	h, dec, err = readHandshake(&buf)
+	if err != nil || dec != nil || h != hdr {
+		t.Fatalf("implied accept: h=%+v dec=%v err=%v", h, dec, err)
+	}
+
+	// Decisions no server writes are rejected at marshal time.
+	for _, bad := range []admissionDecision{
+		{code: admissionAccept, retryAfter: time.Second},
+		{code: admissionBusy, addr: "x"},
+		{code: admissionRedirect},
+		{code: admissionRedirect, addr: "x", retryAfter: time.Second},
+		{code: 9},
+	} {
+		if _, err := appendDecision(nil, bad); !errors.Is(err, ErrBadHandshake) {
+			t.Fatalf("appendDecision(%+v) = %v, want ErrBadHandshake", bad, err)
+		}
+	}
+}
+
+// rewriteDecisionCRC recomputes the trailing CRC of a marshaled decision
+// record so tests can forge otherwise-valid records with illegal fields.
+func rewriteDecisionCRC(rec []byte) {
+	body := rec[:len(rec)-decisionCRCLen]
+	binary.BigEndian.PutUint32(rec[len(rec)-decisionCRCLen:], crc32.ChecksumIEEE(body))
+}
+
+// TestDecisionRejectsForged: an unknown decision code and a bad CRC are both
+// ErrBadHandshake, even when the rest of the record is plausible.
+func TestDecisionRejectsForged(t *testing.T) {
+	rec, err := appendDecision(nil, admissionDecision{code: admissionBusy, retryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown code with a correct CRC: structurally sound, semantically not.
+	forged := bytes.Clone(rec)
+	forged[4] = 3
+	rewriteDecisionCRC(forged)
+	if _, _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("unknown code: %v, want ErrBadHandshake", err)
+	}
+
+	// Flipped CRC bit.
+	forged = bytes.Clone(rec)
+	forged[len(forged)-1] ^= 0x01
+	if _, _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("bad CRC: %v, want ErrBadHandshake", err)
+	}
+
+	// Truncated record.
+	if _, _, err := readHandshake(bytes.NewReader(rec[:6])); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("truncated: %v, want ErrBadHandshake", err)
+	}
+}
+
+// TestServeBusyHonoredByFetcher: a session-cap reject reaches the resilient
+// fetcher as a structured BUSY with a retry hint, and the fetcher retries
+// through it to completion once the cap frees up.
+func TestServeBusyHonoredByFetcher(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 128}
+	media := testMedia(t, p.SegmentSize(), 21)
+	srv, err := NewServer(media, p,
+		WithMaxSessions(1),
+		WithWriteDeadline(time.Second),
+		WithRetryAfter(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := startPipeServer(t, srv)
+
+	// Pin the only session slot with a consuming raw client so the cap stays
+	// hit until the test releases it.
+	pinned, err := NewRawClient(l.Dial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinDone := make(chan struct{})
+	go func() {
+		defer close(pinDone)
+		for {
+			if _, err := pinned.Next(); err != nil {
+				return
+			}
+		}
+	}()
+
+	f := NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		return l.Dial(), nil
+	}, WithBackoff(time.Millisecond, 20*time.Millisecond), WithBackoffJitter(0), WithBackoffSeed(1))
+
+	fetchDone := make(chan error, 1)
+	var res *FetchResult
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var err error
+		res, err = f.Fetch(ctx)
+		fetchDone <- err
+	}()
+
+	// The fetcher must observe at least one BUSY before the slot frees.
+	for deadline := time.Now().Add(10 * time.Second); f.Stats().AdmissionBusy == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("fetcher never saw a BUSY decision")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pinned.Close()
+	<-pinDone
+
+	if err := <-fetchDone; err != nil {
+		t.Fatalf("fetch through BUSY: %v", err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload differs after BUSY retries")
+	}
+	if res.Stats.AdmissionBusy == 0 {
+		t.Fatal("stats lost the BUSY count")
+	}
+	snap := srv.Snapshot()
+	if snap.AdmissionBusy == 0 || snap.SessionsRejected == 0 {
+		t.Fatalf("server side: admission_busy=%d sessions_rejected=%d, want both > 0",
+			snap.AdmissionBusy, snap.SessionsRejected)
+	}
+}
+
+// TestDrainRedirectFollowed is the drain gate at netio scope: a fetcher
+// mid-download on a draining server is walked — by a REDIRECT decision, not
+// out-of-band control — to the named survivor, keeps all accumulated rank,
+// and finishes a byte-identical transfer; both servers' ledgers balance.
+func TestDrainRedirectFollowed(t *testing.T) {
+	p := rlnc.Params{BlockCount: 16, BlockSize: 2048}
+	media := testMedia(t, 4*p.SegmentSize(), 22)
+	newTCPServer := func(seed int64) (*Server, net.Listener, chan error) {
+		t.Helper()
+		srv, err := NewServer(media, p, WithWriteDeadline(time.Second), WithServerSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback listen unavailable: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(context.Background(), l) }()
+		return srv, l, done
+	}
+	srvA, lA, doneA := newTCPServer(100)
+	srvB, lB, doneB := newTCPServer(200)
+	defer func() {
+		srvB.Shutdown()
+		lB.Close()
+		<-doneB
+	}()
+
+	// A pinned consuming session holds the drain window open: Drain waits for
+	// it, so REDIRECT stays on offer until the fetcher has walked off.
+	pinConn, err := net.Dial("tcp", lA.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := NewRawClient(pinConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinDone := make(chan struct{})
+	go func() {
+		defer close(pinDone)
+		for {
+			if _, err := pinned.Next(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// The fetcher dials through a Redirector wrapped in chaos resets, so its
+	// connection to the draining server keeps getting cut mid-stream and each
+	// reconnect passes through admission again.
+	rd := NewRedirector(lA.Addr().String())
+	dial, _ := faultnet.Dialer(faultnet.Config{Seed: 23, ResetEvery: 24 << 10}, rd.Dial)
+	f := NewFetcher(dial,
+		WithRedirector(rd),
+		WithBackoff(time.Millisecond, 50*time.Millisecond),
+		WithBackoffSeed(2))
+
+	fetchDone := make(chan error, 1)
+	var res *FetchResult
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		var err error
+		res, err = f.Fetch(ctx)
+		fetchDone <- err
+	}()
+
+	// Let the fetcher accumulate rank on the doomed server first, then drain.
+	for deadline := time.Now().Add(10 * time.Second); f.Stats().Records == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("fetch never started on the draining server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainDone <- srvA.Drain(ctx, lB.Addr().String())
+	}()
+
+	if err := <-fetchDone; err != nil {
+		t.Fatalf("fetch across drain: %v", err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload differs after redirect")
+	}
+	stats := res.Stats
+	if stats.AdmissionRedirected == 0 {
+		t.Fatal("fetcher never saw the REDIRECT decision")
+	}
+	if rd.Redirects() == 0 || rd.Target() != lB.Addr().String() {
+		t.Fatalf("redirector not walked to the survivor: redirects=%d target=%q",
+			rd.Redirects(), rd.Target())
+	}
+	if stats.ResumedRank == 0 {
+		t.Fatal("no rank carried across the redirect reconnects")
+	}
+
+	// Release the pinned session; the drain must now complete cleanly.
+	pinned.Close()
+	<-pinDone
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	lA.Close()
+	<-doneA
+
+	snapA := srvA.Snapshot()
+	if snapA.AdmissionRedirected == 0 {
+		t.Fatal("drained server wrote no REDIRECT decisions")
+	}
+	if !snapA.Draining {
+		t.Fatal("drained server snapshot does not report draining")
+	}
+	if !snapA.Consistent() {
+		t.Fatalf("drained ledger: offered %d != sent %d + shed %d",
+			snapA.BlocksOffered, snapA.BlocksSent, snapA.BlocksShed)
+	}
+	srvB.Shutdown()
+	if snapB := srvB.Snapshot(); !snapB.Consistent() {
+		t.Fatalf("survivor ledger: offered %d != sent %d + shed %d",
+			snapB.BlocksOffered, snapB.BlocksSent, snapB.BlocksShed)
+	}
+}
+
+// TestShutdownDrainRace: Shutdown and Drain are idempotent and safe to race
+// with each other and with Serve; every call returns, and follow-up calls are
+// no-ops. Run under -race this is the regression net for the teardown
+// interlocks.
+func TestShutdownDrainRace(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 256}
+	media := testMedia(t, p.SegmentSize(), 24)
+	srv, err := NewServer(media, p, WithWriteDeadline(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newPipeListener()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), l) }()
+
+	// One live session so teardown has real work to race over.
+	fetchDone := make(chan error, 1)
+	go func() {
+		_, _, err := Fetch(context.Background(), l.Dial())
+		fetchDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			srv.Shutdown()
+		}()
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Drain(ctx, "") //nolint:errcheck — racing Shutdown may pre-empt it
+		}()
+	}
+	wg.Wait()
+
+	l.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after racing teardown: %v", err)
+	}
+	<-fetchDone
+
+	// Every follow-up is a fast no-op.
+	if err := srv.Drain(context.Background(), "nowhere:1"); err != nil {
+		t.Fatalf("Drain after Shutdown: %v", err)
+	}
+	srv.Shutdown()
+	checkAccounting(t, srv.Snapshot())
+}
+
+// TestBrownoutControllerHysteresis pins the ladder state machine: climb one
+// rung per hot interval, require Hold consecutive calm intervals per step
+// down, and reset the calm streak in the dead band.
+func TestBrownoutControllerHysteresis(t *testing.T) {
+	ctl := &brownoutController{cfg: BrownoutConfig{Interval: time.Second}.withDefaults()}
+	steps := []struct {
+		pressure float64
+		want     BrownoutRung
+	}{
+		{1.0, BrownoutPaced},  // hot: climb
+		{0.80, BrownoutLean},  // ≥ StepUp: climb
+		{0.50, BrownoutLean},  // dead band: hold
+		{0.10, BrownoutLean},  // calm 1 of 3
+		{0.10, BrownoutLean},  // calm 2 of 3
+		{0.50, BrownoutLean},  // dead band resets the calm streak
+		{0.10, BrownoutLean},  // calm 1 of 3 again
+		{0.10, BrownoutLean},  // calm 2 of 3
+		{0.10, BrownoutPaced}, // calm 3 of 3: step down
+		{1.0, BrownoutLean},   // hot again: climb, calm reset
+		{1.0, BrownoutReject}, // climb
+		{1.0, BrownoutReject}, // saturates at the top rung
+		{0.10, BrownoutReject},
+		{0.10, BrownoutReject},
+		{0.10, BrownoutLean}, // three calm: down
+		{0.10, BrownoutLean},
+		{0.10, BrownoutLean},
+		{0.10, BrownoutPaced},
+		{0.10, BrownoutPaced},
+		{0.10, BrownoutPaced},
+		{0.10, BrownoutOff},
+		{0.10, BrownoutOff}, // floors at off
+	}
+	for i, s := range steps {
+		if got := ctl.observe(s.pressure); got != s.want {
+			t.Fatalf("step %d (pressure %.2f): rung %v, want %v", i, s.pressure, got, s.want)
+		}
+	}
+}
+
+// TestBrownoutLadderEngages drives a real server past saturation: a client
+// that never drains its queue pins occupancy and stall at 1.0, the ladder
+// must climb to BrownoutReject (new handshakes get BUSY), and once the load
+// disappears it must walk all the way back down to BrownoutOff.
+func TestBrownoutLadderEngages(t *testing.T) {
+	p := rlnc.Params{BlockCount: 8, BlockSize: 256}
+	media := testMedia(t, p.SegmentSize(), 25)
+	srv, err := NewServer(media, p,
+		WithQueueDepth(2),
+		WithWriteDeadline(0), // never drop the staller: pressure stays pinned
+		WithBrownout(BrownoutConfig{
+			Interval: 10 * time.Millisecond,
+			StepUp:   0.5,
+			StepDown: 0.05,
+			Hold:     2,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := startPipeServer(t, srv)
+
+	// The overload: a session whose queue never drains.
+	staller := l.Dial()
+	hdr := make([]byte, protoHeaderLen)
+	if _, err := io.ReadFull(staller, hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	waitRung := func(want BrownoutRung) {
+		t.Helper()
+		for deadline := time.Now().Add(15 * time.Second); srv.Rung() != want; {
+			if time.Now().After(deadline) {
+				t.Fatalf("rung stuck at %v, want %v", srv.Rung(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitRung(BrownoutReject)
+
+	// At the top rung new handshakes are shed with BUSY.
+	if _, _, err := Fetch(context.Background(), l.Dial()); !errors.Is(err, ErrAdmissionBusy) {
+		t.Fatalf("fetch at BrownoutReject: %v, want ErrAdmissionBusy", err)
+	}
+
+	// Load gone: the ladder must recover rung by rung to off.
+	staller.Close()
+	waitRung(BrownoutOff)
+
+	snap := srv.Snapshot()
+	if snap.BrownoutTransitions < 6 {
+		t.Fatalf("brownout_transitions = %d, want ≥ 6 (3 up + 3 down)", snap.BrownoutTransitions)
+	}
+	if snap.AdmissionBusy == 0 || snap.SessionsRejected == 0 {
+		t.Fatalf("reject rung wrote no BUSY: admission_busy=%d sessions_rejected=%d",
+			snap.AdmissionBusy, snap.SessionsRejected)
+	}
+}
+
+// TestFetchTimeoutPartialResult: the overall wall-clock budget expires on a
+// deliberately slow server and the fetch degrades to a partial result — rank
+// preserved, ErrFetchTimeout, no payload.
+func TestFetchTimeoutPartialResult(t *testing.T) {
+	p := rlnc.Params{BlockCount: 64, BlockSize: 1024}
+	media := testMedia(t, p.SegmentSize(), 26)
+	// One record per 20ms: full rank needs ≥ 1.28s, far past the 250ms budget,
+	// but the first records land well inside it.
+	srv, err := NewServer(media, p,
+		WithEncodeBatch(1),
+		WithServePace(20*time.Millisecond),
+		WithWriteDeadline(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := startPipeServer(t, srv)
+
+	f := NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		return l.Dial(), nil
+	}, WithFetchTimeout(250*time.Millisecond))
+	res, err := f.Fetch(context.Background())
+	if !errors.Is(err, ErrFetchTimeout) {
+		t.Fatalf("err = %v, want ErrFetchTimeout", err)
+	}
+	if res == nil || res.Stats == nil {
+		t.Fatal("timed-out fetch returned no result")
+	}
+	if res.Payload != nil {
+		t.Fatal("timed-out fetch claims a complete payload")
+	}
+	total := 0
+	for _, r := range res.Ranks {
+		total += r
+	}
+	if total == 0 {
+		t.Fatal("no partial rank survived the timeout")
+	}
+	// The caller's own cancellation must NOT be rebranded as ErrFetchTimeout.
+	f2 := NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		return l.Dial(), nil
+	}, WithFetchTimeout(time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f2.Fetch(ctx); errors.Is(err, ErrFetchTimeout) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetch: %v, want context.Canceled without ErrFetchTimeout", err)
+	}
+}
+
+// TestBackoffCtxInterruptible: a fetcher parked in a long backoff sleep wakes
+// immediately when its context ends instead of serving out the delay.
+func TestBackoffCtxInterruptible(t *testing.T) {
+	dialErr := errors.New("nope")
+	f := NewFetcher(func(ctx context.Context) (net.Conn, error) {
+		return nil, dialErr
+	}, WithBackoff(time.Hour, time.Hour), WithBackoffJitter(0))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := f.Fetch(ctx)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("backoff ignored cancellation for %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -37,6 +37,11 @@ var (
 	ErrHeaderMismatch = errors.New("netio: session header changed across reconnects")
 	// ErrBadResumeState reports an unusable WithResumeState blob.
 	ErrBadResumeState = errors.New("netio: bad fetch resume state")
+	// ErrFetchTimeout reports a fetch that ran out of its WithFetchTimeout
+	// wall-clock budget before every segment reached full rank. Like
+	// ErrFetchBudget, the FetchResult returned alongside it still carries
+	// all accumulated progress.
+	ErrFetchTimeout = errors.New("netio: fetch timeout")
 )
 
 // DialFunc opens one connection to the serving peer. The Fetcher calls it
@@ -81,6 +86,13 @@ type Fetcher struct {
 	ready       int
 	stats       fetcherMetrics
 
+	// Admission-decision carry-over between attempts: busyHint floors the
+	// next backoff sleep at a BUSY decision's retry-after, promptRetry skips
+	// the backoff entirely after a REDIRECT (the new target deserves an
+	// immediate dial).
+	busyHint    time.Duration
+	promptRetry bool
+
 	// reconnSpan times dial-through-handshake on reconnect attempts. Started
 	// in Fetch before redialing, ended in session once the handshake lands; a
 	// failed attempt's span is simply dropped when the next one starts.
@@ -102,6 +114,9 @@ type fetcherMetrics struct {
 	resumedRank    obs.Counter
 	bytes          obs.Counter
 	bytesDiscarded obs.Counter
+
+	admissionBusy       obs.Counter
+	admissionRedirected obs.Counter
 }
 
 // view snapshots the ledger as the public FetchStats shape.
@@ -118,6 +133,9 @@ func (m *fetcherMetrics) view() *FetchStats {
 		ResumedRank:    int(m.resumedRank.Load()),
 		Bytes:          m.bytes.Load(),
 		BytesDiscarded: m.bytesDiscarded.Load(),
+
+		AdmissionBusy:       int(m.admissionBusy.Load()),
+		AdmissionRedirected: int(m.admissionRedirected.Load()),
 	}
 }
 
@@ -138,6 +156,8 @@ func (m *fetcherMetrics) register(reg *obs.Registry, prefix string) error {
 		{"resumed_rank", "total decoder rank carried across reconnects", &m.resumedRank},
 		{"bytes", "wire bytes consumed in complete records", &m.bytes},
 		{"bytes_discarded", "bytes thrown away: rejects, bad prefixes, partials", &m.bytesDiscarded},
+		{"admission_busy", "handshakes answered with a BUSY admission decision", &m.admissionBusy},
+		{"admission_redirected", "handshakes answered with a REDIRECT admission decision", &m.admissionRedirected},
 	} {
 		if err := reg.RegisterCounter(prefix+"."+e.name, e.help, e.c); err != nil {
 			return err
@@ -176,11 +196,29 @@ func newFetcher(dial DialFunc, cfg FetcherConfig) *Fetcher {
 }
 
 // Fetch runs the download until every segment reaches full rank, the
-// attempt budget runs out, or ctx ends. The FetchResult is never nil and
-// always carries the stats plus whatever segments and ranks were decoded,
-// even alongside an error — a budget-exhausted fetch degrades to a partial
-// result instead of discarding progress.
+// attempt budget runs out, the WithFetchTimeout wall-clock budget expires,
+// or ctx ends. The FetchResult is never nil and always carries the stats
+// plus whatever segments and ranks were decoded, even alongside an error — a
+// budget-exhausted or timed-out fetch degrades to a partial result instead
+// of discarding progress.
 func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
+	outer := ctx
+	if f.cfg.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.FetchTimeout)
+		defer cancel()
+	}
+	res, err := f.fetch(ctx)
+	// A deadline that fired on the fetch's own timer — not on the caller's
+	// context — is the wall-clock budget running out, not a cancellation.
+	if err != nil && f.cfg.FetchTimeout > 0 && outer.Err() == nil &&
+		errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %v elapsed: %v", ErrFetchTimeout, f.cfg.FetchTimeout, err)
+	}
+	return res, err
+}
+
+func (f *Fetcher) fetch(ctx context.Context) (*FetchResult, error) {
 	if f.cfg.ResumeState != nil {
 		if err := f.restoreState(f.cfg.ResumeState); err != nil {
 			return f.result(), err
@@ -230,8 +268,11 @@ func (f *Fetcher) Fetch(ctx context.Context) (*FetchResult, error) {
 		if fatal {
 			return f.result(), err
 		}
-		if f.stats.records.Load() > before {
+		if f.stats.records.Load() > before || f.promptRetry {
+			// A productive session, or a REDIRECT naming a new target:
+			// either way the next dial should be prompt.
 			retry = 0
+			f.promptRetry = false
 		}
 		lastErr = err
 	}
@@ -283,6 +324,13 @@ func (f *Fetcher) totalRank() int {
 	return total
 }
 
+// Stats snapshots the fetch ledger. Unlike Ranks and State it is safe to
+// call concurrently with Fetch — the ledger is atomics all the way down — so
+// a control plane can watch admission counters while the fetch runs.
+func (f *Fetcher) Stats() *FetchStats {
+	return f.stats.view()
+}
+
 // Ranks returns the current per-segment decoder ranks. Not safe to call
 // concurrently with Fetch.
 func (f *Fetcher) Ranks() map[uint32]int {
@@ -327,12 +375,28 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 	})
 	defer unhook()
 
-	h, err := readSessionHeader(conn)
+	h, dec, err := readHandshake(conn)
 	if err != nil {
 		if ctx.Err() != nil {
 			return false, true, cancelErr(ctx)
 		}
 		return false, false, err
+	}
+	if dec != nil && dec.code != admissionAccept {
+		// A structured rejection, not a stream failure: non-fatal, so the
+		// retry loop keeps going, shaped by the server's own guidance.
+		switch dec.code {
+		case admissionBusy:
+			f.stats.admissionBusy.Inc()
+			f.busyHint = dec.retryAfter
+		case admissionRedirect:
+			f.stats.admissionRedirected.Inc()
+			if f.cfg.Redirector != nil {
+				f.cfg.Redirector.SetTarget(dec.addr)
+				f.promptRetry = true
+			}
+		}
+		return false, false, dec.Err()
 	}
 	switch {
 	case f.hdr == nil:
@@ -481,9 +545,16 @@ func (f *Fetcher) absorb(rec []byte) error {
 }
 
 // sleepBackoff waits out the backoff before retry r (1-based), returning
-// early with the context error if ctx ends mid-backoff.
+// early with the context error if ctx ends mid-backoff. A pending BUSY
+// retry-after hint floors the delay once and is then consumed.
 func (f *Fetcher) sleepBackoff(ctx context.Context, retry int) error {
 	d := backoffDelay(retry, f.cfg.BackoffBase, f.cfg.BackoffMax, f.cfg.Jitter, f.rng)
+	if hint := f.busyHint; hint > 0 {
+		f.busyHint = 0
+		if hint > d {
+			d = hint
+		}
+	}
 	if d <= 0 {
 		return ctx.Err()
 	}

@@ -98,3 +98,76 @@ func FuzzFetchRecords(f *testing.F) {
 		}
 	})
 }
+
+// fuzzDecision marshals a decision record for seeding, optionally mutated.
+func fuzzDecision(f *testing.F, d admissionDecision, mutate func([]byte) []byte) []byte {
+	f.Helper()
+	rec, err := appendDecision(nil, d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if mutate != nil {
+		rec = mutate(rec)
+	}
+	return rec
+}
+
+// FuzzDecisionRecord feeds arbitrary bytes to the handshake dispatcher.
+// Whatever arrives — forged decision records, flipped CRCs, unknown codes,
+// truncated streams, or decision-then-header sequences — readHandshake must
+// never panic, and any decision it does accept must itself be valid and
+// re-marshalable: the parser admits exactly what a real server could write.
+func FuzzDecisionRecord(f *testing.F) {
+	f.Add(fuzzDecision(f, admissionDecision{code: admissionBusy, retryAfter: 250 * time.Millisecond}, nil))
+	f.Add(fuzzDecision(f, admissionDecision{code: admissionRedirect, addr: "127.0.0.1:9999"}, nil))
+	f.Add(fuzzDecision(f, admissionDecision{code: admissionBusy}, func(rec []byte) []byte {
+		rec[len(rec)-1] ^= 0x01 // flipped CRC bit
+		return rec
+	}))
+	f.Add(fuzzDecision(f, admissionDecision{code: admissionBusy}, func(rec []byte) []byte {
+		rec[4] = 7 // unknown code, CRC refreshed
+		binary.BigEndian.PutUint32(rec[len(rec)-4:], crc32.ChecksumIEEE(rec[:len(rec)-4]))
+		return rec
+	}))
+	f.Add(fuzzDecision(f, admissionDecision{code: admissionRedirect, addr: "x"}, func(rec []byte) []byte {
+		return rec[:6] // truncated mid-record
+	}))
+	// Explicit ACCEPT followed by a full session header, and a bare header.
+	var accept bytes.Buffer
+	hdr := sessionHeader{params: rlnc.Params{BlockCount: 4, BlockSize: 16}, segments: 1, length: 64}
+	if err := writeDecision(&accept, admissionDecision{code: admissionAccept}); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeSessionHeader(&accept, hdr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), accept.Bytes()...))
+	var bare bytes.Buffer
+	if err := writeSessionHeader(&bare, hdr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), bare.Bytes()...))
+	f.Add([]byte(decisionMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, dec, err := readHandshake(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if dec != nil {
+			if verr := dec.validate(); verr != nil {
+				t.Fatalf("accepted invalid decision %+v: %v", dec, verr)
+			}
+			if _, merr := appendDecision(nil, *dec); merr != nil {
+				t.Fatalf("accepted unmarshalable decision %+v: %v", dec, merr)
+			}
+		}
+		if dec == nil || dec.code == admissionAccept {
+			// ACCEPT paths must have produced a header a client could serve.
+			if verr := h.params.Validate(); verr != nil {
+				t.Fatalf("accepted handshake with bad params: %v", verr)
+			}
+		}
+	})
+}

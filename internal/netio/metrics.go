@@ -142,8 +142,10 @@ type ShardSnapshot struct {
 
 // SnapshotVersion is the schema version of the Snapshot struct. Version 2
 // added the version field itself, the per-shard ledger (Shards), and
-// SessionSnapshot.Shard.
-const SnapshotVersion = 2
+// SessionSnapshot.Shard. Version 3 added the graceful-degradation surface:
+// admission-decision counters, the brownout rung and transition count, and
+// the draining flag.
+const SnapshotVersion = 3
 
 // Snapshot is the server-wide observability surface: aggregate counters,
 // each pump shard's slice of them, and one entry per live session. Counters
@@ -160,6 +162,15 @@ type Snapshot struct {
 	SessionsTotal    int64
 	SessionsRejected int64
 	SessionSeconds   float64 // summed wall-clock duration of finished sessions
+
+	// Graceful-degradation surface (version 3): structured rejections
+	// written to new connections, the brownout ladder position, and whether
+	// a Drain is in progress.
+	AdmissionBusy       int64
+	AdmissionRedirected int64
+	BrownoutRung        int
+	BrownoutTransitions int64
+	Draining            bool
 
 	CounterView
 

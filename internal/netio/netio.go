@@ -30,6 +30,11 @@ import (
 //	then records:   u32 length | marshaled rlnc.CodedBlock, round-robin
 //	                across segments, until the client closes.
 //
+// A server may instead open with an admission decision record (magic "XNCD",
+// see admission.go): BUSY and REDIRECT end the connection with a structured
+// reason; an explicit ACCEPT is followed by the session header above. A bare
+// session header is an implied ACCEPT.
+//
 // The wire mode is the server's declaration of the coding discipline for the
 // whole session; the client adapts its record parser to it. In ModeDense
 // every record is an XNC1 dense block. In ModeSystematic records interleave
@@ -118,12 +123,24 @@ func writeSessionHeader(w io.Writer, h sessionHeader) error {
 }
 
 func readSessionHeader(r io.Reader) (sessionHeader, error) {
-	buf := make([]byte, protoHeaderLen)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
-	if string(buf[:4]) != protoMagic {
+	return readSessionHeaderTail(r, magic)
+}
+
+// readSessionHeaderTail parses a session header whose magic has already been
+// consumed — the tail of readHandshake's dispatch between bare headers and
+// admission decision records.
+func readSessionHeaderTail(r io.Reader, magic [4]byte) (sessionHeader, error) {
+	if string(magic[:]) != protoMagic {
 		return sessionHeader{}, fmt.Errorf("%w: wrong magic", ErrBadHandshake)
+	}
+	buf := make([]byte, protoHeaderLen)
+	copy(buf, magic[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
 	if v := binary.BigEndian.Uint32(buf[4:]); v != protoVersion {
 		return sessionHeader{}, fmt.Errorf("%w: version %d", ErrBadHandshake, v)
@@ -180,6 +197,12 @@ type FetchStats struct {
 
 	Bytes          int64 // wire bytes consumed in complete records
 	BytesDiscarded int64 // bytes thrown away: rejected records, bad prefixes, partials
+
+	// AdmissionBusy and AdmissionRedirected count handshakes answered with
+	// a structured rejection instead of a session: the server was shedding
+	// load (BUSY) or draining toward a named survivor (REDIRECT).
+	AdmissionBusy       int
+	AdmissionRedirected int
 }
 
 // Fetch downloads and decodes the served object from conn, closing it once

@@ -28,14 +28,19 @@ type RawClient struct {
 }
 
 // NewRawClient performs the client side of the handshake on conn and returns
-// a reader positioned at the first record. On handshake failure the
-// connection is closed.
+// a reader positioned at the first record. A BUSY or REDIRECT admission
+// decision is returned as its sentinel error (ErrAdmissionBusy,
+// ErrAdmissionRedirect); on any handshake failure the connection is closed.
 func NewRawClient(conn net.Conn) (*RawClient, error) {
 	br := bufio.NewReaderSize(conn, 32<<10)
-	hdr, err := readSessionHeader(br)
+	hdr, dec, err := readHandshake(br)
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	if dec != nil && dec.code != admissionAccept {
+		conn.Close()
+		return nil, dec.Err()
 	}
 	return &RawClient{conn: conn, br: br, hdr: hdr}, nil
 }

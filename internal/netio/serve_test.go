@@ -323,8 +323,8 @@ func TestServeSessionCap(t *testing.T) {
 	}
 
 	second := l.Dial()
-	if _, _, err := Fetch(context.Background(), second); !errors.Is(err, ErrBadHandshake) {
-		t.Fatalf("over-cap fetch: %v, want ErrBadHandshake", err)
+	if _, _, err := Fetch(context.Background(), second); !errors.Is(err, ErrAdmissionBusy) {
+		t.Fatalf("over-cap fetch: %v, want ErrAdmissionBusy", err)
 	}
 	first.Close()
 

@@ -60,15 +60,29 @@ type Server struct {
 	sessionsRejected obs.Counter
 	sessionSecs      atomic.Int64 // summed finished-session durations, in ns
 
-	mu     sync.Mutex
-	joined int // sessions currently past handshake, across all shards
-	closed bool
-	nextID int64
+	// Admission and degradation surface: decisions written to rejected
+	// connections, the brownout ladder position, and the sources that can
+	// thin their schedule at BrownoutLean.
+	admissionBusy       obs.Counter
+	admissionRedirected obs.Counter
+	brownoutRung        atomic.Int32 // BrownoutRung, written by the controller
+	brownoutTransitions obs.Counter
+	degradable          []DegradableSource
+
+	mu        sync.Mutex
+	joined    int // sessions currently past handshake, across all shards
+	closed    bool
+	draining  bool
+	drainAddr string        // REDIRECT target while draining ("" → BUSY)
+	drainDone chan struct{} // closed when the active Drain finishes
+	listeners map[net.Listener]struct{}
+	nextID    int64
 
 	stop     chan struct{} // closed by Shutdown
 	pumpOnce sync.Once
 	pumpWG   sync.WaitGroup
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // session goroutines
+	auxWG    sync.WaitGroup // decision-writer goroutines
 }
 
 // pumpShard is one encoder pump and the sessions it feeds. Every shard runs
@@ -216,12 +230,14 @@ func shardSeed(seed int64, i int) int64 {
 
 func newServer(info SessionInfo, cfg ServerConfig, pool *framePool, srcs []RecordSource, pooled []bool) (*Server, error) {
 	s := &Server{
-		cfg:    cfg,
-		info:   info,
-		frames: pool,
-		stop:   make(chan struct{}),
+		cfg:       cfg,
+		info:      info,
+		frames:    pool,
+		stop:      make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
 	}
 	s.shards = make([]*pumpShard, len(srcs))
+	seen := make(map[DegradableSource]struct{})
 	for i, src := range srcs {
 		s.shards[i] = &pumpShard{
 			id:       i,
@@ -231,6 +247,13 @@ func newServer(info SessionInfo, cfg ServerConfig, pool *framePool, srcs []Recor
 			sessions: make(map[*session]struct{}),
 			wake:     make(chan struct{}, 1),
 			consumed: make(chan struct{}, 1),
+		}
+		// Dedupe: a lockedSource shared across shards appears once.
+		if deg, ok := src.(DegradableSource); ok {
+			if _, dup := seen[deg]; !dup {
+				seen[deg] = struct{}{}
+				s.degradable = append(s.degradable, deg)
+			}
 		}
 	}
 	if cfg.Metrics != nil {
@@ -253,7 +276,25 @@ func (s *Server) registerMetrics(reg *obs.Registry) error {
 		return err
 	}
 	if err := reg.RegisterCounter("netio.sessions_rejected",
-		"connections refused by the session cap", &s.sessionsRejected); err != nil {
+		"connections refused by the session cap or brownout", &s.sessionsRejected); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("netio.admission_busy",
+		"BUSY admission decisions written to new connections", &s.admissionBusy); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("netio.admission_redirected",
+		"REDIRECT admission decisions written to new connections", &s.admissionRedirected); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("netio.brownout_transitions",
+		"brownout ladder rung changes, both directions", &s.brownoutTransitions); err != nil {
+		return err
+	}
+	if err := reg.RegisterFunc("netio.brownout_rung",
+		"current brownout ladder rung (0 off, 1 paced, 2 lean, 3 reject)", func() float64 {
+			return float64(s.brownoutRung.Load())
+		}); err != nil {
 		return err
 	}
 	if err := reg.RegisterFunc("netio.sessions_live",
@@ -317,7 +358,16 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		s.mu.Unlock()
 		return ErrServerClosed
 	}
+	// Register the listener so Shutdown (and therefore Drain) can unblock
+	// the accept loop; the historical contract that the caller also closes
+	// the listener still holds — a double close is harmless.
+	s.listeners[l] = struct{}{}
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	s.startPumps()
 
 	unhook := context.AfterFunc(ctx, func() { l.Close() })
@@ -346,23 +396,36 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			if closed {
 				return nil
 			}
-			// Session cap: reject and keep accepting.
+			// Unreachable today (every live-server reject writes a
+			// decision instead), kept as the accept-loop backstop.
 		}
 	}
 }
 
-// startSession registers a session for conn and spawns its writer. It
-// reports false when the server is closed or at its session cap.
+// startSession decides admission for conn: an admitted connection gets a
+// session goroutine; a rejected one (session cap, brownout shed, drain) gets
+// a short-lived decision writer that answers BUSY or REDIRECT and closes it.
+// It reports false only when the server is closed — the caller then owns the
+// connection.
 func (s *Server) startSession(conn net.Conn) bool {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return false
 	}
-	if s.cfg.MaxSessions > 0 && s.joined >= s.cfg.MaxSessions {
-		s.mu.Unlock()
+	if s.draining {
+		d := admissionDecision{code: admissionRedirect, addr: s.drainAddr}
+		if d.addr == "" {
+			d = admissionDecision{code: admissionBusy, retryAfter: s.cfg.RetryAfter}
+		}
+		s.rejectSession(conn, d)
+		return true
+	}
+	atCap := s.cfg.MaxSessions > 0 && s.joined >= s.cfg.MaxSessions
+	if atCap || BrownoutRung(s.brownoutRung.Load()) >= BrownoutReject {
 		s.sessionsRejected.Add(1)
-		return false
+		s.rejectSession(conn, admissionDecision{code: admissionBusy, retryAfter: s.cfg.RetryAfter})
+		return true
 	}
 	s.nextID++
 	ss := &session{
@@ -378,6 +441,29 @@ func (s *Server) startSession(conn net.Conn) bool {
 	s.sessionsTotal.Add(1)
 	go s.runSession(ss)
 	return true
+}
+
+// rejectSession hands conn to a decision-writer goroutine and releases s.mu,
+// which the caller must hold: the auxWG.Add has to be ordered before
+// Shutdown's closed flip (also under s.mu) so Shutdown's auxWG.Wait covers
+// every writer.
+func (s *Server) rejectSession(conn net.Conn, d admissionDecision) {
+	switch d.code {
+	case admissionBusy:
+		s.admissionBusy.Add(1)
+	case admissionRedirect:
+		s.admissionRedirected.Add(1)
+	}
+	s.auxWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.auxWG.Done()
+		defer conn.Close()
+		if s.cfg.WriteDeadline > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteDeadline))
+		}
+		writeDecision(conn, d) //nolint:errcheck — best effort; the peer may already be gone
+	}()
 }
 
 // runSession writes the handshake, joins the least-loaded shard's fan-out
@@ -584,7 +670,21 @@ func (s *Server) startPumps() {
 			s.pumpWG.Add(1)
 			go sh.run()
 		}
+		if s.cfg.Brownout.Interval > 0 {
+			s.pumpWG.Add(1)
+			go s.runBrownout()
+		}
 	})
+}
+
+// effectivePace is the pump-round floor after brownout: the configured Pace,
+// raised to the brownout PacedDelay from BrownoutPaced up.
+func (s *Server) effectivePace() time.Duration {
+	pace := s.cfg.Pace
+	if BrownoutRung(s.brownoutRung.Load()) >= BrownoutPaced && s.cfg.Brownout.PacedDelay > pace {
+		pace = s.cfg.Brownout.PacedDelay
+	}
+	return pace
 }
 
 // run is one shard's record loop: it pulls a batch from the shard's source
@@ -670,11 +770,11 @@ func (sh *pumpShard) run() {
 				return
 			}
 		}
-		if s.cfg.Pace > 0 {
+		if pace := s.effectivePace(); pace > 0 {
 			select {
 			case <-s.stop:
 				return
-			case <-time.After(s.cfg.Pace):
+			case <-time.After(pace):
 			}
 		}
 	}
@@ -772,13 +872,21 @@ func frameBody(body []byte, alloc func(int) []byte) []byte {
 // Snapshot copies the server's aggregate counters, each shard's slice of
 // them, and the state of every live session.
 func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
 	snap := Snapshot{
-		Version:          SnapshotVersion,
-		Mode:             s.Mode(),
-		SessionsTotal:    s.sessionsTotal.Load(),
-		SessionsRejected: s.sessionsRejected.Load(),
-		SessionSeconds:   time.Duration(s.sessionSecs.Load()).Seconds(),
-		CounterView:      s.counters.View(),
+		Version:             SnapshotVersion,
+		Mode:                s.Mode(),
+		SessionsTotal:       s.sessionsTotal.Load(),
+		SessionsRejected:    s.sessionsRejected.Load(),
+		SessionSeconds:      time.Duration(s.sessionSecs.Load()).Seconds(),
+		AdmissionBusy:       s.admissionBusy.Load(),
+		AdmissionRedirected: s.admissionRedirected.Load(),
+		BrownoutRung:        int(s.brownoutRung.Load()),
+		BrownoutTransitions: s.brownoutTransitions.Load(),
+		Draining:            draining,
+		CounterView:         s.counters.View(),
 	}
 	snap.Shards = make([]ShardSnapshot, len(s.shards))
 	snap.PerSession = make([]SessionSnapshot, 0, 16)
@@ -816,12 +924,18 @@ func remoteAddr(c net.Conn) string {
 	return ""
 }
 
-// Shutdown stops accepting, closes every live connection and waits for the
-// sessions and the pumps to exit. The caller closes the listener.
+// Shutdown stops accepting, closes the registered listeners and every live
+// connection, and waits for the sessions, decision writers, and pumps to
+// exit. It is idempotent and safe to race with Serve, Drain, and itself:
+// every call blocks until the teardown is complete. For a teardown that lets
+// in-flight sessions finish first, use Drain.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for ss := range sh.sessions {
@@ -838,4 +952,72 @@ func (s *Server) Shutdown() {
 	s.pumpOnce.Do(func() {})
 	s.pumpWG.Wait()
 	s.wg.Wait()
+	s.auxWG.Wait()
+}
+
+// closeSessions force-closes every live session connection without marking
+// the server closed — the drain-deadline hammer.
+func (s *Server) closeSessions() {
+	s.mu.Lock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for ss := range sh.sessions {
+			ss.conn.Close()
+		}
+		sh.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// Drain gracefully retires the server: it keeps accepting connections but
+// answers every new handshake with REDIRECT to redirectAddr (BUSY when
+// redirectAddr is empty), lets in-flight sessions run to completion — an
+// RLNC client hangs up on its own at full rank — and then shuts down. If ctx
+// ends first the remaining sessions are force-closed, the shutdown still
+// completes, and ctx.Err() is returned; the shed-at-teardown accounting
+// keeps the offered == sent + shed ledger exact either way.
+//
+// Drain is idempotent and safe to race with Shutdown, Serve, and itself: a
+// concurrent Drain waits for the first one to finish, and Drain on a
+// shut-down server is a no-op.
+func (s *Server) Drain(ctx context.Context, redirectAddr string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.draining {
+		done := s.drainDone
+		s.mu.Unlock()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.draining = true
+	s.drainAddr = redirectAddr
+	done := make(chan struct{})
+	s.drainDone = done
+	s.mu.Unlock()
+	defer close(done)
+
+	// No session wg.Add can happen once draining is set (the admission path
+	// rejects under the same mutex), so waiting here cannot race a late Add.
+	waited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(waited)
+	}()
+	var err error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.closeSessions()
+		<-waited
+	}
+	s.Shutdown()
+	return err
 }

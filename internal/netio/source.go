@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"extremenc/internal/rlnc"
 )
@@ -59,6 +60,21 @@ type RecordSource interface {
 	Records(seg, batch int) [][]byte
 }
 
+// DegradableSource is a RecordSource with a cheaper degraded schedule the
+// brownout controller can toggle. Lean semantics are the source's own; the
+// contract is only that lean output stays protocol-valid and that SetLean is
+// safe to call concurrently with Records (the server calls it from the
+// brownout goroutine while the pumps run). The media-backed systematic
+// source drops its dense tail and halves its XOR repair rate when lean;
+// dense sources have no cheaper schedule and treat SetLean as a no-op.
+type DegradableSource interface {
+	RecordSource
+
+	// SetLean switches between the full (false) and degraded (true)
+	// schedule. Redundant calls are cheap and idempotent.
+	SetLean(bool)
+}
+
 // ShardedRecordSource is a RecordSource that can split itself into
 // independent per-shard sub-sources. A server configured with more than one
 // pump shard asks for one sub-source per shard, each called only from that
@@ -85,6 +101,16 @@ func (l *lockedSource) Records(seg, batch int) [][]byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.src.Records(seg, batch)
+}
+
+// SetLean forwards the brownout lever to the wrapped source when it has one;
+// the Records lock keeps the schedule change ordered against emits.
+func (l *lockedSource) SetLean(lean bool) {
+	if deg, ok := l.src.(DegradableSource); ok {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		deg.SetLean(lean)
+	}
 }
 
 // FrameRecord marshals one coded block as a length-prefixed wire record in
@@ -118,8 +144,16 @@ type objectSource struct {
 	penc *rlnc.ParallelEncoder
 	seed int64
 
-	// Systematic path: one cycling schedule encoder per segment.
-	sysEncs []*rlnc.SystematicEncoder
+	// Systematic path: one cycling schedule encoder per segment, plus the
+	// brownout lever: lean is flipped by the controller goroutine, observed
+	// by the pump, and applied to the encoders lazily (they are not safe to
+	// retune from another goroutine). defXor/defTail remember the configured
+	// schedule so leaving lean restores it exactly.
+	sysEncs     []*rlnc.SystematicEncoder
+	lean        atomic.Bool
+	leanApplied bool // pump-goroutine local
+	defXor      int
+	defTail     int
 }
 
 func newObjectSource(obj *rlnc.Object, mode WireMode, penc *rlnc.ParallelEncoder, seed int64) *objectSource {
@@ -130,8 +164,35 @@ func newObjectSource(obj *rlnc.Object, mode WireMode, penc *rlnc.ParallelEncoder
 		for i, seg := range obj.Segments {
 			src.sysEncs[i] = rlnc.NewSystematicEncoder(seg, rng)
 		}
+		src.defXor = src.sysEncs[0].XorRepair()
+		src.defTail = src.sysEncs[0].DenseTail()
 	}
 	return src
+}
+
+// SetLean flips the systematic schedule between the configured full cycle and
+// a degraded one — half the XOR repair rate (floor 2), no dense tail — that
+// trades repair margin for encode CPU under brownout. Safe to call from the
+// controller goroutine while the pump runs; a dense-mode source has no
+// cheaper schedule and ignores the flip.
+func (o *objectSource) SetLean(lean bool) { o.lean.Store(lean) }
+
+// applyLean retunes the segment encoders when the lean flag changed since the
+// last pump round. Runs only on the pump goroutine, which is the sole caller
+// of the encoders.
+func (o *objectSource) applyLean() {
+	lean := o.lean.Load()
+	if lean == o.leanApplied {
+		return
+	}
+	o.leanApplied = lean
+	xor, tail := o.defXor, o.defTail
+	if lean {
+		xor, tail = max(o.defXor/2, 2), 0
+	}
+	for _, se := range o.sysEncs {
+		se.SetSchedule(xor, tail)
+	}
 }
 
 func (o *objectSource) Info() SessionInfo {
@@ -149,6 +210,7 @@ func (o *objectSource) Records(seg, batch int) [][]byte {
 		// repair → dense tail; binary blocks go out in the compact GF(2)
 		// encoding. Block is the non-retaining emit — the record is
 		// marshaled before the next call reuses its storage.
+		o.applyLean()
 		se := o.sysEncs[seg]
 		recs := make([][]byte, 0, batch)
 		for i := 0; i < batch; i++ {
