@@ -6,9 +6,9 @@ GO ?= go
 # gf256 kernels, decode pipelines) plus everything that moves blocks across
 # goroutines. One list, shared by `vet`'s quick pass and the `race` target,
 # and mirrored by the CI workflow.
-RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ .
+RACE_PKGS = ./internal/gf256/ ./internal/rlnc/ ./internal/netio/ ./internal/core/ ./internal/stream/ ./internal/obs/ ./internal/obs/trace/ .
 
-.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke loadtest bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
+.PHONY: all build fmt-check vet test race fuzz-regress chaos staticcheck serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke trace-smoke loadtest bench bench-host bench-smoke bench-check ci figures figures-csv examples clean
 
 all: build vet test
 
@@ -100,7 +100,7 @@ drain-chaos:
 # the brownout ladder engaged and stepped back down, and no goroutine
 # outlives teardown.
 soak-smoke:
-	$(GO) run -race ./cmd/ncsoak -smoke
+	$(GO) run -race ./cmd/ncsoak -smoke -summary soak-summary.json
 
 # Serving-capacity CI gate: one scaled-down 1k-session saturation wave under
 # the race detector. ncload exits non-zero unless the ramp completes, every
@@ -108,7 +108,20 @@ soak-smoke:
 # its bound, and offered == sent + shed holds exactly in a scraped
 # Prometheus exposition.
 load-smoke:
-	$(GO) run -race ./cmd/ncload -smoke
+	$(GO) run -race ./cmd/ncload -smoke -summary load-summary.json
+
+# Distributed-tracing end-to-end gate, under the race detector: a traced
+# chaos mesh run (origin → relays → leaves with faultnet corruption/resets
+# and a brownout stall wave), then nctrace reassembles the flight-recorder
+# dump into per-generation latency breakdowns. The run fails unless every
+# span parents cleanly (zero orphans), the encode/absorb/recode stages all
+# appear, at least one histogram exemplar links back to a recorded trace,
+# the flight ring holds brownout + admission + reconnect events, the
+# disabled-tracing path allocates nothing, and the encode-batch ratio stays
+# within tolerance of the committed BENCH_host.json. On failure the raw
+# flight dump lands in flight-trace.json for CI to upload.
+trace-smoke:
+	$(GO) run -race ./cmd/nctrace -smoke
 
 # Full serving-capacity ladder, committed as BENCH_serve.json: ramped waves
 # to 5120 concurrent sessions measuring the per-record single-pump baseline
@@ -186,7 +199,7 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.7
 
 # Everything the CI workflow runs, reproducible locally with one command.
-ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke
+ci: build fmt-check vet staticcheck test race fuzz-regress chaos bench-smoke serve-smoke metrics-smoke xor-smoke mesh-smoke load-smoke drain-chaos soak-smoke trace-smoke
 
 # Run every example program.
 examples:
@@ -205,4 +218,5 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem -count=1 ./... 2>&1 | tee $@
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_smoke.json
+	rm -f test_output.txt bench_output.txt BENCH_smoke.json \
+		soak-summary.json load-summary.json flight-trace.json flight-soak.json flight-mesh.json

@@ -25,6 +25,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -117,6 +118,7 @@ func run(args []string, out io.Writer) error {
 		smoke      = fs.Bool("smoke", false, "one gated 1k-session wave (CI mode, -race friendly)")
 		maxP99     = fs.Duration("max-p99", 2*time.Second, "smoke gate: max windowed p99 record latency")
 		brownout   = fs.Bool("brownout", false, "run the gated brownout wave instead of the ladder: slow readers push past saturation, the degradation ladder must engage and step back, canaries must still decode byte-identical")
+		summary    = fs.String("summary", "", "write a machine-readable JSON run summary to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,11 +148,58 @@ func run(args []string, out io.Writer) error {
 	raiseFDLimit()
 
 	lg := log.New(os.Stderr, "ncload: ", log.Ltime)
+	sum := &loadSummary{Seed: opt.seed, Smoke: opt.smoke, Invariants: map[string]bool{}}
+	var runErr error
 	if *brownout {
-		return runBrownoutWave(opt, out, lg)
+		runErr = runBrownoutWave(opt, out, lg, sum)
+	} else {
+		runErr = runLadder(opt, out, lg, sum)
 	}
-	fmt.Fprintf(out, "goos: %s\ngoarch: %s\npkg: extremenc/cmd/ncload\n", runtime.GOOS, runtime.GOARCH)
+	sum.OK = runErr == nil
+	if runErr != nil {
+		sum.Error = runErr.Error()
+	}
+	if *summary != "" {
+		b, err := json.MarshalIndent(sum, "", " ")
+		if err != nil {
+			return fmt.Errorf("%w (summary: %v)", runErr, err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*summary, b, 0o644); err != nil {
+			return fmt.Errorf("%w (summary: %v)", runErr, err)
+		}
+	}
+	return runErr
+}
 
+// loadSummary is the machine-readable outcome of one ncload run: the seed,
+// every measured saturation point, the gate verdicts, and — in -brownout
+// mode — the degradation-ladder headline numbers.
+type loadSummary struct {
+	OK         bool            `json:"ok"`
+	Seed       int64           `json:"seed"`
+	Smoke      bool            `json:"smoke"`
+	Waves      []waveSummary   `json:"waves,omitempty"`
+	PeakRung   int             `json:"brownout_peak_rung,omitempty"`
+	Transits   int64           `json:"brownout_transitions,omitempty"`
+	RecoveryNs int64           `json:"brownout_recovery_ns,omitempty"`
+	Invariants map[string]bool `json:"invariants"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// waveSummary is one saturation-curve point in the JSON summary.
+type waveSummary struct {
+	Name     string  `json:"name"`
+	Sessions int     `json:"sessions"`
+	MBps     float64 `json:"mb_per_s"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	ShedPct  float64 `json:"shed_pct"`
+}
+
+// runLadder drives the ramp ladder and emits the go-bench result lines.
+func runLadder(opt options, out io.Writer, lg *log.Logger, sum *loadSummary) error {
+	fmt.Fprintf(out, "goos: %s\ngoarch: %s\npkg: extremenc/cmd/ncload\n", runtime.GOOS, runtime.GOARCH)
 	for _, wave := range buildWaves(opt) {
 		lg.Printf("wave %s: ramping %d sessions", wave.benchName(), wave.sessions)
 		start := time.Now()
@@ -164,6 +213,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s \t%8d\t%12d ns/op\t%10.2f MB/s\t%12d p50-ns\t%12d p99-ns\t%8.3f shed-pct\n",
 			wave.benchName(), 1, res.window.Nanoseconds(), res.mbps,
 			res.p50.Nanoseconds(), res.p99.Nanoseconds(), res.shedPct)
+		sum.Waves = append(sum.Waves, waveSummary{
+			Name: wave.benchName(), Sessions: wave.sessions, MBps: res.mbps,
+			P50Ns: res.p50.Nanoseconds(), P99Ns: res.p99.Nanoseconds(), ShedPct: res.shedPct,
+		})
+	}
+	// Every wave that completed passed its internal gates: ledger exactness
+	// and byte-identical canaries always, plus the p99 bound under -smoke.
+	sum.Invariants["ledgers_balanced"] = true
+	sum.Invariants["canaries_identical"] = true
+	if opt.smoke {
+		sum.Invariants["p99_within_gate"] = true
 	}
 	return nil
 }
@@ -470,7 +530,7 @@ func smokeGates(reg *obs.Registry, wave waveCfg, window obs.HistogramView, maxP9
 // sits at reject and are admitted as it unwinds, which is the whole point of
 // lossless degradation. The run is reproducible from -seed; exact
 // offered == sent + shed accounting is re-checked after teardown.
-func runBrownoutWave(opt options, out io.Writer, lg *log.Logger) error {
+func runBrownoutWave(opt options, out io.Writer, lg *log.Logger, sum *loadSummary) error {
 	fleetSize := opt.sessions
 	if opt.smoke {
 		fleetSize = 128
@@ -596,6 +656,7 @@ func runBrownoutWave(opt options, out io.Writer, lg *log.Logger) error {
 		}
 	}
 	lg.Printf("ladder engaged (rung %s) %v after ramp", srv.Rung(), time.Since(engageStart).Round(time.Millisecond))
+	sum.Invariants["ladder_engaged"] = true
 
 	// Canaries launch at peak pressure: BUSY refusals while the ladder sits
 	// at reject, admission as it unwinds, and a byte-identical payload
@@ -649,6 +710,8 @@ func runBrownoutWave(opt options, out io.Writer, lg *log.Logger) error {
 	}
 	recovery := time.Since(releaseStart)
 	lg.Printf("ladder back to off %v after release", recovery.Round(time.Millisecond))
+	sum.Invariants["ladder_released"] = true
+	sum.RecoveryNs = recovery.Nanoseconds()
 
 	// Gate 3: every canary decodes byte-identical despite the brownout.
 	busyTotal := 0
@@ -685,6 +748,10 @@ func runBrownoutWave(opt options, out io.Writer, lg *log.Logger) error {
 		return fmt.Errorf("final snapshot rung %d, want off", final.BrownoutRung)
 	}
 
+	sum.Invariants["canaries_identical"] = true
+	sum.Invariants["ledgers_balanced"] = true
+	sum.PeakRung = int(peak)
+	sum.Transits = final.BrownoutTransitions
 	lg.Printf("brownout wave ok: peak rung %s, %d transitions, %d canary BUSY refusals honored, %d blocks shed",
 		peak, final.BrownoutTransitions, busyTotal, final.BlocksShed)
 	fmt.Fprintf(out, "BenchmarkServeBrownout/sessions=%d \t%8d\t%12d peak-rung\t%12d transitions\t%12d recover-ns\t%8d busy\n",

@@ -30,14 +30,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"extremenc/internal/faultnet"
 	"extremenc/internal/mesh"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -66,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 	warm := fs.Bool("warm", true, "wait for every relay to hold full rank before starting leaves")
 	metricsAddr := fs.String("metrics", "", "HTTP address for /metrics, /metrics.json and /debug/pprof/ (empty = off)")
 	snapshotPath := fs.String("snapshot", "", "write the final mesh snapshot as JSON to this file (- for stdout)")
+	flight := fs.Int("flight", 0,
+		"flight-recorder ring capacity in events (0 = off): traces the whole mesh — origin, relays, leaves — dumpable on /debug/flight and SIGQUIT")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall run deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +92,22 @@ func run(args []string, stdout io.Writer) error {
 	reg := obs.NewRegistry()
 	obs.SetSink(reg)
 	defer obs.SetSink(nil)
+	if err := obs.RegisterRuntime(reg); err != nil {
+		return err
+	}
+	if *flight > 0 {
+		trace.Enable(*flight)
+		defer trace.Disable()
+		quits := make(chan os.Signal, 1)
+		signal.Notify(quits, syscall.SIGQUIT)
+		defer signal.Stop(quits)
+		go func() {
+			for range quits {
+				os.Stderr.Write(trace.DumpJSON()) //nolint:errcheck — best-effort dump
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
+	}
 
 	// The kill trigger rides the leaves' record taps: once the wave has
 	// received -kill-at records in total — mid-transfer — the victims die
@@ -104,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 		OriginMaxSessions: *originSessions,
 		OriginPace:        *originPace,
 		Seed:              *seed,
+		Traced:            *flight > 0,
 		Registry:          reg,
 	}
 	if *chaos {

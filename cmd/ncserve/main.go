@@ -54,6 +54,7 @@ import (
 	"extremenc/internal/faultnet"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -149,6 +150,8 @@ func runServe(args []string) error {
 		"address carried in REDIRECT admission decisions while draining (empty = refuse with BUSY)")
 	brownout := fs.Duration("brownout", 0,
 		"brownout controller sampling interval (0 = off): under sustained pressure the server paces its pumps, leans the systematic schedule, then refuses new sessions, stepping back down as pressure lifts")
+	flight := fs.Int("flight", 16384,
+		"flight-recorder ring capacity in events (0 = off): traced sessions and admission/brownout/shed events land here, dumpable on /debug/flight and SIGQUIT")
 	var sf serveFlags
 	sf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -165,11 +168,28 @@ func runServe(args []string) error {
 	// as the span sink turns on the stage-latency histograms.
 	reg := obs.NewRegistry()
 	obs.SetSink(reg)
+	if err := obs.RegisterRuntime(reg); err != nil {
+		return err
+	}
 	opts, err := sf.options()
 	if err != nil {
 		return err
 	}
 	opts = append(opts, netio.WithMetricsRegistry(reg))
+	if *flight > 0 {
+		trace.Enable(*flight)
+		opts = append(opts, netio.WithServerTrace("ncserve"))
+		// SIGQUIT dumps the flight ring to stderr without stopping the
+		// server — the classic in-flight postmortem signal.
+		quits := make(chan os.Signal, 1)
+		signal.Notify(quits, syscall.SIGQUIT)
+		go func() {
+			for range quits {
+				os.Stderr.Write(trace.DumpJSON()) //nolint:errcheck — best-effort dump
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
+	}
 	if *brownout > 0 {
 		opts = append(opts, netio.WithBrownout(netio.BrownoutConfig{
 			Interval: *brownout,
@@ -477,6 +497,9 @@ func runMetricsSmoke(args []string) error {
 	reg := obs.NewRegistry()
 	obs.SetSink(reg)
 	defer obs.SetSink(nil)
+	if err := obs.RegisterRuntime(reg); err != nil {
+		return err
+	}
 
 	media := make([]byte, *size)
 	rand.New(rand.NewSource(43)).Read(media)
@@ -528,6 +551,7 @@ func runMetricsSmoke(args []string) error {
 	for _, series := range []string{
 		"netio_blocks_encoded", "netio_blocks_sent", "netio_bytes_sent",
 		"netio_sessions_total", "fetch_attempts", "fetch_records", "fetch_bytes",
+		"runtime_goroutines", "runtime_heap_alloc_bytes", "runtime_uptime_seconds",
 	} {
 		if byKey[series] <= 0 {
 			return fmt.Errorf("scrape: series %s = %v, want > 0", series, byKey[series])
@@ -544,6 +568,7 @@ func runMetricsSmoke(args []string) error {
 	}
 	for path, wantType := range map[string]string{
 		"/metrics.json":             "application/json",
+		"/debug/flight":             "application/json",
 		"/debug/pprof/":             "text/html",
 		"/debug/pprof/heap?debug=1": "text/plain",
 	} {
@@ -552,6 +577,16 @@ func runMetricsSmoke(args []string) error {
 		}
 	}
 	if err := checkRouteStatus(ctx, base+"/nope", http.StatusNotFound); err != nil {
+		return err
+	}
+	// The exposition routes must refuse mutations with a correct 405 (not the
+	// catch-all 404) and stamp nosniff on every response.
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/flight"} {
+		if err := checkMethodStatus(ctx, http.MethodPost, base+path, http.StatusMethodNotAllowed); err != nil {
+			return err
+		}
+	}
+	if err := checkHeader(ctx, base+"/metrics", "X-Content-Type-Options", "nosniff"); err != nil {
 		return err
 	}
 	fmt.Printf("metrics-smoke ok: %d series scraped, %d populated histograms, blocks sent %.0f, fetch records %.0f\n",
@@ -710,6 +745,28 @@ func checkRoute(ctx context.Context, url, wantType string) error {
 
 // checkRouteStatus GETs url and verifies the response status code.
 func checkRouteStatus(ctx context.Context, url string, want int) error {
+	return checkMethodStatus(ctx, http.MethodGet, url, want)
+}
+
+// checkMethodStatus issues method against url and verifies the status code.
+func checkMethodStatus(ctx context.Context, method, url string, want int) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", method, url, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: status %d, want %d", method, url, resp.StatusCode, want)
+	}
+	return nil
+}
+
+// checkHeader GETs url and verifies one response header value.
+func checkHeader(ctx context.Context, url, header, want string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -719,8 +776,8 @@ func checkRouteStatus(ctx context.Context, url string, want int) error {
 		return fmt.Errorf("GET %s: %w", url, err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != want {
-		return fmt.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	if got := resp.Header.Get(header); got != want {
+		return fmt.Errorf("GET %s: header %s = %q, want %q", url, header, got, want)
 	}
 	return nil
 }

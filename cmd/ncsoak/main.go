@@ -29,6 +29,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"extremenc/internal/mesh"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -79,6 +81,9 @@ func run(args []string, stdout io.Writer) error {
 	size := fs.Int("size", 28_000, "media bytes")
 	timeout := fs.Duration("timeout", 4*time.Minute, "overall soak deadline")
 	verbose := fs.Bool("v", false, "log every event and brownout transition")
+	summaryPath := fs.String("summary", "", "write a machine-readable JSON run summary to this path")
+	flightRing := fs.Int("flight", 1<<16, "flight-recorder ring capacity in events (0 = off)")
+	flightPath := fs.String("flight-out", "flight-soak.json", "write the flight-recorder dump here when the soak fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +94,59 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-relays %d: the soak needs at least 3 (drains redirect to a survivor)", *relays)
 	}
 
+	// The flight ring records admission, brownout, shed, reconnect, and fault
+	// events through the whole schedule; a failing soak dumps it for the
+	// postmortem alongside the reproducing seed.
+	if *flightRing > 0 {
+		trace.Enable(*flightRing)
+		defer trace.Disable()
+	}
+	sum := &runSummary{Seed: *seed, Invariants: map[string]bool{}}
+	err := soakMain(*seed, *events, *relays, *n, *k, *size, *timeout, *verbose, stdout, sum)
+	sum.OK = err == nil
+	if err != nil {
+		sum.Error = err.Error()
+		if *flightRing > 0 && *flightPath != "" {
+			if werr := os.WriteFile(*flightPath, trace.DumpJSON(), 0o644); werr == nil {
+				fmt.Fprintf(stdout, "flight dump written to %s\n", *flightPath)
+			}
+		}
+	}
+	if *summaryPath != "" {
+		b, merr := json.MarshalIndent(sum, "", " ")
+		if merr != nil {
+			return errors.Join(err, merr)
+		}
+		b = append(b, '\n')
+		if werr := os.WriteFile(*summaryPath, b, 0o644); werr != nil {
+			return errors.Join(err, werr)
+		}
+	}
+	return err
+}
+
+// runSummary is the machine-readable outcome of one soak: the reproducing
+// seed, the schedule shape, the per-invariant verdicts, and the degradation
+// headline numbers — written to -summary and uploaded as a CI artifact.
+type runSummary struct {
+	OK         bool            `json:"ok"`
+	Seed       int64           `json:"seed"`
+	Events     int             `json:"events"`
+	ElapsedS   float64         `json:"elapsed_s"`
+	LeavesDone int             `json:"leaves_done"`
+	Drains     int             `json:"drains"`
+	Kills      int             `json:"kills"`
+	Stalls     int             `json:"stall_waves"`
+	Redirects  int             `json:"redirects_honored"`
+	PeakRung   int             `json:"brownout_peak_rung"`
+	Invariants map[string]bool `json:"invariants"`
+	Error      string          `json:"error,omitempty"`
+}
+
+func soakMain(seedV int64, eventsV, relaysV, nV, kV, sizeV int, timeoutV time.Duration, verboseV bool, stdout io.Writer, sum *runSummary) error {
+	seed, events, relays, n, k, size := &seedV, &eventsV, &relaysV, &nV, &kV, &sizeV
+	timeout, verbose := &timeoutV, &verboseV
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -96,6 +154,7 @@ func run(args []string, stdout io.Writer) error {
 	media := make([]byte, *size)
 	rng.Read(media)
 	schedule := makeSchedule(rng, *events)
+	sum.Events = len(schedule)
 
 	// The leak check brackets the whole mesh lifetime.
 	runtime.GC()
@@ -174,8 +233,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	elapsed := time.Since(start)
+	sum.ElapsedS = elapsed.Seconds()
+	sum.LeavesDone, sum.Drains, sum.Kills = s.leavesDone, s.drains, s.kills
+	sum.Stalls, sum.Redirects, sum.PeakRung = s.stalls, s.redirects, s.peakRung
+	sum.Invariants["payloads_identical"] = true // every wave byte-verified in step
 
-	if err := s.checkInvariants(ctx, reg); err != nil {
+	if err := s.checkInvariants(ctx, reg, sum); err != nil {
 		return fmt.Errorf("invariant (seed %d): %w", *seed, err)
 	}
 
@@ -184,8 +247,10 @@ func run(args []string, stdout io.Writer) error {
 	m.Close()
 	obs.SetSink(nil)
 	if err := waitGoroutines(baseGoroutines+3, 10*time.Second); err != nil {
+		sum.Invariants["no_goroutine_leak"] = false
 		return fmt.Errorf("leak (seed %d): %w", *seed, err)
 	}
+	sum.Invariants["no_goroutine_leak"] = true
 
 	fmt.Fprintf(stdout,
 		"soak ok (seed %d): %d events in %v — %d leaves byte-identical, %d drains, %d kills, %d stall waves, %d redirects honored, brownout peak rung %d\n",
@@ -497,11 +562,15 @@ func (s *soak) addrOf(id string) string {
 	return addr
 }
 
-// checkInvariants asserts the soak's promises after the schedule completes.
-func (s *soak) checkInvariants(ctx context.Context, reg *obs.Registry) error {
-	if v, _ := reg.CounterValue("mesh.rank_regressions_total"); v != 0 {
+// checkInvariants asserts the soak's promises after the schedule completes,
+// recording each verdict into sum for the machine-readable summary.
+func (s *soak) checkInvariants(ctx context.Context, reg *obs.Registry, sum *runSummary) error {
+	v, _ := reg.CounterValue("mesh.rank_regressions_total")
+	sum.Invariants["rank_monotone"] = v == 0
+	if v != 0 {
 		return fmt.Errorf("rank regressed %d times", v)
 	}
+	sum.Invariants["brownout_engaged"] = s.peakRung > 0
 	if s.peakRung == 0 {
 		return errors.New("brownout ladder never engaged")
 	}
@@ -518,13 +587,16 @@ func (s *soak) checkInvariants(ctx context.Context, reg *obs.Registry) error {
 			}
 		}
 		if len(unbalanced) == 0 {
+			sum.Invariants["ledgers_balanced"] = true
 			return nil
 		}
 		if time.Now().After(deadline) {
+			sum.Invariants["ledgers_balanced"] = false
 			return fmt.Errorf("ledgers never balanced: %s", strings.Join(unbalanced, "; "))
 		}
 		select {
 		case <-ctx.Done():
+			sum.Invariants["ledgers_balanced"] = false
 			return fmt.Errorf("ledgers never balanced: %w", ctx.Err())
 		case <-time.After(5 * time.Millisecond):
 		}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 )
 
 // ErrInjectedReset reports a scheduled mid-stream connection reset. The
@@ -191,6 +192,7 @@ func (c *Conn) traffic() int64 { return c.rdOff + c.wrOff }
 func (c *Conn) fireReset() error {
 	c.isReset = true
 	c.ctr.resets.Add(1)
+	trace.Emit(trace.KindFault, "faultnet", "reset", -1, c.traffic())
 	c.inner.Close()
 	return ErrInjectedReset
 }
@@ -212,6 +214,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		stall = c.cfg.Stall
 		c.nextStall = advance(c.stallRng, c.rdOff, c.cfg.StallEvery)
 		c.ctr.stalls.Add(1)
+		trace.Emit(trace.KindFault, "faultnet", "stall", -1, stall.Milliseconds())
 	}
 	if c.resetAt >= 0 && c.traffic() >= c.resetAt {
 		err := c.fireReset()
@@ -237,13 +240,18 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 	c.mu.Lock()
 	if c.cfg.CorruptEvery > 0 {
+		var hits int64
 		for c.nextCorrupt < c.rdOff+int64(n) {
 			if c.nextCorrupt >= c.rdOff {
 				mask := byte(1 + c.corruptRng.Intn(255)) // non-zero: always damages
 				p[c.nextCorrupt-c.rdOff] ^= mask
 				c.ctr.corruptions.Add(1)
+				hits++
 			}
 			c.nextCorrupt = advance(c.corruptRng, c.nextCorrupt, c.cfg.CorruptEvery)
+		}
+		if hits > 0 {
+			trace.Emit(trace.KindFault, "faultnet", "corrupt", -1, hits)
 		}
 	}
 	c.rdOff += int64(n)

@@ -45,6 +45,13 @@ type Topology struct {
 	// Seed drives every deterministic choice in the mesh.
 	Seed int64
 
+	// Traced threads distributed tracing through every tier: the origin
+	// mints the transfer's trace ID and declares it in each handshake,
+	// relays inherit it upstream and re-declare it downstream, and leaves
+	// parent their absorb spans under relay pump rounds. It only takes
+	// effect while the process trace recorder is enabled (trace.Enable).
+	Traced bool
+
 	// UpstreamFaults / DownstreamFaults, when non-nil, wrap the
 	// relay→origin and leaf→relay connections in faultnet chaos.
 	UpstreamFaults   *faultnet.Config
@@ -180,6 +187,9 @@ func New(topo Topology) (*Mesh, error) {
 	}
 	if topo.Registry != nil {
 		originOpts = append(originOpts, netio.WithMetricsRegistry(topo.Registry))
+	}
+	if topo.Traced {
+		originOpts = append(originOpts, netio.WithServerTrace("origin"))
 	}
 	origin, err := netio.NewServer(topo.Media, topo.Params, originOpts...)
 	if err != nil {
@@ -396,6 +406,7 @@ func (m *Mesh) startLeafFetch(ctx context.Context, leaf *Leaf) {
 		// sweep remains the control-plane backstop for leaves that were not
 		// connected during the drain window.
 		netio.WithRedirector(leaf.rd),
+		netio.WithFetchTrace(fmt.Sprintf("leaf-%d", leaf.ID)),
 		netio.WithRecordTap(func(*rlnc.CodedBlock) { leaf.records.Add(1) }),
 		netio.WithReconnectHook(func(reconnect int, ranks map[uint32]int) {
 			leaf.reconnects.Store(int64(reconnect))

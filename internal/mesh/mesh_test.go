@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"extremenc/internal/faultnet"
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -23,6 +26,26 @@ func testMedia(t testing.TB, size int, seed int64) []byte {
 	media := make([]byte, size)
 	rand.New(rand.NewSource(seed)).Read(media)
 	return media
+}
+
+// flightDumpOnFailure arms the flight recorder for the duration of a mesh
+// gate and, if the gate fails, writes the event dump to flight-mesh.json at
+// the repo root so CI can attach the postmortem to the failure.
+func flightDumpOnFailure(t *testing.T) {
+	t.Helper()
+	trace.Enable(1 << 16)
+	t.Cleanup(func() {
+		defer trace.Disable()
+		if !t.Failed() {
+			return
+		}
+		path := filepath.Join("..", "..", "flight-mesh.json")
+		if err := os.WriteFile(path, trace.DumpJSON(), 0o644); err != nil {
+			t.Logf("flight dump: %v", err)
+			return
+		}
+		t.Logf("flight recorder dumped to %s", path)
+	})
 }
 
 // startOrigin brings up a plain origin server on loopback for single-relay
@@ -144,6 +167,7 @@ func TestRelayXorRecode(t *testing.T) {
 //     remediation must have moved leaves, all visible in one Prometheus
 //     text exposition scraped through the in-repo parser.
 func TestMeshSmoke(t *testing.T) {
+	flightDumpOnFailure(t)
 	p := rlnc.Params{BlockCount: 16, BlockSize: 256}
 	media := testMedia(t, 4*p.SegmentSize()-21, 77)
 
@@ -404,6 +428,7 @@ func (errDiff) Error() string { return "payload differs" }
 // drained and surviving alike, accumulated across restarts — balance exactly
 // in one scraped exposition.
 func TestMeshRollingRestart(t *testing.T) {
+	flightDumpOnFailure(t)
 	p := rlnc.Params{BlockCount: 16, BlockSize: 256}
 	media := testMedia(t, 4*p.SegmentSize()-13, 91)
 

@@ -8,6 +8,7 @@ import (
 
 	"extremenc/internal/netio"
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -68,6 +69,7 @@ type Relay struct {
 	serveCtx context.Context
 
 	ready       chan struct{} // closed once info and recoders exist
+	upFetch     *netio.Fetcher
 	fetchCancel context.CancelFunc
 	fetchDone   chan struct{}
 	fetchErr    error
@@ -96,8 +98,10 @@ func StartRelay(ctx context.Context, cfg RelayConfig) (*Relay, error) {
 	opts := append([]netio.FetcherOption{
 		netio.WithSessionHook(r.onSession),
 		netio.WithRecordTap(r.onRecord),
+		netio.WithFetchTrace(cfg.ID + ".fetch"),
 	}, cfg.FetchOpts...)
 	f := netio.NewFetcher(cfg.Upstream, opts...)
+	r.upFetch = f
 	go func() {
 		defer close(r.fetchDone)
 		// The fetch ends when the relay holds full rank for every segment
@@ -113,7 +117,14 @@ func StartRelay(ctx context.Context, cfg RelayConfig) (*Relay, error) {
 		return nil, fmt.Errorf("mesh: relay %q never reached its upstream: %w", cfg.ID, ctx.Err())
 	}
 
-	srv, err := netio.NewSourceServer((*relaySource)(r), cfg.ServerOpts...)
+	// A traced upstream handshake propagates through the relay: the
+	// downstream server inherits the transfer's trace ID (its root span
+	// parenting under the origin's), and every server a later Restart builds
+	// inherits it too, because the option joins the retained ServerOpts.
+	if tr, root, ok := f.TraceContext(); ok {
+		r.cfg.ServerOpts = append(r.cfg.ServerOpts, netio.WithInheritedTrace(cfg.ID, tr, root))
+	}
+	srv, err := netio.NewSourceServer((*relaySource)(r), r.cfg.ServerOpts...)
 	if err != nil {
 		r.Close()
 		return nil, err
@@ -323,6 +334,14 @@ func (rs *relaySource) Records(seg, batch int) [][]byte {
 	defer r.mu.Unlock()
 	if seg >= len(r.recoders) || r.recoders[seg].Rank() == 0 {
 		return nil
+	}
+	// The recode span parents under the upstream pump round that most
+	// recently fed the recoders: the causal link tying a relay's emissions
+	// back to origin encode work across the tier boundary. Dry polls above
+	// never open a span, so an idle relay does not flood the ring.
+	if tr, _, ok := r.upFetch.TraceContext(); ok {
+		tsp := trace.Begin(r.id, "recode", tr, r.upFetch.LastRoundSpan(), int32(seg))
+		defer tsp.End()
 	}
 	rec := r.recoders[seg]
 	out := make([][]byte, 0, batch)

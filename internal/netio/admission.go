@@ -158,28 +158,55 @@ func readDecisionTail(r io.Reader, magic [4]byte) (admissionDecision, error) {
 	return d, nil
 }
 
+// handshake is everything a server's opening declares: the session header,
+// its feature flags, the trace context (when hsFlagTrace negotiated), and
+// the admission decision (nil for an implied ACCEPT).
+type handshake struct {
+	hdr   sessionHeader
+	flags uint32
+	tctx  *traceContext
+	dec   *admissionDecision
+}
+
+// traced reports whether the session negotiated trace framing.
+func (hs *handshake) traced() bool { return hs.flags&hsFlagTrace != 0 }
+
 // readHandshake reads the server's opening: either a bare session header
 // (implied ACCEPT) or a decision record, dispatched on the first four magic
-// bytes. For ACCEPT — explicit or implied — the returned header is valid;
-// for BUSY and REDIRECT the decision alone is returned and the header is
-// zero.
-func readHandshake(r io.Reader) (sessionHeader, *admissionDecision, error) {
+// bytes. For ACCEPT — explicit or implied — the returned header is valid
+// and, when the flags negotiate tracing, the trace context has been read;
+// for BUSY and REDIRECT the decision alone is populated.
+func readHandshake(r io.Reader) (handshake, error) {
+	var hs handshake
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return sessionHeader{}, nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		return hs, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
-	if string(magic[:]) != decisionMagic {
-		h, err := readSessionHeaderTail(r, magic)
-		return h, nil, err
+	if string(magic[:]) == decisionMagic {
+		d, err := readDecisionTail(r, magic)
+		if err != nil {
+			return hs, err
+		}
+		hs.dec = &d
+		if d.code != admissionAccept {
+			return hs, nil
+		}
+		// An explicit ACCEPT promises a full session header next.
+		if _, err := io.ReadFull(r, magic[:]); err != nil {
+			return hs, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		}
 	}
-	d, err := readDecisionTail(r, magic)
+	h, flags, err := readSessionHeaderTail(r, magic)
 	if err != nil {
-		return sessionHeader{}, nil, err
+		return hs, err
 	}
-	if d.code != admissionAccept {
-		return sessionHeader{}, &d, nil
+	hs.hdr, hs.flags = h, flags
+	if hs.traced() {
+		tc, err := readTraceContext(r)
+		if err != nil {
+			return hs, err
+		}
+		hs.tctx = &tc
 	}
-	// An explicit ACCEPT promises a full session header next.
-	h, err := readSessionHeader(r)
-	return h, &d, err
+	return hs, nil
 }

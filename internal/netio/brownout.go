@@ -3,6 +3,8 @@ package netio
 import (
 	"fmt"
 	"time"
+
+	"extremenc/internal/obs/trace"
 )
 
 // BrownoutRung is one step of the server's degradation ladder. Under
@@ -210,6 +212,7 @@ func (s *Server) runBrownout() {
 func (s *Server) applyRung(from, to BrownoutRung, pressure float64) {
 	s.brownoutRung.Store(int32(to))
 	s.brownoutTransitions.Add(1)
+	trace.Emit(trace.KindBrownout, s.traceNodeName(), from.String()+"->"+to.String(), -1, int64(to))
 	lean := to >= BrownoutLean
 	if wasLean := from >= BrownoutLean; lean != wasLean {
 		for _, src := range s.degradable {

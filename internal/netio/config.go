@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -116,6 +117,19 @@ type ServerConfig struct {
 	// Metrics, when non-nil, registers the server's counters and session
 	// gauges under the "netio" prefix. Each registry admits one server.
 	Metrics *obs.Registry
+	// TraceNode, when non-empty, labels this server's spans and flight
+	// events and — if the process-global trace recorder is enabled at
+	// construction — turns on trace propagation: the handshake negotiates
+	// hsFlagTrace, an XNCT record declares the transfer's trace context,
+	// and every record carries its pump round's span ID.
+	TraceNode string
+	// TraceID is the transfer trace to join (0 → mint a fresh one). A relay
+	// sets this to its upstream's trace so spans link across tiers.
+	TraceID trace.TraceID
+	// TraceParent is the parent span of this server's root span (0 → the
+	// root is a trace root). A relay sets this to its upstream server's
+	// root span.
+	TraceParent trace.SpanID
 }
 
 // DefaultServerConfig returns the defaults the functional-option path starts
@@ -288,6 +302,26 @@ func WithMetricsRegistry(reg *obs.Registry) ServerOption {
 	return func(c *ServerConfig) { c.Metrics = reg }
 }
 
+// WithServerTrace labels the server's spans and flight events with node
+// and enables trace propagation when the process-global trace recorder
+// (obs/trace) is enabled at construction: a fresh trace is minted and
+// declared to every client through the handshake.
+func WithServerTrace(node string) ServerOption {
+	return func(c *ServerConfig) { c.TraceNode = node }
+}
+
+// WithInheritedTrace is WithServerTrace for a mid-tier server (a mesh
+// relay): instead of minting a fresh trace it joins tr, and its root span
+// is parented under the upstream server's root, so one generation's spans
+// link origin → relay → leaf.
+func WithInheritedTrace(node string, tr trace.TraceID, parent trace.SpanID) ServerOption {
+	return func(c *ServerConfig) {
+		c.TraceNode = node
+		c.TraceID = tr
+		c.TraceParent = parent
+	}
+}
+
 // FetcherConfig is the complete download-client configuration. NewFetcher
 // builds one from DefaultFetcherConfig plus functional options;
 // NewFetcherFromConfig accepts a literal struct. Both paths share the same
@@ -343,6 +377,10 @@ type FetcherConfig struct {
 	// prefix. Each registry admits one fetcher; a second registration is
 	// dropped (the typed stats still work).
 	Metrics *obs.Registry
+	// TraceNode labels this fetcher's spans and flight events ("" → the
+	// generic "fetch"). Spans are emitted only on sessions whose handshake
+	// negotiated tracing and while the trace recorder is enabled.
+	TraceNode string
 }
 
 // DefaultFetcherConfig returns the defaults the functional-option path
@@ -493,4 +531,10 @@ func WithResumeState(state []byte) FetcherOption {
 // "fetch" prefix; see FetcherConfig.Metrics.
 func WithMetrics(reg *obs.Registry) FetcherOption {
 	return func(c *FetcherConfig) { c.Metrics = reg }
+}
+
+// WithFetchTrace labels the fetcher's spans and flight events with node;
+// see FetcherConfig.TraceNode.
+func WithFetchTrace(node string) FetcherOption {
+	return func(c *FetcherConfig) { c.TraceNode = node }
 }

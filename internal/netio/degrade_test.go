@@ -24,15 +24,15 @@ func TestDecisionRoundTrip(t *testing.T) {
 	if err := writeDecision(&buf, admissionDecision{code: admissionBusy, retryAfter: 750 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
-	_, dec, err := readHandshake(&buf)
-	if err != nil || dec == nil {
-		t.Fatalf("busy readHandshake: dec=%v err=%v", dec, err)
+	hs, err := readHandshake(&buf)
+	if err != nil || hs.dec == nil {
+		t.Fatalf("busy readHandshake: dec=%v err=%v", hs.dec, err)
 	}
-	if dec.code != admissionBusy || dec.retryAfter != 750*time.Millisecond {
-		t.Fatalf("busy round trip: %+v", dec)
+	if hs.dec.code != admissionBusy || hs.dec.retryAfter != 750*time.Millisecond {
+		t.Fatalf("busy round trip: %+v", hs.dec)
 	}
-	if !errors.Is(dec.Err(), ErrAdmissionBusy) {
-		t.Fatalf("busy Err: %v", dec.Err())
+	if !errors.Is(hs.dec.Err(), ErrAdmissionBusy) {
+		t.Fatalf("busy Err: %v", hs.dec.Err())
 	}
 
 	// REDIRECT with a survivor address.
@@ -40,15 +40,15 @@ func TestDecisionRoundTrip(t *testing.T) {
 	if err := writeDecision(&buf, admissionDecision{code: admissionRedirect, addr: "10.1.2.3:9999"}); err != nil {
 		t.Fatal(err)
 	}
-	_, dec, err = readHandshake(&buf)
-	if err != nil || dec == nil {
-		t.Fatalf("redirect readHandshake: dec=%v err=%v", dec, err)
+	hs, err = readHandshake(&buf)
+	if err != nil || hs.dec == nil {
+		t.Fatalf("redirect readHandshake: dec=%v err=%v", hs.dec, err)
 	}
-	if dec.code != admissionRedirect || dec.addr != "10.1.2.3:9999" {
-		t.Fatalf("redirect round trip: %+v", dec)
+	if hs.dec.code != admissionRedirect || hs.dec.addr != "10.1.2.3:9999" {
+		t.Fatalf("redirect round trip: %+v", hs.dec)
 	}
-	if !errors.Is(dec.Err(), ErrAdmissionRedirect) {
-		t.Fatalf("redirect Err: %v", dec.Err())
+	if !errors.Is(hs.dec.Err(), ErrAdmissionRedirect) {
+		t.Fatalf("redirect Err: %v", hs.dec.Err())
 	}
 
 	// Explicit ACCEPT followed by a session header parses as a handshake.
@@ -60,12 +60,12 @@ func TestDecisionRoundTrip(t *testing.T) {
 	if err := writeSessionHeader(&buf, hdr); err != nil {
 		t.Fatal(err)
 	}
-	h, dec, err := readHandshake(&buf)
+	hs, err = readHandshake(&buf)
 	if err != nil {
 		t.Fatalf("explicit accept: %v", err)
 	}
-	if dec == nil || dec.code != admissionAccept || h != hdr {
-		t.Fatalf("explicit accept: dec=%+v h=%+v", dec, h)
+	if hs.dec == nil || hs.dec.code != admissionAccept || hs.hdr != hdr {
+		t.Fatalf("explicit accept: dec=%+v h=%+v", hs.dec, hs.hdr)
 	}
 
 	// A bare session header is an implied ACCEPT: nil decision.
@@ -73,9 +73,9 @@ func TestDecisionRoundTrip(t *testing.T) {
 	if err := writeSessionHeader(&buf, hdr); err != nil {
 		t.Fatal(err)
 	}
-	h, dec, err = readHandshake(&buf)
-	if err != nil || dec != nil || h != hdr {
-		t.Fatalf("implied accept: h=%+v dec=%v err=%v", h, dec, err)
+	hs, err = readHandshake(&buf)
+	if err != nil || hs.dec != nil || hs.hdr != hdr {
+		t.Fatalf("implied accept: h=%+v dec=%v err=%v", hs.hdr, hs.dec, err)
 	}
 
 	// Decisions no server writes are rejected at marshal time.
@@ -111,19 +111,19 @@ func TestDecisionRejectsForged(t *testing.T) {
 	forged := bytes.Clone(rec)
 	forged[4] = 3
 	rewriteDecisionCRC(forged)
-	if _, _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
+	if _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
 		t.Fatalf("unknown code: %v, want ErrBadHandshake", err)
 	}
 
 	// Flipped CRC bit.
 	forged = bytes.Clone(rec)
 	forged[len(forged)-1] ^= 0x01
-	if _, _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
+	if _, err := readHandshake(bytes.NewReader(forged)); !errors.Is(err, ErrBadHandshake) {
 		t.Fatalf("bad CRC: %v, want ErrBadHandshake", err)
 	}
 
 	// Truncated record.
-	if _, _, err := readHandshake(bytes.NewReader(rec[:6])); !errors.Is(err, ErrBadHandshake) {
+	if _, err := readHandshake(bytes.NewReader(rec[:6])); !errors.Is(err, ErrBadHandshake) {
 		t.Fatalf("truncated: %v, want ErrBadHandshake", err)
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -97,6 +99,39 @@ type Fetcher struct {
 	// in Fetch before redialing, ended in session once the handshake lands; a
 	// failed attempt's span is simply dropped when the next one starts.
 	reconnSpan obs.Span
+
+	// Inherited trace context from the server's XNCT record, and the round
+	// span named by the latest record prelude. Atomics: the fetch loop is
+	// single-goroutine, but a relay's serving side reads these concurrently
+	// (TraceContext, LastRoundSpan) to parent its own spans.
+	trOK      atomic.Bool
+	trTrace   atomic.Uint64
+	trRoot    atomic.Uint64
+	lastRound atomic.Uint64
+}
+
+// traceNode labels this fetcher's spans and flight events.
+func (f *Fetcher) traceNode() string {
+	if f.cfg.TraceNode != "" {
+		return f.cfg.TraceNode
+	}
+	return "fetch"
+}
+
+// TraceContext returns the trace the upstream server declared in the latest
+// traced handshake: the transfer's trace ID and the server's root span. ok is
+// false until a traced session is established. Safe for concurrent use.
+func (f *Fetcher) TraceContext() (trace.TraceID, trace.SpanID, bool) {
+	if !f.trOK.Load() {
+		return 0, 0, false
+	}
+	return trace.TraceID(f.trTrace.Load()), trace.SpanID(f.trRoot.Load()), true
+}
+
+// LastRoundSpan returns the upstream pump-round span named by the most recent
+// record prelude (0 before any traced record). Safe for concurrent use.
+func (f *Fetcher) LastRoundSpan() trace.SpanID {
+	return trace.SpanID(f.lastRound.Load())
 }
 
 // fetcherMetrics is the fetch ledger as registry-attachable counters: the
@@ -251,7 +286,12 @@ func (f *Fetcher) fetch(ctx context.Context) (*FetchResult, error) {
 			f.reconnSpan = stageFetchReconn.Start()
 		}
 		dsp := stageFetchDial.Start()
+		var dtsp trace.Span
+		if tr, root, ok := f.TraceContext(); ok {
+			dtsp = trace.Begin(f.traceNode(), "dial", tr, root, -1)
+		}
 		conn, err := f.dial(ctx)
+		dtsp.End()
 		dsp.End()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -375,29 +415,31 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 	})
 	defer unhook()
 
-	h, dec, err := readHandshake(conn)
+	hs, err := readHandshake(conn)
 	if err != nil {
 		if ctx.Err() != nil {
 			return false, true, cancelErr(ctx)
 		}
 		return false, false, err
 	}
-	if dec != nil && dec.code != admissionAccept {
+	if hs.dec != nil && hs.dec.code != admissionAccept {
 		// A structured rejection, not a stream failure: non-fatal, so the
 		// retry loop keeps going, shaped by the server's own guidance.
-		switch dec.code {
+		switch hs.dec.code {
 		case admissionBusy:
 			f.stats.admissionBusy.Inc()
-			f.busyHint = dec.retryAfter
+			f.busyHint = hs.dec.retryAfter
 		case admissionRedirect:
 			f.stats.admissionRedirected.Inc()
+			trace.Emit(trace.KindRedirect, f.traceNode(), hs.dec.addr, -1, 0)
 			if f.cfg.Redirector != nil {
-				f.cfg.Redirector.SetTarget(dec.addr)
+				f.cfg.Redirector.SetTarget(hs.dec.addr)
 				f.promptRetry = true
 			}
 		}
-		return false, false, dec.Err()
+		return false, false, hs.dec.Err()
 	}
+	h := hs.hdr
 	switch {
 	case f.hdr == nil:
 		hh := h
@@ -416,11 +458,20 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 		f.stats.resumedRank.Add(int64(f.totalRank()))
 		f.reconnSpan.End()
 		f.reconnSpan = obs.Span{}
+		trace.Emit(trace.KindReconnect, f.traceNode(), "resumed", -1, int64(f.totalRank()))
 		if f.cfg.ReconnectHook != nil {
 			f.cfg.ReconnectHook(int(f.stats.reconnects.Load()), f.Ranks())
 		}
 	}
 	f.established = true
+	traced := hs.traced() && hs.tctx != nil
+	var tr trace.TraceID
+	if traced {
+		tr = hs.tctx.trace
+		f.trTrace.Store(uint64(hs.tctx.trace))
+		f.trRoot.Store(uint64(hs.tctx.root))
+		f.trOK.Store(true)
+	}
 	if f.cfg.SessionHook != nil {
 		f.cfg.SessionHook(h.info())
 	}
@@ -438,7 +489,27 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 		expectXor = uint32(rlnc.XorWireSize(f.hdr.params))
 	}
 	var lenBuf [4]byte
+	var preBuf [recordPreludeLen]byte
+	var curRound trace.SpanID
 	for f.remaining() > 0 {
+		if traced {
+			// Traced framing: a CRC-guarded round prelude precedes every
+			// length prefix. A damaged prelude is framing loss exactly like a
+			// damaged length — resynchronize by reconnecting, keeping rank —
+			// rather than a license to attribute records to a phantom round.
+			if _, err := io.ReadFull(conn, preBuf[:]); err != nil {
+				return f.streamErr(ctx, fmt.Errorf("%w: %v", ErrStreamTruncated, err))
+			}
+			round, perr := parseRecordPrelude(preBuf[:])
+			if perr != nil {
+				f.stats.framingResyncs.Inc()
+				f.stats.bytesDiscarded.Add(recordPreludeLen)
+				return f.streamErr(ctx, fmt.Errorf("%v: resynchronizing", perr))
+			}
+			curRound = round
+			f.lastRound.Store(uint64(round))
+			f.stats.bytes.Add(recordPreludeLen)
+		}
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return f.streamErr(ctx, fmt.Errorf("%w: %v", ErrStreamTruncated, err))
 		}
@@ -456,8 +527,12 @@ func (f *Fetcher) session(ctx context.Context, conn net.Conn) (done, fatal bool,
 		f.stats.records.Inc()
 		f.stats.bytes.Add(int64(n) + 4)
 		asp := stageFetchDecode.Start()
-		err := f.absorb(rec)
-		asp.End()
+		err := f.absorb(rec, tr, curRound)
+		if traced {
+			asp.EndTraced(uint64(tr), uint64(curRound))
+		} else {
+			asp.End()
+		}
 		if err != nil {
 			return false, true, err
 		}
@@ -487,8 +562,10 @@ func (f *Fetcher) streamErr(ctx context.Context, err error) (bool, bool, error) 
 // Malformed (checksummed but the wrong shape for the session — a server
 // bug, not line noise), BadSegment (checksummed but an out-of-range
 // segment ID — rejected before it can allocate a stray decoder). Only an
-// internal decoder failure is an error.
-func (f *Fetcher) absorb(rec []byte) error {
+// internal decoder failure is an error. On a traced session tr names the
+// transfer and round the pump-round span this record rode in on; the absorb
+// span parents under the round, linking origin encode work to leaf decode.
+func (f *Fetcher) absorb(rec []byte, tr trace.TraceID, round trace.SpanID) error {
 	discard := func() { f.stats.bytesDiscarded.Add(int64(len(rec)) + 4) }
 	var blk rlnc.CodedBlock
 	unmarshal := blk.UnmarshalBinary
@@ -532,7 +609,12 @@ func (f *Fetcher) absorb(rec []byte) error {
 		// Round-robin overshoot for an already-finished segment.
 		return nil
 	}
+	var sp trace.Span
+	if tr != 0 {
+		sp = trace.Begin(f.traceNode(), "absorb", tr, round, int32(blk.SegmentID))
+	}
 	innovative, err := dec.AddBlock(&blk)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -540,6 +622,7 @@ func (f *Fetcher) absorb(rec []byte) error {
 		f.stats.dependent.Inc()
 	} else if dec.Ready() {
 		f.ready++
+		trace.Emit(trace.KindRank, f.traceNode(), "segment_ready", int32(blk.SegmentID), int64(dec.Rank()))
 	}
 	return nil
 }

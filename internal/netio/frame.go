@@ -18,6 +18,11 @@ type frameRef struct {
 	refs   atomic.Int32
 	pooled bool // buf came from pool and may be recycled
 	pool   *framePool
+
+	// Trace attribution, stamped by a traced pump: the round span that
+	// encoded this record (written as the wire prelude) and its segment.
+	round uint64
+	seg   int32
 }
 
 func (f *frameRef) retain() { f.refs.Add(1) }
@@ -67,6 +72,8 @@ func (p *framePool) wrap(buf []byte, pooled bool) *frameRef {
 	fr.buf = buf
 	fr.pooled = pooled
 	fr.pool = p
+	fr.round = 0
+	fr.seg = -1
 	fr.refs.Store(1)
 	return fr
 }

@@ -151,21 +151,21 @@ func FuzzDecisionRecord(f *testing.F) {
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		h, dec, err := readHandshake(bytes.NewReader(data))
+		hs, err := readHandshake(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		if dec != nil {
-			if verr := dec.validate(); verr != nil {
-				t.Fatalf("accepted invalid decision %+v: %v", dec, verr)
+		if hs.dec != nil {
+			if verr := hs.dec.validate(); verr != nil {
+				t.Fatalf("accepted invalid decision %+v: %v", hs.dec, verr)
 			}
-			if _, merr := appendDecision(nil, *dec); merr != nil {
-				t.Fatalf("accepted unmarshalable decision %+v: %v", dec, merr)
+			if _, merr := appendDecision(nil, *hs.dec); merr != nil {
+				t.Fatalf("accepted unmarshalable decision %+v: %v", hs.dec, merr)
 			}
 		}
-		if dec == nil || dec.code == admissionAccept {
+		if hs.dec == nil || hs.dec.code == admissionAccept {
 			// ACCEPT paths must have produced a header a client could serve.
-			if verr := h.params.Validate(); verr != nil {
+			if verr := hs.hdr.params.Validate(); verr != nil {
 				t.Fatalf("accepted handshake with bad params: %v", verr)
 			}
 		}

@@ -26,7 +26,7 @@ import (
 //
 //	session header: magic "XNCP" | u32 version | u32 n | u32 k |
 //	                u32 segment count | u64 payload length | u32 wire mode |
-//	                u32 CRC
+//	                u32 flags | u32 CRC
 //	then records:   u32 length | marshaled rlnc.CodedBlock, round-robin
 //	                across segments, until the client closes.
 //
@@ -34,6 +34,15 @@ import (
 // see admission.go): BUSY and REDIRECT end the connection with a structured
 // reason; an explicit ACCEPT is followed by the session header above. A bare
 // session header is an implied ACCEPT.
+//
+// The flags word declares optional stream features. With hsFlagTrace set,
+// the header is followed by a trace-context record (magic "XNCT", see
+// tracectx.go) carrying the transfer's trace ID and the server's root span,
+// and every record is preceded by a CRC-guarded 12-byte prelude naming the
+// pump round (span ID) that encoded it — the causal link that lets one
+// generation's records be attributed across mesh tiers. Unknown flag bits
+// are rejected: a client that cannot parse a feature's framing must not
+// guess at record boundaries.
 //
 // The wire mode is the server's declaration of the coding discipline for the
 // whole session; the client adapts its record parser to it. In ModeDense
@@ -43,11 +52,21 @@ import (
 // first dense record arrives.
 const (
 	protoMagic     = "XNCP"
-	protoVersion   = 2
-	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4 + 4
+	protoVersion   = 3
+	protoHeaderLen = 4 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 4
 
 	// maxRecordLen bounds a record claim before allocation.
 	maxRecordLen = 64 << 20
+)
+
+// Session flag bits (the u32 flags word of the session header).
+const (
+	// hsFlagTrace: an XNCT trace-context record follows the header and every
+	// record carries a round-span prelude.
+	hsFlagTrace uint32 = 1 << 0
+
+	// hsFlagKnown masks the bits this implementation understands.
+	hsFlagKnown = hsFlagTrace
 )
 
 // WireMode selects the session's coding discipline, negotiated in the
@@ -108,8 +127,27 @@ type sessionHeader struct {
 	mode     WireMode
 }
 
+// writeSessionHeader writes a header with no optional features — the
+// common path for untraced servers, tests, and the codec round trip.
 func writeSessionHeader(w io.Writer, h sessionHeader) error {
-	buf := make([]byte, protoHeaderLen)
+	return writeSessionHeaderFlags(w, h, 0)
+}
+
+// writeSessionHeaderFlags writes the v3 header with the given feature
+// flags. The flags word is deliberately NOT part of sessionHeader: feature
+// negotiation is per-connection (a redirect may land on a server with
+// different features), while sessionHeader identity gates reconnect safety.
+func writeSessionHeaderFlags(w io.Writer, h sessionHeader, flags uint32) error {
+	_, err := w.Write(appendSessionHeader(make([]byte, 0, protoHeaderLen), h, flags))
+	return err
+}
+
+// appendSessionHeader marshals the v3 header onto dst — the building block
+// for a traced server's single handshake write (header + XNCT context).
+func appendSessionHeader(dst []byte, h sessionHeader, flags uint32) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, protoHeaderLen)...)
+	buf := dst[start:]
 	copy(buf, protoMagic)
 	binary.BigEndian.PutUint32(buf[4:], protoVersion)
 	binary.BigEndian.PutUint32(buf[8:], uint32(h.params.BlockCount))
@@ -117,9 +155,9 @@ func writeSessionHeader(w io.Writer, h sessionHeader) error {
 	binary.BigEndian.PutUint32(buf[16:], uint32(h.segments))
 	binary.BigEndian.PutUint64(buf[20:], uint64(h.length))
 	binary.BigEndian.PutUint32(buf[28:], uint32(h.mode))
-	binary.BigEndian.PutUint32(buf[32:], crc32.ChecksumIEEE(buf[:32]))
-	_, err := w.Write(buf)
-	return err
+	binary.BigEndian.PutUint32(buf[32:], flags)
+	binary.BigEndian.PutUint32(buf[36:], crc32.ChecksumIEEE(buf[:36]))
+	return dst
 }
 
 func readSessionHeader(r io.Reader) (sessionHeader, error) {
@@ -127,26 +165,27 @@ func readSessionHeader(r io.Reader) (sessionHeader, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
-	return readSessionHeaderTail(r, magic)
+	h, _, err := readSessionHeaderTail(r, magic)
+	return h, err
 }
 
 // readSessionHeaderTail parses a session header whose magic has already been
 // consumed — the tail of readHandshake's dispatch between bare headers and
-// admission decision records.
-func readSessionHeaderTail(r io.Reader, magic [4]byte) (sessionHeader, error) {
+// admission decision records. It returns the header and the feature flags.
+func readSessionHeaderTail(r io.Reader, magic [4]byte) (sessionHeader, uint32, error) {
 	if string(magic[:]) != protoMagic {
-		return sessionHeader{}, fmt.Errorf("%w: wrong magic", ErrBadHandshake)
+		return sessionHeader{}, 0, fmt.Errorf("%w: wrong magic", ErrBadHandshake)
 	}
 	buf := make([]byte, protoHeaderLen)
 	copy(buf, magic[:])
 	if _, err := io.ReadFull(r, buf[4:]); err != nil {
-		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		return sessionHeader{}, 0, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
 	if v := binary.BigEndian.Uint32(buf[4:]); v != protoVersion {
-		return sessionHeader{}, fmt.Errorf("%w: version %d", ErrBadHandshake, v)
+		return sessionHeader{}, 0, fmt.Errorf("%w: version %d", ErrBadHandshake, v)
 	}
-	if crc32.ChecksumIEEE(buf[:32]) != binary.BigEndian.Uint32(buf[32:]) {
-		return sessionHeader{}, fmt.Errorf("%w: checksum", ErrBadHandshake)
+	if crc32.ChecksumIEEE(buf[:36]) != binary.BigEndian.Uint32(buf[36:]) {
+		return sessionHeader{}, 0, fmt.Errorf("%w: checksum", ErrBadHandshake)
 	}
 	h := sessionHeader{
 		params: rlnc.Params{
@@ -157,16 +196,22 @@ func readSessionHeaderTail(r io.Reader, magic [4]byte) (sessionHeader, error) {
 		length:   int64(binary.BigEndian.Uint64(buf[20:])),
 		mode:     WireMode(binary.BigEndian.Uint32(buf[28:])),
 	}
+	flags := binary.BigEndian.Uint32(buf[32:])
 	if err := h.params.Validate(); err != nil {
-		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		return sessionHeader{}, 0, fmt.Errorf("%w: %v", ErrBadHandshake, err)
 	}
 	if h.segments <= 0 || h.length < 0 {
-		return sessionHeader{}, fmt.Errorf("%w: shape", ErrBadHandshake)
+		return sessionHeader{}, 0, fmt.Errorf("%w: shape", ErrBadHandshake)
 	}
 	if h.mode > ModeSystematic {
-		return sessionHeader{}, fmt.Errorf("%w: %v", ErrBadHandshake, h.mode)
+		return sessionHeader{}, 0, fmt.Errorf("%w: %v", ErrBadHandshake, h.mode)
 	}
-	return h, nil
+	if flags&^hsFlagKnown != 0 {
+		// An unknown feature may change record framing; guessing at stream
+		// boundaries would corrupt every downstream decoder.
+		return sessionHeader{}, 0, fmt.Errorf("%w: unknown flags %#x", ErrBadHandshake, flags&^hsFlagKnown)
+	}
+	return h, flags, nil
 }
 
 // FetchStats reports a client download, including its fault history. The

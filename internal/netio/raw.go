@@ -23,6 +23,7 @@ type RawClient struct {
 	conn    net.Conn
 	br      *bufio.Reader
 	hdr     sessionHeader
+	traced  bool // session negotiated round preludes before every record
 	records int64
 	bytes   int64
 }
@@ -33,16 +34,16 @@ type RawClient struct {
 // ErrAdmissionRedirect); on any handshake failure the connection is closed.
 func NewRawClient(conn net.Conn) (*RawClient, error) {
 	br := bufio.NewReaderSize(conn, 32<<10)
-	hdr, dec, err := readHandshake(br)
+	hs, err := readHandshake(br)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if dec != nil && dec.code != admissionAccept {
+	if hs.dec != nil && hs.dec.code != admissionAccept {
 		conn.Close()
-		return nil, dec.Err()
+		return nil, hs.dec.Err()
 	}
-	return &RawClient{conn: conn, br: br, hdr: hdr}, nil
+	return &RawClient{conn: conn, br: br, hdr: hs.hdr, traced: hs.traced()}, nil
 }
 
 // Params returns the coding parameters declared in the handshake.
@@ -62,6 +63,19 @@ func (c *RawClient) Length() int64 { return c.hdr.length }
 // closes, or Close is called; stream errors (including io.EOF at hang-up)
 // are returned verbatim.
 func (c *RawClient) Next() (int, error) {
+	pre := 0
+	if c.traced {
+		// A traced session prefixes each record with a round prelude; the
+		// raw client validates its CRC (framing) and discards the ID.
+		var preBuf [recordPreludeLen]byte
+		if _, err := io.ReadFull(c.br, preBuf[:]); err != nil {
+			return 0, err
+		}
+		if _, err := parseRecordPrelude(preBuf[:]); err != nil {
+			return 0, err
+		}
+		pre = recordPreludeLen
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
 		return 0, err
@@ -74,8 +88,8 @@ func (c *RawClient) Next() (int, error) {
 		return 0, err
 	}
 	c.records++
-	c.bytes += int64(n) + 4
-	return int(n) + 4, nil
+	c.bytes += int64(n) + 4 + int64(pre)
+	return int(n) + 4 + pre, nil
 }
 
 // Records returns how many complete records Next has consumed.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"extremenc/internal/obs"
+	"extremenc/internal/obs/trace"
 	"extremenc/internal/rlnc"
 )
 
@@ -83,6 +84,16 @@ type Server struct {
 	pumpWG   sync.WaitGroup
 	wg       sync.WaitGroup // session goroutines
 	auxWG    sync.WaitGroup // decision-writer goroutines
+
+	// Distributed tracing (tracectx.go). traced is latched at construction —
+	// cfg.TraceNode set AND the process-global recorder enabled — so every
+	// session of one server negotiates the same framing. rootSpan opens at
+	// construction and closes in Shutdown; pump rounds and flushes parent
+	// under it, and its (traceID, ID) pair is the XNCT context every client
+	// receives.
+	traced   bool
+	traceID  trace.TraceID
+	rootSpan trace.Span
 }
 
 // pumpShard is one encoder pump and the sessions it feeds. Every shard runs
@@ -260,6 +271,14 @@ func newServer(info SessionInfo, cfg ServerConfig, pool *framePool, srcs []Recor
 		if err := s.registerMetrics(cfg.Metrics); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.TraceNode != "" && trace.Enabled() {
+		s.traced = true
+		s.traceID = cfg.TraceID
+		if s.traceID == 0 {
+			s.traceID = trace.NewTrace()
+		}
+		s.rootSpan = trace.Begin(cfg.TraceNode, "serve", s.traceID, cfg.TraceParent, -1)
 	}
 	return s, nil
 }
@@ -439,8 +458,18 @@ func (s *Server) startSession(conn net.Conn) bool {
 	s.mu.Unlock()
 
 	s.sessionsTotal.Add(1)
+	trace.Emit(trace.KindAdmission, s.traceNodeName(), "accept", -1, ss.id)
 	go s.runSession(ss)
 	return true
+}
+
+// traceNodeName labels flight-recorder events from this server even when the
+// session framing is untraced.
+func (s *Server) traceNodeName() string {
+	if s.cfg.TraceNode != "" {
+		return s.cfg.TraceNode
+	}
+	return "netio"
 }
 
 // rejectSession hands conn to a decision-writer goroutine and releases s.mu,
@@ -451,8 +480,10 @@ func (s *Server) rejectSession(conn net.Conn, d admissionDecision) {
 	switch d.code {
 	case admissionBusy:
 		s.admissionBusy.Add(1)
+		trace.Emit(trace.KindAdmission, s.traceNodeName(), "busy", -1, d.retryAfter.Milliseconds())
 	case admissionRedirect:
 		s.admissionRedirected.Add(1)
+		trace.Emit(trace.KindAdmission, s.traceNodeName(), "redirect:"+d.addr, -1, 0)
 	}
 	s.auxWG.Add(1)
 	s.mu.Unlock()
@@ -480,7 +511,16 @@ func (s *Server) runSession(ss *session) {
 		ss.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteDeadline))
 	}
 	hsp := stageHandshake.Start()
-	err := writeSessionHeader(ss.conn, h)
+	var err error
+	if s.traced {
+		// One write covers header and trace context so a slow peer cannot
+		// split the handshake across deadline windows.
+		buf := appendSessionHeader(make([]byte, 0, protoHeaderLen+traceFixedLen+traceCtxMax+traceCRCLen), h, hsFlagTrace)
+		buf = appendTraceContext(buf, traceContext{trace: s.traceID, root: s.rootSpan.ID()})
+		_, err = ss.conn.Write(buf)
+	} else {
+		err = writeSessionHeader(ss.conn, h)
+	}
 	hsp.End()
 	if err == nil {
 		s.mu.Lock()
@@ -543,6 +583,7 @@ func (s *Server) shedResidue(ss *session) {
 	if ss.shard != nil {
 		ss.shard.c.shed.Add(n)
 	}
+	trace.Emit(trace.KindShed, s.traceNodeName(), "teardown", -1, n)
 	for _, fr := range rest {
 		fr.release()
 	}
@@ -557,7 +598,13 @@ func (s *Server) writeLoop(ss *session) {
 		batchCap = min(writerBatch, s.cfg.QueueDepth)
 	}
 	batch := make([]*frameRef, batchCap)
-	bufs := make(net.Buffers, 0, batchCap)
+	// Traced sessions interleave a 12-byte prelude buffer before every frame
+	// in the vectored write, so bufs holds two entries per record.
+	bufs := make(net.Buffers, 0, 2*batchCap)
+	var preludes []byte
+	if s.traced {
+		preludes = make([]byte, batchCap*recordPreludeLen)
+	}
 	for {
 		n := ss.q.popBatch(batch)
 		if n == 0 {
@@ -570,8 +617,20 @@ func (s *Server) writeLoop(ss *session) {
 		}
 		ss.shard.signalConsumed()
 		wsp := stageRecordSend.Start()
-		sentN, sentBytes, err := s.writeFrames(ss, batch[:n], &bufs)
-		wsp.End()
+		var fsp trace.Span
+		if s.traced {
+			// The flush span parents under the first frame's round — batches
+			// usually drain in round order, so the attribution error is at
+			// most one round boundary per flush.
+			fsp = trace.Begin(s.cfg.TraceNode, "flush", s.traceID, trace.SpanID(batch[0].round), batch[0].seg)
+		}
+		sentN, sentBytes, err := s.writeFrames(ss, batch[:n], &bufs, preludes)
+		fsp.End()
+		if s.traced {
+			wsp.EndTraced(uint64(s.traceID), uint64(fsp.ID()))
+		} else {
+			wsp.End()
+		}
 		if sentN > 0 {
 			ss.sent.Add(int64(sentN))
 			ss.bytes.Add(sentBytes)
@@ -583,6 +642,7 @@ func (s *Server) writeLoop(ss *session) {
 			ss.shed.Add(dropped)
 			s.counters.AddShed(dropped)
 			ss.shard.c.shed.Add(dropped)
+			trace.Emit(trace.KindShed, s.traceNodeName(), "write_failed", -1, dropped)
 		}
 		for i := 0; i < n; i++ {
 			batch[i].release()
@@ -600,12 +660,21 @@ func (s *Server) writeLoop(ss *session) {
 // windows (retry-then-drop); any other error, or exhausting the budget,
 // fails the session. It returns how many frames were fully written and
 // their byte count — on failure the remainder is the caller's to shed.
-func (s *Server) writeFrames(ss *session, frs []*frameRef, scratch *net.Buffers) (int, int64, error) {
+func (s *Server) writeFrames(ss *session, frs []*frameRef, scratch *net.Buffers, preludes []byte) (int, int64, error) {
 	bufs := (*scratch)[:0]
 	total := 0
-	for _, fr := range frs {
+	preludeLen := 0
+	if s.traced {
+		preludeLen = recordPreludeLen
+	}
+	for i, fr := range frs {
+		if preludeLen > 0 {
+			p := preludes[i*recordPreludeLen : (i+1)*recordPreludeLen]
+			putRecordPrelude(p, trace.SpanID(fr.round))
+			bufs = append(bufs, p)
+		}
 		bufs = append(bufs, fr.buf)
-		total += len(fr.buf)
+		total += preludeLen + len(fr.buf)
 	}
 	written := 0
 	retries := s.cfg.WriteRetries
@@ -623,7 +692,7 @@ func (s *Server) writeFrames(ss *session, frs []*frameRef, scratch *net.Buffers)
 			retries--
 			continue
 		}
-		sentN, sentBytes, partial := framesDone(frs, written)
+		sentN, sentBytes, partial := framesDone(frs, written, preludeLen)
 		if partial {
 			err = fmt.Errorf("%w: %d of %d bytes: %v", ErrShortWrite, written, total, err)
 		}
@@ -633,13 +702,13 @@ func (s *Server) writeFrames(ss *session, frs []*frameRef, scratch *net.Buffers)
 }
 
 // framesDone maps a written byte count onto the frame sequence: how many
-// frames the bytes fully cover, their summed length, and whether the count
-// ends inside a frame.
-func framesDone(frs []*frameRef, written int) (int, int64, bool) {
+// frames the bytes fully cover, their summed wire length (preludes included),
+// and whether the count ends inside a frame.
+func framesDone(frs []*frameRef, written, preludeLen int) (int, int64, bool) {
 	var k int
 	var bytes int64
 	for _, fr := range frs {
-		l := len(fr.buf)
+		l := preludeLen + len(fr.buf)
 		if written < l {
 			return k, bytes, written > 0
 		}
@@ -724,7 +793,17 @@ func (sh *pumpShard) run() {
 			continue
 		}
 
-		recs := sh.src.Records(segIdx, s.cfg.EncodeBatch)
+		// A traced pump opens a round span per non-empty batch: its ID is the
+		// wire prelude of every record it produced and the parent of the
+		// encode and queue-offer child spans. Spans of dry rounds are simply
+		// never ended, so idle parking does not flood the ring.
+		seg := segIdx
+		var round, enc trace.Span
+		if s.traced {
+			round = trace.Begin(s.cfg.TraceNode, "round", s.traceID, s.rootSpan.ID(), int32(seg))
+			enc = trace.Begin(s.cfg.TraceNode, "encode", s.traceID, round.ID(), int32(seg))
+		}
+		recs := sh.src.Records(seg, s.cfg.EncodeBatch)
 		segIdx = (segIdx + 1) % segments
 		if len(recs) == 0 {
 			// Nothing to say for this segment yet. Park briefly — this is
@@ -737,14 +816,24 @@ func (sh *pumpShard) run() {
 			}
 			continue
 		}
+		enc.End()
 		s.counters.AddEncoded(int64(len(recs)))
 		sh.c.encoded.Add(int64(len(recs)))
 
 		frames = frames[:0]
 		for _, rec := range recs {
-			frames = append(frames, s.frames.wrap(rec, sh.pooled))
+			fr := s.frames.wrap(rec, sh.pooled)
+			fr.round = uint64(round.ID())
+			fr.seg = int32(seg)
+			frames = append(frames, fr)
+		}
+		var offer trace.Span
+		if s.traced {
+			offer = trace.Begin(s.cfg.TraceNode, "queue_offer", s.traceID, round.ID(), int32(seg))
 		}
 		delivered := sh.fanOut(frames, live)
+		offer.End()
+		round.End()
 		// Drop the pump's own reference; queued copies keep the frames
 		// alive until their writers flush or shed them.
 		for i := range frames {
@@ -789,6 +878,7 @@ func (sh *pumpShard) fanOut(frames []*frameRef, live []*session) bool {
 	delivered := false
 	if s.cfg.Fanout == FanoutPerRecord {
 		one := make([]*frameRef, 1)
+		var shedTotal int64
 		for _, fr := range frames {
 			one[0] = fr
 			osp := stageQueueOffer.Start()
@@ -802,9 +892,13 @@ func (sh *pumpShard) fanOut(frames []*frameRef, live []*session) bool {
 					ss.shed.Add(1)
 					s.counters.AddShed(1)
 					sh.c.shed.Add(1)
+					shedTotal++
 				}
 			}
 			osp.End()
+		}
+		if shedTotal > 0 {
+			trace.Emit(trace.KindShed, s.traceNodeName(), "queue_full", -1, shedTotal)
 		}
 		return delivered
 	}
@@ -828,6 +922,9 @@ func (sh *pumpShard) fanOut(frames []*frameRef, live []*session) bool {
 	s.counters.AddShed(roundShed)
 	sh.c.offered.Add(roundOffered)
 	sh.c.shed.Add(roundShed)
+	if roundShed > 0 {
+		trace.Emit(trace.KindShed, s.traceNodeName(), "queue_full", -1, roundShed)
+	}
 	return delivered
 }
 
@@ -953,6 +1050,9 @@ func (s *Server) Shutdown() {
 	s.pumpWG.Wait()
 	s.wg.Wait()
 	s.auxWG.Wait()
+	if !alreadyClosed {
+		s.rootSpan.End()
+	}
 }
 
 // closeSessions force-closes every live session connection without marking
@@ -1000,8 +1100,10 @@ func (s *Server) Drain(ctx context.Context, redirectAddr string) error {
 	s.drainAddr = redirectAddr
 	done := make(chan struct{})
 	s.drainDone = done
+	joined := s.joined
 	s.mu.Unlock()
 	defer close(done)
+	trace.Emit(trace.KindDrain, s.traceNodeName(), redirectAddr, -1, int64(joined))
 
 	// No session wg.Add can happen once draining is set (the admission path
 	// rejects under the same mutex), so waiting here cannot race a late Add.

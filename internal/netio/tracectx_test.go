@@ -1,0 +1,213 @@
+package netio
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
+	"testing"
+
+	"extremenc/internal/obs/trace"
+	"extremenc/internal/rlnc"
+)
+
+// TestTraceContextRoundTrip: the XNCT record carries the trace ID and root
+// span through a marshal/parse cycle intact.
+func TestTraceContextRoundTrip(t *testing.T) {
+	want := traceContext{trace: 0xDEADBEEFCAFE, root: 42}
+	rec := appendTraceContext(nil, want)
+	got, err := readTraceContext(bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+// buildTraceRecord assembles an XNCT record from a raw TLV body, CRC included
+// — the forgery helper for tolerance and rejection tests.
+func buildTraceRecord(body []byte) []byte {
+	rec := append([]byte(traceMagic), byte(len(body)))
+	rec = append(rec, body...)
+	return binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+}
+
+// TestTraceContextSkipsUnknownFields: a newer server adding TLV fields must
+// not break an old client — unknown types are skipped, known ones still land.
+func TestTraceContextSkipsUnknownFields(t *testing.T) {
+	body := []byte{
+		9, 3, 0xAA, 0xBB, 0xCC, // unknown type 9: skipped
+		traceFieldTrace, 8, 0, 0, 0, 0, 0, 0, 0, 7,
+		250, 0, // unknown zero-length type: skipped
+		traceFieldRootSpan, 8, 0, 0, 0, 0, 0, 0, 0, 9,
+	}
+	got, err := readTraceContext(bytes.NewReader(buildTraceRecord(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.trace != 7 || got.root != 9 {
+		t.Fatalf("tolerant parse: %+v", got)
+	}
+}
+
+// TestTraceContextRejectsDamage: CRC flips, magic damage, truncated TLVs,
+// and wrong-size known fields are all ErrBadHandshake.
+func TestTraceContextRejectsDamage(t *testing.T) {
+	good := appendTraceContext(nil, traceContext{trace: 1, root: 2})
+
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := readTraceContext(bytes.NewReader(flipped)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("bad CRC: %v", err)
+	}
+
+	badMagic := bytes.Clone(good)
+	badMagic[0] = 'Y'
+	if _, err := readTraceContext(bytes.NewReader(badMagic)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	if _, err := readTraceContext(bytes.NewReader(good[:7])); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("truncated: %v", err)
+	}
+
+	// A known field with the wrong size is a framing bug, not tolerable.
+	wrongSize := buildTraceRecord([]byte{traceFieldTrace, 4, 0, 0, 0, 7})
+	if _, err := readTraceContext(bytes.NewReader(wrongSize)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("wrong field size: %v", err)
+	}
+
+	// A TLV whose declared length overruns the body.
+	overrun := buildTraceRecord([]byte{traceFieldTrace, 200, 1, 2})
+	if _, err := readTraceContext(bytes.NewReader(overrun)); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("overrun field: %v", err)
+	}
+}
+
+// TestRecordPreludeRoundTrip: the per-record round prelude survives a cycle
+// and any single corrupted byte is detected as framing loss.
+func TestRecordPreludeRoundTrip(t *testing.T) {
+	var buf [recordPreludeLen]byte
+	putRecordPrelude(buf[:], 0x0123456789ABCDEF)
+	got, err := parseRecordPrelude(buf[:])
+	if err != nil || got != 0x0123456789ABCDEF {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+	for i := 0; i < recordPreludeLen; i++ {
+		dam := buf
+		dam[i] ^= 0x40
+		if _, err := parseRecordPrelude(dam[:]); !errors.Is(err, ErrRecordLength) {
+			t.Fatalf("byte %d corrupted: err = %v, want ErrRecordLength", i, err)
+		}
+	}
+}
+
+// TestUnknownHeaderFlagsRejected: a header declaring a feature bit this
+// implementation does not know must be rejected — the feature may change
+// record framing, so parsing on is stream corruption.
+func TestUnknownHeaderFlagsRejected(t *testing.T) {
+	h := sessionHeader{params: rlnc.Params{BlockCount: 4, BlockSize: 64}, segments: 1, length: 100}
+	var buf bytes.Buffer
+	if err := writeSessionHeaderFlags(&buf, h, hsFlagTrace|1<<9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSessionHeader(&buf); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("unknown flag: %v, want ErrBadHandshake", err)
+	}
+}
+
+// TestTracedSessionEndToEnd is the causal-linkage test: a traced server and
+// a traced fetcher over an in-memory pipe must produce a span dump in which
+// every record's absorb span parents under a real pump-round span — zero
+// orphans — and the fetcher inherits the server's trace context.
+func TestTracedSessionEndToEnd(t *testing.T) {
+	trace.Enable(1 << 14)
+	defer trace.Disable()
+
+	p := rlnc.Params{BlockCount: 8, BlockSize: 256}
+	media := testMedia(t, 2*p.SegmentSize(), 7)
+	srv, err := NewServer(media, p, WithServerTrace("origin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.traced || srv.traceID == 0 {
+		t.Fatalf("server not traced: traced=%v id=%d", srv.traced, srv.traceID)
+	}
+	l := startPipeServer(t, srv)
+
+	f := NewFetcher(func(context.Context) (net.Conn, error) { return l.Dial(), nil },
+		WithFetchTrace("leaf"), WithMaxAttempts(1))
+	res, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, media) {
+		t.Fatal("payload differs")
+	}
+
+	tr, root, ok := f.TraceContext()
+	if !ok || tr != srv.traceID || root == 0 {
+		t.Fatalf("inherited context: ok=%v trace=%d root=%d (server %d)", ok, tr, root, srv.traceID)
+	}
+	if f.LastRoundSpan() == 0 {
+		t.Fatal("no round prelude observed")
+	}
+
+	srv.Shutdown() // ends the root span so the dump holds the full tree
+	asm := trace.Assemble(trace.Dump())
+	if asm.Orphans != 0 {
+		t.Fatalf("%d orphan spans", asm.Orphans)
+	}
+	if asm.Spans == 0 || len(asm.Generations) == 0 {
+		t.Fatalf("no spans assembled: %+v", asm)
+	}
+	for _, stage := range []string{"encode", "absorb"} {
+		found := false
+		for _, g := range asm.Generations {
+			if g.StageTotal(stage) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no generation carries stage %q", stage)
+		}
+	}
+}
+
+// TestRawClientTracedSession: the capacity-measurement client consumes a
+// traced stream (prelude per record) without miscounting framing.
+func TestRawClientTracedSession(t *testing.T) {
+	trace.Enable(1 << 12)
+	defer trace.Disable()
+
+	p := rlnc.Params{BlockCount: 4, BlockSize: 128}
+	media := testMedia(t, p.SegmentSize(), 11)
+	srv, err := NewServer(media, p, WithServerTrace("origin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := startPipeServer(t, srv)
+
+	rc, err := NewRawClient(l.Dial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if !rc.traced {
+		t.Fatal("raw client did not negotiate tracing")
+	}
+	want := wireSize(p) + 4 + recordPreludeLen
+	for i := 0; i < 8; i++ {
+		n, err := rc.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if n != want {
+			t.Fatalf("record %d: %d wire bytes, want %d", i, n, want)
+		}
+	}
+}

@@ -56,6 +56,102 @@ type Histogram struct {
 	count  atomic.Int64
 	sumNs  atomic.Int64
 	maxNs  atomic.Int64
+
+	// Exemplar capture (off unless EnableExemplars was called): exQ holds
+	// math.Float64bits of the quantile threshold, exThresh the cached bucket
+	// index of that quantile (recomputed every exemplarRecompute traced
+	// observations), ex the latest outlier. All hot-path reads are single
+	// atomic loads so plain Observe stays untouched.
+	exQ      atomic.Uint64
+	exThresh atomic.Int32
+	exSeen   atomic.Int64
+	ex       atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one outlier observation to the trace and span that
+// produced it, so a histogram's p99 tail can be attributed to a concrete
+// causal path in a flight-recorder dump. IDs are plain uint64s (the obs
+// package stays independent of obs/trace).
+type Exemplar struct {
+	TraceID uint64
+	SpanID  uint64
+	Value   time.Duration
+	When    time.Time
+}
+
+// exemplarRecompute is how many traced observations pass between threshold
+// bucket refreshes. The threshold starts at bucket 0, so the first traced
+// observation is always captured; it then tightens toward the configured
+// quantile as counts accumulate.
+const exemplarRecompute = 64
+
+// EnableExemplars turns on exemplar capture for observations at or above
+// the q-quantile (clamped to [0, 1]). Only ObserveTraced observations with
+// a nonzero trace ID are candidates.
+func (h *Histogram) EnableExemplars(q float64) {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.exQ.Store(math.Float64bits(q) | 1) // |1 so q=0 still reads as enabled
+}
+
+// Exemplar returns the latest captured outlier, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
+}
+
+// ObserveTraced records one duration exactly like Observe and, when
+// exemplar capture is enabled and the observation lands at or above the
+// cached threshold bucket, publishes it as the histogram's exemplar.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID, spanID uint64) {
+	h.Observe(d)
+	qb := h.exQ.Load()
+	if qb == 0 || traceID == 0 {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	if int32(bucketIndex(ns)) >= h.exThresh.Load() {
+		h.ex.Store(&Exemplar{TraceID: traceID, SpanID: spanID, Value: d, When: time.Now()})
+	}
+	if h.exSeen.Add(1)%exemplarRecompute == 0 {
+		h.refreshExemplarThreshold(math.Float64frombits(qb &^ 1))
+	}
+}
+
+// refreshExemplarThreshold recomputes the bucket holding the q-quantile
+// from the live counts and caches it for the capture fast path.
+func (h *Histogram) refreshExemplarThreshold(q float64) {
+	var total int64
+	var buckets [histBuckets + 1]int64
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+		total += buckets[i]
+	}
+	if total == 0 {
+		return
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			h.exThresh.Store(int32(i))
+			return
+		}
+	}
 }
 
 // Observe records one duration. Negative durations clamp to zero.

@@ -7,24 +7,29 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"extremenc/internal/obs/trace"
 )
 
 // Handler wires the observability endpoints onto one mux:
 //
 //	/metrics        Prometheus text format (the scrape target)
 //	/metrics.json   JSON snapshot (Content-Type: application/json)
+//	/debug/flight   flight-recorder dump (JSON; empty doc when disabled)
 //	/debug/pprof/*  the standard runtime profiles
 //
-// and a 404 everywhere else. extra, if non-nil, is merged into the JSON
-// snapshot under its own keys at request time (the server snapshot rides
-// along here), sampled per request.
+// and a 404 everywhere else. Every response carries
+// X-Content-Type-Options: nosniff, and the metrics and flight routes answer
+// non-GET methods with 405 (HEAD rides along as usual). extra, if non-nil,
+// is merged into the JSON snapshot under its own keys at request time (the
+// server snapshot rides along here), sampled per request.
 func Handler(reg *Registry, extra func() map[string]any) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteText(w) //nolint:errcheck — best-effort scrape
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/metrics.json", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		body := reg.SnapshotJSON()
 		if extra != nil {
@@ -35,7 +40,11 @@ func Handler(reg *Registry, extra func() map[string]any) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(body) //nolint:errcheck — best-effort metrics
-	})
+	}))
+	mux.HandleFunc("/debug/flight", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(trace.DumpJSON()) //nolint:errcheck — best-effort dump
+	}))
 	// net/http/pprof registers on DefaultServeMux at import; wiring the
 	// handlers explicitly keeps this mux self-contained (and the index page
 	// routes the named profiles itself).
@@ -47,7 +56,31 @@ func Handler(reg *Registry, extra func() map[string]any) http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 	})
-	return mux
+	return nosniff(mux)
+}
+
+// getOnly rejects non-GET methods with 405 and an Allow header, per RFC
+// 9110 — probes and misconfigured pushers get a correct status instead of
+// the mux's catch-all 404.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// nosniff stamps X-Content-Type-Options on every response so browsers never
+// content-sniff an exposition (or a pprof binary profile) into something
+// executable.
+func nosniff(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		next.ServeHTTP(w, r)
+	})
 }
 
 // LogEvery writes one structured progress line (a single-line JSON object of

@@ -122,6 +122,16 @@ func (sp Span) End() {
 	}
 }
 
+// EndTraced records the span's elapsed time like End and additionally
+// offers the observation as an exemplar candidate, linking it to a trace
+// and span ID from the obs/trace subsystem. Inert spans do nothing; with
+// exemplar capture disabled on the stage histogram it behaves as End.
+func (sp Span) EndTraced(traceID, spanID uint64) {
+	if sp.h != nil {
+		sp.h.ObserveTraced(time.Since(sp.t0), traceID, spanID)
+	}
+}
+
 // Active reports whether the span is recording (a sink was installed when it
 // started).
 func (sp Span) Active() bool { return sp.h != nil }

@@ -113,7 +113,7 @@ func (r *Registry) SnapshotJSON() map[string]any {
 			gauges[e.name] = e.fn()
 		case kindHistogram:
 			v := e.hist.View()
-			hists[e.name] = map[string]any{
+			hv := map[string]any{
 				"count": v.Count,
 				"sum_s": v.Sum.Seconds(),
 				"p50_s": v.P50.Seconds(),
@@ -121,6 +121,14 @@ func (r *Registry) SnapshotJSON() map[string]any {
 				"p99_s": v.P99.Seconds(),
 				"max_s": v.Max.Seconds(),
 			}
+			if ex, ok := e.hist.Exemplar(); ok {
+				hv["exemplar"] = map[string]any{
+					"trace":   ex.TraceID,
+					"span":    ex.SpanID,
+					"value_s": ex.Value.Seconds(),
+				}
+			}
+			hists[e.name] = hv
 		}
 	}
 	return map[string]any{

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime bridges Go runtime health into reg so every scraped
+// exposition carries process vitals next to the pipeline counters:
+//
+//	runtime.goroutines          live goroutine count
+//	runtime.heap_alloc_bytes    bytes of live heap objects
+//	runtime.heap_sys_bytes      heap memory obtained from the OS
+//	runtime.gc_total            completed GC cycles
+//	runtime.uptime_seconds      seconds since RegisterRuntime
+//	runtime.gc_pause            histogram of individual GC stop-the-world pauses
+//
+// Values are sampled lazily at exposition time through one short-TTL
+// MemStats snapshot shared by all gauges, so a scrape costs a single
+// ReadMemStats. New GC pauses are folded into the histogram on each sample;
+// the ingest gauges are registered before the histogram so a text scrape
+// observes pauses from the cycle that just ran. Registration errors (name
+// collisions) are joined and returned; steady-state collection never fails.
+func RegisterRuntime(reg *Registry) error {
+	s := &runtimeSampler{start: time.Now(), pauses: &Histogram{}}
+	var errs []error
+	register := func(name, help string, fn func() float64) {
+		if err := reg.RegisterFunc(name, help, fn); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	register("runtime.goroutines", "live goroutine count", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	register("runtime.heap_alloc_bytes", "bytes of live heap objects", func() float64 {
+		return float64(s.sample().HeapAlloc)
+	})
+	register("runtime.heap_sys_bytes", "heap memory obtained from the OS", func() float64 {
+		return float64(s.sample().HeapSys)
+	})
+	register("runtime.gc_total", "completed GC cycles", func() float64 {
+		return float64(s.sample().NumGC)
+	})
+	register("runtime.uptime_seconds", "seconds since runtime metrics were registered", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	if err := reg.RegisterHistogram("runtime.gc_pause",
+		"individual GC stop-the-world pause durations", s.pauses); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// runtimeSampler caches one MemStats snapshot for a short TTL so a scrape
+// touching several runtime gauges pays for a single ReadMemStats, and folds
+// newly completed GC pauses into the pause histogram as they appear.
+type runtimeSampler struct {
+	mu        sync.Mutex
+	start     time.Time
+	sampledAt time.Time
+	lastNumGC uint32
+	ms        runtime.MemStats
+	pauses    *Histogram
+}
+
+const runtimeSampleTTL = 50 * time.Millisecond
+
+func (s *runtimeSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sampledAt.IsZero() && time.Since(s.sampledAt) < runtimeSampleTTL {
+		return s.ms
+	}
+	runtime.ReadMemStats(&s.ms)
+	s.sampledAt = time.Now()
+	// PauseNs is a ring of the last 256 pause times; ingest only the cycles
+	// completed since the previous sample (dropping any the ring already
+	// evicted under extreme GC churn).
+	from := s.lastNumGC
+	if s.ms.NumGC > from+uint32(len(s.ms.PauseNs)) {
+		from = s.ms.NumGC - uint32(len(s.ms.PauseNs))
+	}
+	for n := from; n < s.ms.NumGC; n++ {
+		s.pauses.Observe(time.Duration(s.ms.PauseNs[n%uint32(len(s.ms.PauseNs))]))
+	}
+	s.lastNumGC = s.ms.NumGC
+	return s.ms
+}

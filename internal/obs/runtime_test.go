@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	if err := RegisterRuntime(reg); err != nil {
+		t.Fatal(err)
+	}
+	// Force at least one completed GC cycle so the pause histogram has
+	// something to ingest.
+	runtime.GC()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		"runtime_goroutines", "runtime_heap_alloc_bytes", "runtime_heap_sys_bytes",
+		"runtime_gc_total", "runtime_uptime_seconds", "runtime_gc_pause",
+	} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("exposition missing %s:\n%s", name, text)
+		}
+	}
+
+	// The scrape above ran the ingest funcs, so the pause histogram must now
+	// hold the forced cycle.
+	v, ok := reg.HistogramView("runtime.gc_pause")
+	if !ok {
+		t.Fatal("runtime.gc_pause not registered")
+	}
+	if v.Count < 1 {
+		t.Fatalf("gc pause histogram empty after forced GC (count=%d)", v.Count)
+	}
+}
+
+func TestRegisterRuntimeDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	if err := RegisterRuntime(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterRuntime(reg); err == nil {
+		t.Fatal("second RegisterRuntime must report name collisions")
+	}
+}
+
+func TestRuntimeSamplerCaches(t *testing.T) {
+	s := &runtimeSampler{pauses: &Histogram{}}
+	first := s.sample()
+	at := s.sampledAt
+	_ = first
+	s.sample()
+	if s.sampledAt != at {
+		t.Fatal("second sample inside TTL re-read MemStats")
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Assembly is the result of reconstructing span trees from a dump: spans
+// grouped into per-generation (trace, segment) breakdowns, plus tree-health
+// counters. An orphan is a span whose nonzero parent is absent from the
+// dump — either a propagation bug or ring wrap evicting ancestors.
+type Assembly struct {
+	Generations []Generation `json:"generations"`
+	Spans       int          `json:"spans"`
+	Roots       int          `json:"roots"`
+	Orphans     int          `json:"orphans"`
+	Events      int          `json:"events"`
+}
+
+// Generation aggregates one (trace, segment) pair: every span stamped with
+// that segment across all nodes, bucketed by node/stage.
+type Generation struct {
+	Trace  TraceID    `json:"trace"`
+	Seg    int32      `json:"seg"`
+	Stages []StageAgg `json:"stages"`
+	// Elapsed is the wall-clock window from the earliest span start to the
+	// latest span end in this generation — the end-to-end completion delay.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// StageAgg sums one node/stage pair within a generation.
+type StageAgg struct {
+	Node  string        `json:"node"`
+	Stage string        `json:"stage"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Stage returns the aggregate for (node, stage), or nil.
+func (g *Generation) Stage(node, stage string) *StageAgg {
+	for i := range g.Stages {
+		if g.Stages[i].Node == node && g.Stages[i].Stage == stage {
+			return &g.Stages[i]
+		}
+	}
+	return nil
+}
+
+// StageTotal sums Total across all nodes whose stage name matches.
+func (g *Generation) StageTotal(stage string) time.Duration {
+	var d time.Duration
+	for i := range g.Stages {
+		if g.Stages[i].Stage == stage {
+			d += g.Stages[i].Total
+		}
+	}
+	return d
+}
+
+// Assemble reconstructs per-generation breakdowns from a dump. Spans with
+// no trace ID are ignored for grouping (they still count toward Spans and
+// orphan detection); segment −1 spans (session roots, flushes) contribute
+// to tree health but not to any generation bucket.
+func Assemble(events []Event) *Assembly {
+	a := &Assembly{Events: len(events)}
+	ids := make(map[SpanID]struct{})
+	for i := range events {
+		if events[i].Kind == KindSpan && events[i].Span != 0 {
+			ids[events[i].Span] = struct{}{}
+		}
+	}
+	type genKey struct {
+		tr  TraceID
+		seg int32
+	}
+	gens := make(map[genKey]*Generation)
+	starts := make(map[genKey]int64)
+	ends := make(map[genKey]int64)
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindSpan {
+			continue
+		}
+		a.Spans++
+		if e.Parent == 0 {
+			a.Roots++
+		} else if _, ok := ids[e.Parent]; !ok {
+			a.Orphans++
+		}
+		if e.Trace == 0 || e.Seg < 0 {
+			continue
+		}
+		k := genKey{e.Trace, e.Seg}
+		g := gens[k]
+		if g == nil {
+			g = &Generation{Trace: e.Trace, Seg: e.Seg}
+			gens[k] = g
+			starts[k] = e.Start()
+			ends[k] = e.TS
+		}
+		if s := e.Start(); s < starts[k] {
+			starts[k] = s
+		}
+		if e.TS > ends[k] {
+			ends[k] = e.TS
+		}
+		agg := g.Stage(e.Node, e.Stage)
+		if agg == nil {
+			g.Stages = append(g.Stages, StageAgg{Node: e.Node, Stage: e.Stage})
+			agg = &g.Stages[len(g.Stages)-1]
+		}
+		agg.Count++
+		agg.Total += e.Dur
+		if e.Dur > agg.Max {
+			agg.Max = e.Dur
+		}
+	}
+	for k, g := range gens {
+		g.Elapsed = time.Duration(ends[k] - starts[k])
+		sort.Slice(g.Stages, func(i, j int) bool {
+			if g.Stages[i].Node != g.Stages[j].Node {
+				return g.Stages[i].Node < g.Stages[j].Node
+			}
+			return g.Stages[i].Stage < g.Stages[j].Stage
+		})
+		a.Generations = append(a.Generations, *g)
+	}
+	sort.Slice(a.Generations, func(i, j int) bool {
+		if a.Generations[i].Trace != a.Generations[j].Trace {
+			return a.Generations[i].Trace < a.Generations[j].Trace
+		}
+		return a.Generations[i].Seg < a.Generations[j].Seg
+	})
+	return a
+}
+
+// breakdownColumns is the canonical stage order for the per-generation
+// latency table: where time goes as a generation moves origin → relay →
+// leaf. Stages absent from a dump render as zero columns.
+var breakdownColumns = []string{"encode", "queue_offer", "flush", "absorb", "recode"}
+
+// Table renders the assembly as an aligned per-generation breakdown. Each
+// row is one (trace, segment) generation; columns sum the named stage
+// across every node that emitted it, and e2e is the wall-clock envelope.
+func (a *Assembly) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %4s", "trace", "seg")
+	for _, c := range breakdownColumns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	fmt.Fprintf(&b, " %12s\n", "e2e")
+	for i := range a.Generations {
+		g := &a.Generations[i]
+		fmt.Fprintf(&b, "%-8d %4d", g.Trace, g.Seg)
+		for _, c := range breakdownColumns {
+			fmt.Fprintf(&b, " %12s", fmtDur(g.StageTotal(c)))
+		}
+		fmt.Fprintf(&b, " %12s\n", fmtDur(g.Elapsed))
+	}
+	fmt.Fprintf(&b, "spans=%d roots=%d orphans=%d events=%d generations=%d\n",
+		a.Spans, a.Roots, a.Orphans, a.Events, len(a.Generations))
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// JSON renders the assembly as indented JSON.
+func (a *Assembly) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", " ")
+}
